@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark file reproduces one experiment id from DESIGN.md and
+prints the regenerated table through :mod:`repro.analysis.report`
+(visible with ``pytest benchmarks/ --benchmark-only -s``).  The helpers
+here keep the per-experiment files small and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro import Control1Engine, Control2Engine, DensityParams
+from repro.workloads import Operation, run_workload
+
+
+def drive(engine, operations: Sequence[Operation]):
+    """Run a workload and return its RunResult (with per-op log)."""
+    return run_workload(engine, operations)
+
+
+def fresh_engines(params: DensityParams) -> Dict[str, object]:
+    """Both dense-file engines on identical geometry."""
+    return {
+        "CONTROL 1": Control1Engine(params),
+        "CONTROL 2": Control2Engine(params),
+    }
+
+
+def per_op_worst_and_mean(engine, operations) -> Dict[str, float]:
+    result = run_workload(engine, operations)
+    return {
+        "worst": float(result.log.worst_case_accesses),
+        "mean": result.log.amortized_accesses,
+        "worst_moved": float(result.log.worst_case_moved),
+        "mean_moved": result.log.amortized_moved,
+    }
+
+
+def once(benchmark, fn: Callable[[], object]):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def banner(title: str) -> str:
+    bar = "=" * len(title)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def emit(*chunks: str) -> None:
+    """Print the reproduced table(s) for -s runs."""
+    print()
+    for chunk in chunks:
+        print(chunk)

@@ -1,0 +1,75 @@
+"""EXP-F1 — Figure 1 of the paper: the worked calibrator example.
+
+Figure 1a shows a 4-page dense file with d=2, D=3 and page occupancies
+[3, 2, 1, 2]; Figure 1b annotates every calibrator node with its density
+p(v).  This benchmark rebuilds the calibrator, regenerates the node
+densities of Figure 1b, and checks BALANCE(d, 3).
+"""
+
+from bench_helpers import banner, emit, once
+
+from repro import DensityParams
+from repro.analysis import render_table
+from repro.core.calibrator import CalibratorTree
+from repro.core.invariants import balance_violations
+
+OCCUPANCIES = [3, 2, 1, 2]
+PARAMS = DensityParams(num_pages=4, d=2, D=3, j=1)
+
+#: Figure 1b, read off the paper: densities at the root, its two
+#: children, and the four leaves (node ranges in page numbers).
+FIGURE_1B = {
+    (1, 4): 2.0,
+    (1, 2): 2.5,
+    (3, 4): 1.5,
+    (1, 1): 3.0,
+    (2, 2): 2.0,
+    (3, 3): 1.0,
+    (4, 4): 2.0,
+}
+
+
+def build_calibrator() -> CalibratorTree:
+    tree = CalibratorTree(4)
+    for page, count in enumerate(OCCUPANCIES, start=1):
+        tree.add(page, count)
+    return tree
+
+
+def test_figure_1_densities(benchmark):
+    tree = once(benchmark, build_calibrator)
+    rows = []
+    measured = {}
+    for node in tree.iter_nodes():
+        lo, hi, depth, count = tree.describe(node)
+        density = count / (hi - lo + 1)
+        measured[(lo, hi)] = density
+        rows.append([f"[{lo},{hi}]", depth, count, f"{density:.2f}"])
+    from repro.analysis import render_calibrator
+
+    emit(
+        banner("EXP-F1: Figure 1 calibrator densities (d=2, D=3)"),
+        render_table(["range", "depth", "N_v", "p(v)"], rows),
+        "",
+        "Figure 1b, redrawn:",
+        render_calibrator(tree, width=56),
+    )
+    assert measured == FIGURE_1B
+
+
+def test_figure_1_is_balanced(benchmark):
+    tree = once(benchmark, build_calibrator)
+    violations = balance_violations(tree, PARAMS)
+    emit(f"EXP-F1: BALANCE(2,3) violations: {violations}")
+    assert violations == []
+
+
+def test_figure_1_density_conditions(benchmark):
+    """The file is (2,3)-dense: <= d*M records, <= D per page."""
+
+    def check():
+        assert sum(OCCUPANCIES) <= PARAMS.max_records
+        assert max(OCCUPANCIES) <= PARAMS.D
+        return True
+
+    assert once(benchmark, check)

@@ -1,0 +1,97 @@
+"""EXP-F4 — Figure 4 / Example 5.2: the paper's full worked trace.
+
+Runs CONTROL 2 on the 8-page file (d=9, D=18, J=3) of Example 5.2
+through the two insertion commands Z1 (into page 8) and Z2 (into
+page 1), and regenerates Figure 4's occupancy table for the flag-stable
+moments t0..t8, asserting every row bit for bit.
+"""
+
+from bench_helpers import banner, emit, once
+
+from repro import Control2Engine, DensityParams, MomentRecorder
+from repro.analysis import render_table
+
+FIGURE_4_ROWS = [
+    ("t0", (16, 1, 0, 1, 9, 9, 9, 16)),
+    ("t1", (16, 1, 0, 1, 9, 9, 9, 17)),
+    ("t2", (16, 1, 0, 1, 9, 9, 15, 11)),
+    ("t3", (16, 1, 0, 1, 9, 9, 15, 11)),
+    ("t4", (16, 2, 0, 0, 9, 9, 15, 11)),
+    ("t5", (17, 2, 0, 0, 9, 9, 15, 11)),
+    ("t6", (4, 15, 0, 0, 9, 9, 15, 11)),
+    ("t7", (15, 4, 0, 0, 9, 9, 15, 11)),
+    ("t8", (15, 9, 0, 0, 4, 9, 15, 11)),
+]
+
+
+def run_example():
+    params = DensityParams(num_pages=8, d=9, D=18, j=3)
+    engine = Control2Engine(params)
+    engine.load_occupancies([16, 1, 0, 1, 9, 9, 9, 16], key_start=0, key_gap=10)
+    recorder = MomentRecorder(moment_types={"3", "4c"}).attach(engine)
+    rows = [("t0", tuple(engine.occupancies()))]
+    engine.insert_at_page(8, 10_000)   # Z1
+    engine.insert_at_page(1, -10_000)  # Z2
+    rows.extend(
+        (f"t{index}", moment.occupancies)
+        for index, moment in enumerate(recorder.moments, start=1)
+    )
+    engine.validate()
+    return engine, rows
+
+
+def test_figure_4_trace(benchmark):
+    engine, rows = once(benchmark, run_example)
+    emit(
+        banner("EXP-F4: Figure 4 — record distribution over time (Example 5.2)"),
+        render_table(
+            ["time"] + [f"L{j}" for j in range(1, 9)],
+            [[label] + list(occupancies) for label, occupancies in rows],
+        ),
+    )
+    assert rows == FIGURE_4_ROWS
+    assert engine.stuck_shifts == 0
+
+
+def test_example_52_pointer_narrative(benchmark):
+    """The DEST assignments and the roll-back narrated in Section 5."""
+
+    def run():
+        params = DensityParams(num_pages=8, d=9, D=18, j=3)
+        engine = Control2Engine(params)
+        engine.load_occupancies(
+            [16, 1, 0, 1, 9, 9, 9, 16], key_start=0, key_gap=10
+        )
+        recorder = MomentRecorder(moment_types={"3", "4c"}).attach(engine)
+        engine.insert_at_page(8, 10_000)
+        engine.insert_at_page(1, -10_000)
+        return engine, recorder
+
+    engine, recorder = once(benchmark, run)
+    tree = engine.calibrator
+    l8 = tree.leaf_of_page[8]
+    l1 = tree.leaf_of_page[1]
+    v3 = tree.right[tree.root]
+    t1, t3, t5, t7 = (
+        recorder.moments[0],
+        recorder.moments[2],
+        recorder.moments[4],
+        recorder.moments[6],
+    )
+    narrative = [
+        ("t1: DEST(L8)", t1.destination_of(l8), 7),
+        ("t1: DEST(v3)", t1.destination_of(v3), 1),
+        ("t3: DEST(v3) advanced", t3.destination_of(v3), 2),
+        ("t5: DEST(L1)", t5.destination_of(l1), 2),
+        ("t5: DEST(v3) rolled back", t5.destination_of(v3), 1),
+        ("t7: DEST(v3) advanced again", t7.destination_of(v3), 2),
+    ]
+    emit(
+        banner("EXP-F4: Example 5.2 pointer narrative"),
+        "\n".join(
+            f"  {label}: measured={measured} paper={expected}"
+            for label, measured, expected in narrative
+        ),
+    )
+    for label, measured, expected in narrative:
+        assert measured == expected, label

@@ -1,0 +1,130 @@
+"""EXP-A1 — the J parameter: "typically J should be about 18".
+
+The paper proves J = 90*ceil(log^2 M)/(D-d) suffices, remarks the proof
+is loose by at least an order of magnitude ("and probably by 1 1/2
+magnitudes"), and says J ~ 18 is typical.  This ablation sweeps J on two
+geometries (comfortable slack, and slack barely above 3 log M) under
+high-fill adversaries, reporting per J: commands that ended with
+BALANCE(d, D) violated, the maximum page fill reached, and the worst
+per-command page-access cost (the price of a larger budget).
+
+Measured finding: the smallest violation-free J is 1 on every adversary
+we could construct — each SHIFT moves up to a page-sized batch while a
+command inserts a single record, so the budget outpaces the inflow by
+construction.  The paper's prediction that its constant is loose by
+1-1.5 orders of magnitude is confirmed (and then some): the proven
+constant is ~2 orders above the measured threshold.
+"""
+
+from bench_helpers import banner, emit, once
+
+from repro import Control2Engine, DensityParams
+from repro.analysis import render_table
+from repro.core.invariants import balance_violations
+from repro.workloads import converging_inserts, interleaved_point_inserts
+
+NUM_PAGES = 256
+J_VALUES = [1, 2, 3, 4, 6, 8, 12, 18, 27]
+COMMANDS = 1500
+
+#: (label, d, D, preload fraction, hot points or None for one point)
+SCENARIOS = [
+    ("slack 40, one hot point", 8, 48, 0.0, None),
+    ("slack 25 (near 3logM=24), 80% full, 8 hot points", 8, 33, 0.80,
+     [(1 << 30) * i // 8 + 12345 for i in range(8)]),
+]
+
+
+def violations_for(j: int, d: int, cap_d: int, preload: float, points):
+    params = DensityParams(num_pages=NUM_PAGES, d=d, D=cap_d, j=j)
+    engine = Control2Engine(params)
+    key_space = 1 << 30
+    if preload:
+        base = int(preload * params.max_records)
+        engine.bulk_load(
+            k + 0.5 for k in range(0, key_space, key_space // base)
+        )
+    budget = params.max_records - engine.size - 2
+    count = min(COMMANDS, budget)
+    if points is None:
+        operations = converging_inserts(count)
+    else:
+        operations = interleaved_point_inserts(count, points=points)
+    log = engine.enable_operation_log()
+    bad_commands = 0
+    max_fill = 0
+    for operation in operations:
+        engine.insert(operation.key)
+        if balance_violations(engine.calibrator, params):
+            bad_commands += 1
+        max_fill = max(max_fill, max(engine.occupancies()))
+    return bad_commands, max_fill, log.worst_case_accesses
+
+
+def test_j_sweep(benchmark):
+    def sweep():
+        results = {}
+        for label, d, cap_d, preload, points in SCENARIOS:
+            results[label] = {
+                j: violations_for(j, d, cap_d, preload, points)
+                for j in J_VALUES
+            }
+        return results
+
+    results = once(benchmark, sweep)
+    chunks = [banner("EXP-A1: J sweep under high-fill adversaries")]
+    for label, d, cap_d, preload, points in SCENARIOS:
+        table = results[label]
+        rows = [
+            [j, bad, fill, worst, "yes" if bad == 0 else "no"]
+            for j, (bad, fill, worst) in table.items()
+        ]
+        chunks.append(
+            render_table(
+                ["J", "unbalanced commands", "max page fill",
+                 "worst accesses/op", "safe"],
+                rows,
+                title=f"scenario: {label} (d={d}, D={cap_d})",
+            )
+        )
+    params = DensityParams(NUM_PAGES, 8, 48)
+    paper_bound = 90 * (params.log_m ** 2) / 40
+    chunks.append(
+        f"paper's proven-sufficient J: {paper_bound:.0f}; "
+        f"paper's 'typical' J: 18; measured violation-free threshold: 1"
+    )
+    emit(*chunks)
+
+    for label in results:
+        table = results[label]
+        # Every tested J is violation-free (the measured threshold is 1),
+        # confirming the paper's constants are conservative...
+        assert all(bad == 0 for bad, _, _ in table.values())
+        # ...while larger J monotonically (weakly) raises the worst-case
+        # cost ceiling actually paid.
+        worsts = [worst for _, _, worst in table.values()]
+        assert worsts[-1] >= worsts[0]
+        # And no page ever exceeded its capacity D.
+        for (scenario_label, d, cap_d, _, _) in SCENARIOS:
+            if scenario_label == label:
+                assert all(fill <= cap_d for _, fill, _ in table.values())
+
+
+def test_capacity_respected_at_recommended_j(benchmark):
+    """With the default J no page ever exceeds D at command end."""
+
+    def run():
+        params = DensityParams(num_pages=NUM_PAGES, d=8, D=48)
+        engine = Control2Engine(params)
+        worst_fill = 0
+        for operation in converging_inserts(COMMANDS):
+            engine.insert(operation.key)
+            worst_fill = max(worst_fill, max(engine.occupancies()))
+        return worst_fill
+
+    worst_fill = once(benchmark, run)
+    emit(
+        f"EXP-A1b: max page fill at command ends with default J: "
+        f"{worst_fill} (D = 48)"
+    )
+    assert worst_fill <= 48

@@ -1,0 +1,72 @@
+"""EXP-A3 — Section 1's strawman: complete reorganization per update.
+
+"The main disadvantage of conventional sequential files is ... that they
+require complete reorganization after the insertion or deletion of a
+single record."  We measure the per-insert page accesses of a fully
+packed sequential file as the record count n grows (front-of-file
+inserts) against CONTROL 2 at the same page capacity.
+
+Expected shape: packed-file cost grows linearly in n (exponent ~ 1);
+CONTROL 2 stays flat (exponent ~ 0).
+"""
+
+from bench_helpers import banner, emit, once
+
+from repro import Control2Engine, DensityParams
+from repro.analysis import growth_exponent, render_comparison
+from repro.baselines.sequential_file import PackedSequentialFile
+
+CAPACITY = 32
+SIZES = [256, 1024, 4096]  # records preloaded before the probe inserts
+PROBES = 20
+
+
+def packed_cost(preloaded: int) -> float:
+    pages_needed = preloaded // CAPACITY + PROBES + 2
+    packed = PackedSequentialFile(num_pages=pages_needed, capacity=CAPACITY)
+    packed.bulk_load(range(0, preloaded * 10, 10))
+    packed.stats.checkpoint("probe")
+    for index in range(PROBES):
+        packed.insert(index * 10 + 1)  # near the front: full ripple
+    return packed.stats.delta("probe").page_accesses / PROBES
+
+
+def dense_cost(preloaded: int) -> float:
+    num_pages = max(64, preloaded // 8)
+    params = DensityParams(num_pages=num_pages, d=16, D=16 + CAPACITY)
+    engine = Control2Engine(params)
+    engine.bulk_load(range(0, preloaded * 10, 10))
+    engine.stats.checkpoint("probe")
+    for index in range(PROBES):
+        engine.insert(index * 10 + 1)
+    engine.validate()
+    return engine.stats.delta("probe").page_accesses / PROBES
+
+
+def test_reorganization_strawman(benchmark):
+    def sweep():
+        return (
+            [packed_cost(n) for n in SIZES],
+            [dense_cost(n) for n in SIZES],
+        )
+
+    packed, dense = once(benchmark, sweep)
+    packed_exp = growth_exponent(SIZES, packed)
+    dense_exp = growth_exponent(SIZES, dense)
+    emit(
+        banner("EXP-A3: per-insert page accesses vs file size n (front inserts)"),
+        render_comparison(
+            "",
+            "n records",
+            SIZES,
+            [
+                ("packed sequential file", packed),
+                ("CONTROL 2 dense file", dense),
+            ],
+        ),
+        f"growth exponents: packed={packed_exp:.2f} (theory 1), "
+        f"dense={dense_exp:.2f} (theory 0)",
+    )
+    assert packed_exp > 0.8
+    assert dense_exp < 0.3
+    assert packed[-1] > 10 * dense[-1]

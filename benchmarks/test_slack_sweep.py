@@ -1,0 +1,64 @@
+"""EXP-A2 — the cost law: maintenance cost ~ log^2(M) / (D - d).
+
+At fixed M, widening the density slack D - d should reduce per-command
+maintenance cost inversely: double the slack, halve the shifting.  We
+sweep D at fixed d and M under the adversary and fit the exponent of
+worst-case cost against slack (expected near -1, since J ~ 1/(D-d)).
+"""
+
+from bench_helpers import banner, emit, once
+
+from repro import Control2Engine, DensityParams
+from repro.analysis import growth_exponent, render_comparison
+from repro.workloads import converging_inserts, run_workload
+
+NUM_PAGES = 512
+D_SMALL = 8
+SLACKS = [32, 64, 128, 256]
+
+
+def cost_for(slack: int):
+    params = DensityParams(num_pages=NUM_PAGES, d=D_SMALL, D=D_SMALL + slack)
+    engine = Control2Engine(params)
+    result = run_workload(engine, converging_inserts(2000))
+    engine.validate()
+    return (
+        float(result.log.worst_case_accesses),
+        result.log.amortized_accesses,
+        float(params.shift_budget),
+    )
+
+
+def test_slack_sweep(benchmark):
+    def sweep():
+        worst, mean, budgets = [], [], []
+        for slack in SLACKS:
+            w, m, j = cost_for(slack)
+            worst.append(w)
+            mean.append(m)
+            budgets.append(j)
+        return worst, mean, budgets
+
+    worst, mean, budgets = once(benchmark, sweep)
+    exponent = growth_exponent(SLACKS, worst)
+    emit(
+        banner(
+            f"EXP-A2: cost vs slack D-d (M={NUM_PAGES}, d={D_SMALL}, "
+            "converging adversary)"
+        ),
+        render_comparison(
+            "",
+            "D-d",
+            SLACKS,
+            [
+                ("J (default)", budgets),
+                ("worst accesses/op", worst),
+                ("mean accesses/op", mean),
+            ],
+        ),
+        f"fit: worst ~ slack^{exponent:.2f} (theory: -1)",
+    )
+    # Inverse shape: cost strictly decreases as slack grows...
+    assert all(worst[i] >= worst[i + 1] for i in range(len(worst) - 1))
+    # ...roughly like 1/slack.
+    assert exponent < -0.5

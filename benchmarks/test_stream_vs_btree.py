@@ -1,0 +1,135 @@
+"""EXP-W4 — Sections 4-5: stream retrieval vs a B+-tree.
+
+The paper's positioning: "the retrieval of a stream of records with
+consecutive key values will be faster in a sequential file than in a
+B-tree (because the latter entails much disk arm movement)", while
+"update costs are probably somewhat higher under CONTROL 2 than under
+B-tree algorithms".  We measure both halves under the disk-arm cost
+model:
+
+* both structures take the same mixed update history (which scatters
+  the B+-tree's leaf chain physically);
+* then streams of increasing length are scanned from random start keys.
+
+Expected shape: B+-tree cheaper per update; dense file cheaper per
+scanned record, increasingly so for longer streams.
+"""
+
+import random
+
+from bench_helpers import banner, emit, once
+
+from repro import Control2Engine, DensityParams
+from repro.analysis import render_comparison
+from repro.baselines.btree import BPlusTree
+from repro.storage.cost import DISK_ARM_MODEL
+from repro.workloads import run_workload, uniform_random_inserts
+
+NUM_PAGES = 512
+D_CAP = 48
+KEY_SPACE = 1 << 20
+STREAM_LENGTHS = [16, 64, 256, 1024]
+
+
+def build_both():
+    # The B+-tree gets its internal nodes cached in core — the same
+    # assumption under which the dense file's calibrator/directory live
+    # in memory — so both comparisons below are leaf-I/O against
+    # page-I/O, which is the paper's framing.
+    dense = Control2Engine(
+        DensityParams(num_pages=NUM_PAGES, d=8, D=D_CAP), model=DISK_ARM_MODEL
+    )
+    tree = BPlusTree(
+        fanout=16,
+        leaf_capacity=D_CAP,
+        model=DISK_ARM_MODEL,
+        cache_internal_nodes=True,
+    )
+    operations = uniform_random_inserts(3000, key_space=KEY_SPACE, seed=17)
+    dense_updates = run_workload(dense, operations)
+    tree_updates = run_workload(tree, operations)
+    return dense, tree, dense_updates, tree_updates
+
+
+def stream_cost_per_record(structure, length: int, rng) -> float:
+    """Mean modelled cost per record over several random streams."""
+    total_cost = 0.0
+    total_records = 0
+    for _ in range(8):
+        start = rng.randrange(KEY_SPACE)
+        structure.stats.checkpoint("stream")
+        got = structure.scan_count(start, length)
+        total_cost += structure.stats.delta("stream").cost
+        total_records += max(1, len(got))
+    return total_cost / total_records
+
+
+def test_stream_retrieval_crossover(benchmark):
+    dense, tree, dense_updates, tree_updates = once(benchmark, build_both)
+    rng = random.Random(5)
+    dense_costs, tree_costs = [], []
+    for length in STREAM_LENGTHS:
+        dense_costs.append(stream_cost_per_record(dense, length, rng))
+        tree_costs.append(stream_cost_per_record(tree, length, rng))
+    emit(
+        banner(
+            "EXP-W4: stream retrieval cost per record (disk-arm model) "
+            "after 3000 random updates"
+        ),
+        render_comparison(
+            "",
+            "stream length",
+            STREAM_LENGTHS,
+            [
+                ("dense file", dense_costs),
+                ("B+-tree", tree_costs),
+                (
+                    "btree/dense ratio",
+                    [t / d for t, d in zip(tree_costs, dense_costs)],
+                ),
+            ],
+        ),
+        f"update cost means: dense={dense_updates.log.costs and sum(dense_updates.log.costs)/len(dense_updates.log.costs):.1f}, "
+        f"btree={sum(tree_updates.log.costs)/len(tree_updates.log.costs):.1f}",
+    )
+    # Long streams: the dense file wins clearly.
+    assert dense_costs[-1] < tree_costs[-1]
+    assert tree_costs[-1] / dense_costs[-1] > 2.0
+    # The advantage grows with stream length.
+    ratios = [t / d for t, d in zip(tree_costs, dense_costs)]
+    assert ratios[-1] > ratios[0]
+
+
+def test_update_cost_favors_btree(benchmark):
+    """The flip side the paper concedes: B-tree updates are cheaper."""
+    dense, tree, dense_updates, tree_updates = once(benchmark, build_both)
+    dense_mean = sum(dense_updates.log.costs) / len(dense_updates.log.costs)
+    tree_mean = sum(tree_updates.log.costs) / len(tree_updates.log.costs)
+    emit(
+        banner("EXP-W4b: mean update cost (disk-arm model)"),
+        f"  dense file (CONTROL 2): {dense_mean:.1f}",
+        f"  B+-tree:                {tree_mean:.1f}",
+    )
+    assert tree_mean < dense_mean
+
+
+def test_dense_updates_are_physically_sequential(benchmark):
+    """Willard's aside: CONTROL 2 touches consecutive pages "in one fell
+    swoop"; its access trace coalesces into long runs, unlike a B-tree's."""
+
+    def run():
+        dense = Control2Engine(DensityParams(num_pages=128, d=8, D=48))
+        dense.disk.trace.enable()
+        tree = BPlusTree(fanout=16, leaf_capacity=48)
+        tree.disk.trace.enable()
+        operations = uniform_random_inserts(800, key_space=KEY_SPACE, seed=23)
+        run_workload(dense, operations)
+        run_workload(tree, operations)
+        return dense.disk.trace.mean_run_length(), tree.disk.trace.mean_run_length()
+
+    dense_run, tree_run = once(benchmark, run)
+    emit(
+        f"EXP-W4c: mean sequential run length in the update access trace: "
+        f"dense={dense_run:.2f}, btree={tree_run:.2f}"
+    )
+    assert dense_run > tree_run

@@ -1,0 +1,82 @@
+"""Microbenchmarks: wall-clock throughput of the core operations.
+
+Unlike the EXP-* experiments (which measure *modelled page accesses*),
+these time the Python implementation itself across multiple rounds, so
+regressions in the hot paths (insert with maintenance, point search,
+stream scan, order statistics) show up in the pytest-benchmark table.
+"""
+
+import pytest
+
+from repro import Control2Engine, DensityParams
+from repro.workloads import uniform_random_inserts
+
+
+def loaded_engine(num_pages=512, fill=0.5):
+    params = DensityParams(num_pages=num_pages, d=8, D=48)
+    engine = Control2Engine(params)
+    count = int(params.max_records * fill)
+    engine.bulk_load(k * 7 + 0.5 for k in range(count))
+    return engine, count
+
+
+def test_insert_throughput(benchmark):
+    engine, count = loaded_engine()
+    keys = iter(range(10**9))
+
+    def insert_one():
+        engine.insert(next(keys) * 7 + 0.25)
+
+    benchmark.pedantic(insert_one, rounds=300, iterations=1)
+    engine.validate()
+
+
+def test_adversarial_insert_throughput(benchmark):
+    from fractions import Fraction
+
+    engine, count = loaded_engine()
+    state = {"lo": Fraction(1000), "hi": Fraction(1001)}
+
+    def insert_converging():
+        mid = (state["lo"] + state["hi"]) / 2
+        engine.insert(mid)
+        state["hi"] = mid
+
+    benchmark.pedantic(insert_converging, rounds=300, iterations=1)
+    engine.validate()
+
+
+def test_search_throughput(benchmark):
+    engine, count = loaded_engine()
+    keys = [k * 7 + 0.5 for k in range(0, count, 97)]
+    cursor = {"index": 0}
+
+    def search_one():
+        key = keys[cursor["index"] % len(keys)]
+        cursor["index"] += 1
+        assert engine.search(key) is not None
+
+    benchmark.pedantic(search_one, rounds=300, iterations=1)
+
+
+def test_scan_throughput(benchmark):
+    engine, count = loaded_engine()
+
+    def scan_thousand():
+        return len(engine.scan_count(0, 1000))
+
+    result = benchmark.pedantic(scan_thousand, rounds=50, iterations=1)
+    assert result == 1000
+
+
+def test_order_statistics_throughput(benchmark):
+    engine, count = loaded_engine()
+    cursor = {"probe": 0}
+
+    def rank_and_count():
+        probe = cursor["probe"] % (count * 7)
+        cursor["probe"] += 997
+        engine.rank(probe)
+        engine.count_range(probe, probe + 10_000)
+
+    benchmark.pedantic(rank_and_count, rounds=200, iterations=1)

@@ -1,0 +1,113 @@
+"""EXP-A5 — ablation: where does the dense file beat the B+-tree overall?
+
+The paper's positioning is conditional: CONTROL 2 is "desirable in those
+applications where frequent stream retrieval requests make the reduced
+disk-arm movement a significant savings", while B-trees keep the cheaper
+updates.  This ablation quantifies the condition: for sessions mixing
+updates with 256-record stream scans, sweep the scan share and measure
+total modelled cost per structure.  The crossover share — above which
+the dense file wins the whole session — is the experiment's output.
+"""
+
+import random
+
+from bench_helpers import banner, emit, once
+
+from repro import Control2Engine, DensityParams
+from repro.analysis import render_comparison
+from repro.baselines.btree import BPlusTree
+from repro.storage.cost import DISK_ARM_MODEL
+from repro.workloads import uniform_random_inserts
+
+NUM_PAGES = 512
+D_CAP = 48
+KEY_SPACE = 1 << 20
+SESSION_OPS = 1200
+SCAN_LENGTH = 256
+SCAN_SHARES = [0.0, 0.02, 0.05, 0.10, 0.25, 0.50]
+
+
+def build_pair():
+    # Cached internal nodes for the tree (see EXP-W4's rationale), and a
+    # shared scattering history: 1500 bulk-loaded seeds plus 1500 random
+    # inserts so the tree's leaf chain is realistically fragmented
+    # before the session being measured starts.
+    dense = Control2Engine(
+        DensityParams(num_pages=NUM_PAGES, d=8, D=D_CAP), model=DISK_ARM_MODEL
+    )
+    tree = BPlusTree(
+        fanout=16,
+        leaf_capacity=D_CAP,
+        model=DISK_ARM_MODEL,
+        cache_internal_nodes=True,
+    )
+    seed_records = [(k, None) for k in range(0, KEY_SPACE, KEY_SPACE // 1500)]
+    dense.bulk_load(seed_records)
+    tree.bulk_load(seed_records)
+    for operation in uniform_random_inserts(1500, key_space=KEY_SPACE, seed=5):
+        dense.insert(operation.key + 0.75)
+        tree.insert(operation.key + 0.75)
+    dense.stats.reset()
+    tree.stats.reset()
+    return dense, tree
+
+
+def session_cost(structure, share: float) -> float:
+    rng = random.Random(77)
+    inserts = iter(
+        uniform_random_inserts(SESSION_OPS, key_space=KEY_SPACE, seed=88)
+    )
+    structure.stats.checkpoint("session")
+    for _ in range(SESSION_OPS):
+        if rng.random() < share:
+            start = rng.randrange(KEY_SPACE)
+            structure.scan_count(start, SCAN_LENGTH)
+        else:
+            operation = next(inserts)
+            try:
+                structure.insert(operation.key + 0.25)  # dodge seed keys
+            except Exception:
+                continue
+    return structure.stats.delta("session").cost / SESSION_OPS
+
+
+def test_workload_mix_crossover(benchmark):
+    def sweep():
+        dense_costs, tree_costs = [], []
+        for share in SCAN_SHARES:
+            dense, tree = build_pair()
+            dense_costs.append(session_cost(dense, share))
+            tree_costs.append(session_cost(tree, share))
+        return dense_costs, tree_costs
+
+    dense_costs, tree_costs = once(benchmark, sweep)
+    winners = [
+        "dense" if d < t else "B+-tree"
+        for d, t in zip(dense_costs, tree_costs)
+    ]
+    crossover = next(
+        (share for share, who in zip(SCAN_SHARES, winners) if who == "dense"),
+        None,
+    )
+    emit(
+        banner(
+            "EXP-A5: mean session cost per op vs scan share "
+            f"({SCAN_LENGTH}-record streams, disk-arm model)"
+        ),
+        render_comparison(
+            "",
+            "scan share",
+            SCAN_SHARES,
+            [
+                ("dense file", dense_costs),
+                ("B+-tree", tree_costs),
+            ],
+        ),
+        f"winner per share: {winners}; crossover at scan share {crossover}",
+    )
+    # Pure updates: the B+-tree wins, as the paper concedes.
+    assert winners[0] == "B+-tree"
+    # Scan-heavy sessions: the dense file wins, as the paper claims.
+    assert winners[-1] == "dense"
+    # There is a crossover inside the swept range.
+    assert crossover is not None and 0 < crossover <= SCAN_SHARES[-1]

@@ -1,0 +1,87 @@
+"""Surviving an insertion surge: dense file vs overflow chaining.
+
+Run with:  python examples/burst_survivor.py
+
+Recreates the failure mode from the paper's introduction: "a large surge
+of insertions ... in a relatively small portion of the sequential file
+... tend[s] to overwhelm even the best heuristics".  A customer-orders
+table keyed by order id takes a flash-sale burst of orders in one id
+region; we watch what happens to an overflow-chained layout versus the
+CONTROL 2 dense file, before and after the surge.
+"""
+
+from repro import Control2Engine, DensityParams
+from repro.analysis import render_table
+from repro.baselines.overflow_file import OverflowChainFile
+from repro.storage.cost import CostModel
+from repro.workloads import interleaved_point_inserts
+
+MODEL = CostModel(seek_base=20.0, seek_per_page=0.02, seek_max=40.0)
+NUM_PAGES = 64
+CAPACITY = 40
+BASE_ORDERS = list(range(0, 12_000, 30))
+SURGE = 560
+HOT_REGIONS = [2_000, 5_000, 8_000, 11_000]
+
+
+def scan_window(structure, lo, hi):
+    structure.stats.checkpoint("scan")
+    found = sum(1 for _ in structure.range_scan(lo, hi))
+    return found, structure.stats.delta("scan").cost
+
+
+def report(stage, dense, overflow):
+    lo, hi = HOT_REGIONS[0] - 200, HOT_REGIONS[-1] + 200
+    dense_found, dense_cost = scan_window(dense, lo, hi)
+    over_found, over_cost = scan_window(overflow, lo, hi)
+    assert dense_found == over_found
+    print(render_table(
+        ["structure", "records in window", "scan cost", "longest chain"],
+        [
+            ["dense file (CONTROL 2)", dense_found, f"{dense_cost:.0f}", "-"],
+            [
+                "overflow-chained file",
+                over_found,
+                f"{over_cost:.0f}",
+                overflow.longest_chain(),
+            ],
+        ],
+        title=f"{stage}: reporting scan across the sale regions",
+    ))
+    print()
+
+
+def main() -> None:
+    dense = Control2Engine(
+        DensityParams(num_pages=NUM_PAGES, d=16, D=CAPACITY), model=MODEL
+    )
+    dense.bulk_load(BASE_ORDERS)
+    overflow = OverflowChainFile(
+        num_primary_pages=NUM_PAGES, capacity=CAPACITY, model=MODEL
+    )
+    overflow.bulk_load(BASE_ORDERS)
+
+    report("BEFORE the flash sale", dense, overflow)
+
+    print(f"flash sale: {SURGE} orders land in {len(HOT_REGIONS)} id regions...\n")
+    dense_log = dense.enable_operation_log()
+    for operation in interleaved_point_inserts(SURGE, points=HOT_REGIONS):
+        dense.insert(operation.key)
+        overflow.insert(operation.key)
+
+    report("AFTER the flash sale", dense, overflow)
+
+    params = dense.params
+    print(
+        f"during the surge, the dense file's worst single insert cost "
+        f"{dense_log.worst_case_accesses} page accesses "
+        f"(J={params.shift_budget}; bound "
+        f"{3 * params.shift_budget + 2 * params.log_m + 4}).\n"
+        "The overflow file took inserts cheaply — and will pay on every "
+        "future scan, forever, until it is reorganized offline."
+    )
+    dense.validate()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""An event scheduler on a dense sequential file (sparse-table style).
+
+Run with:  python examples/event_log.py
+
+Itai, Konheim and Rodeh's paper — the closest prior art the paper cites —
+was titled "A Sparse Table Implementation of Priority Queues".  This
+example uses the CONTROL 2 dense file as exactly that: a priority queue
+of timestamped events supporting
+
+* schedule(time, payload)      -> insert
+* cancel(time)                 -> delete
+* pop_next()                   -> smallest-key delete
+* due_between(t0, t1)          -> ordered stream scan
+
+The point of the worst-case guarantee here: even when a burst of events
+is scheduled for (nearly) the same instant, no single schedule() stalls
+the event loop — per-command work stays bounded.
+"""
+
+from fractions import Fraction
+import random
+
+from repro import DenseSequentialFile
+
+
+class EventScheduler:
+    """A tiny priority queue over a dense sequential file."""
+
+    def __init__(self):
+        self._file = DenseSequentialFile(num_pages=256, d=8, D=48)
+
+    def schedule(self, when, payload) -> None:
+        self._file.insert(when, payload)
+
+    def cancel(self, when) -> None:
+        self._file.delete(when)
+
+    def pop_next(self):
+        head = self._file.scan(float("-inf"), 1)
+        if not head:
+            return None
+        record = head[0]
+        self._file.delete(record.key)
+        return record
+
+    def due_between(self, t0, t1):
+        return list(self._file.range(t0, t1))
+
+    def __len__(self) -> int:
+        return len(self._file)
+
+    @property
+    def stats(self):
+        return self._file.stats
+
+    def validate(self):
+        self._file.validate()
+
+
+def main() -> None:
+    rng = random.Random(7)
+    scheduler = EventScheduler()
+
+    print("scheduling 1000 background events...")
+    for _ in range(1000):
+        when = Fraction(rng.randrange(1, 10**9), 1000)
+        try:
+            scheduler.schedule(when, "background")
+        except Exception:
+            continue
+
+    print("now a burst: 400 retries all aimed at t ~ 500000 ...")
+    scheduler._file.engine.enable_operation_log()
+    base = Fraction(500_000)
+    step = Fraction(1, 1)
+    for index in range(400):
+        step /= 2
+        scheduler.schedule(base + step, f"retry-{index}")
+    log = scheduler._file.engine.operation_log
+    print(
+        f"  burst served: worst single schedule() = "
+        f"{log.worst_case_accesses} page accesses, "
+        f"mean = {log.amortized_accesses:.1f}"
+    )
+
+    window = scheduler.due_between(base, base + 1)
+    print(f"  events due in [t, t+1): {len(window)}")
+
+    print("\ndraining the queue in order...")
+    drained = []
+    for _ in range(5):
+        drained.append(scheduler.pop_next().key)
+    print(f"  first five events fire at: {[str(k) for k in drained]}")
+    assert drained == sorted(drained)
+
+    scheduler.validate()
+    print(f"\nqueue still holds {len(scheduler)} events; invariants hold")
+    stats = scheduler.stats
+    print(f"total cost: {stats.page_accesses} page accesses")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""A durable product catalog on a persistent dense sequential file.
+
+Run with:  python examples/persistent_catalog.py
+
+Shows the on-disk side of the library: a catalog keyed by SKU that
+survives process restarts, detects bit rot via per-page checksums, and
+keeps its worst-case update guarantees while writing through to a real
+OS file.  Equivalent CLI commands are printed alongside each step.
+"""
+
+import os
+import tempfile
+
+from repro import PersistentDenseFile
+from repro.analysis import fill_summary, occupancy_bar
+
+
+def main() -> None:
+    directory = tempfile.mkdtemp(prefix="repro-catalog-")
+    path = os.path.join(directory, "catalog.dsf")
+
+    # --- create ----------------------------------------------------------
+    print(f"# repro create {path} --pages 128 --low-density 8 --capacity 48")
+    catalog = PersistentDenseFile.create(path, num_pages=128, d=8, D=48)
+    print(f"created {path} (cap {catalog.params.max_records} records)\n")
+
+    # --- load the catalog -------------------------------------------------
+    print("# loading 600 SKUs ...")
+    catalog.insert_many(
+        (sku, {"name": f"part-{sku}", "stock": sku % 17})
+        for sku in range(10_000, 40_000, 50)
+    )
+    print(fill_summary(catalog.occupancies(), catalog.params.D))
+    print(f"|{occupancy_bar(catalog.occupancies(), catalog.params.D)}|\n")
+
+    # --- daily churn -------------------------------------------------------
+    print("# repro put / delete ... (daily churn)")
+    for sku in range(10_025, 12_000, 50):
+        catalog.insert(sku, {"name": f"part-{sku}", "stock": 0})
+    catalog.delete_range(30_000, 31_000)
+    catalog.update(10_000, {"name": "part-10000", "stock": 99})
+    catalog.flush()
+    size_before = len(catalog)
+    print(f"{size_before} SKUs on disk, fsynced\n")
+    catalog.close()
+
+    # --- the process "restarts" -------------------------------------------
+    print("# ... process restarts; repro info", path)
+    with PersistentDenseFile.open(path) as reopened:
+        assert len(reopened) == size_before
+        record = reopened.search(10_000)
+        print(f"reopened: {len(reopened)} SKUs, search(10000) -> {record.value}")
+        window = [r.key for r in reopened.range(10_000, 10_200)]
+        print(f"SKUs in [10000, 10200]: {window}")
+        reopened.validate()
+        print("validate(): in-core and on-disk state agree; invariants hold\n")
+
+    # --- bit rot ------------------------------------------------------------
+    print("# simulating bit rot (flipping one byte mid-file) ...")
+    with open(path, "r+b") as handle:
+        handle.seek(os.path.getsize(path) // 2)
+        original = handle.read(1)
+        handle.seek(-1, os.SEEK_CUR)
+        handle.write(bytes([original[0] ^ 0xFF]))
+
+    from repro.storage.ondisk import DiskPagedStore
+
+    with DiskPagedStore.open(path) as store:
+        corrupt = store.verify_all()
+    print(f"# repro verify {path}")
+    if corrupt:
+        print(f"checksums caught the damage: corrupt pages {corrupt}")
+    else:
+        print("flip landed in slot padding; checksums clean")
+    print(f"\n(artifacts left in {directory})")
+
+
+if __name__ == "__main__":
+    main()

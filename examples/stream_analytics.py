@@ -1,0 +1,98 @@
+"""Stream analytics: the workload dense sequential files were built for.
+
+Run with:  python examples/stream_analytics.py
+
+Wiederhold's motivation (cited in the paper's introduction): batch jobs
+that process runs of records with nearby key values are fastest when
+those records sit on physically adjacent pages.  This example simulates
+a sensor archive keyed by timestamp:
+
+* bulk-load a day of readings,
+* keep ingesting out-of-order readings (late arrivals) while analysts
+  repeatedly scan time windows,
+* compare the modelled disk cost of the same windows on a B+-tree.
+"""
+
+import random
+
+from repro import Control2Engine, DensityParams
+from repro.analysis import render_table
+from repro.baselines.btree import BPlusTree
+from repro.storage.cost import DISK_ARM_MODEL
+
+SECONDS_PER_DAY = 86_400
+READINGS = 4_000
+LATE_ARRIVALS = 1_500
+WINDOWS = [60, 600, 3_600]  # one minute, ten minutes, one hour
+
+
+def build_archives(rng):
+    base = sorted(rng.sample(range(SECONDS_PER_DAY * 10), READINGS))
+    dense = Control2Engine(
+        DensityParams(num_pages=512, d=16, D=64), model=DISK_ARM_MODEL
+    )
+    dense.bulk_load((t, f"reading@{t}") for t in base)
+    tree = BPlusTree(fanout=16, leaf_capacity=64, model=DISK_ARM_MODEL)
+    tree.bulk_load((t, f"reading@{t}") for t in base)
+
+    # Late arrivals trickle in out of order while the archive is hot.
+    live = set(base)
+    count = 0
+    while count < LATE_ARRIVALS:
+        t = rng.randrange(SECONDS_PER_DAY * 10)
+        if t in live:
+            continue
+        live.add(t)
+        dense.insert(t, f"late@{t}")
+        tree.insert(t, f"late@{t}")
+        count += 1
+    dense.validate()
+    return dense, tree
+
+
+def window_cost(structure, start: int, width: int):
+    structure.stats.checkpoint("window")
+    hits = sum(1 for _ in structure.range_scan(start, start + width))
+    return hits, structure.stats.delta("window").cost
+
+
+def main() -> None:
+    rng = random.Random(2026)
+    print("building archives (dense file + B+-tree, same readings)...")
+    dense, tree = build_archives(rng)
+    print(f"archive holds {len(dense)} readings")
+
+    rows = []
+    for width in WINDOWS:
+        dense_cost = tree_cost = hits_total = 0.0
+        for _ in range(10):
+            start = rng.randrange(SECONDS_PER_DAY * 9)
+            hits, cost = window_cost(dense, start, width)
+            hits2, cost2 = window_cost(tree, start, width)
+            assert hits == hits2
+            dense_cost += cost
+            tree_cost += cost2
+            hits_total += hits
+        rows.append([
+            f"{width}s",
+            f"{hits_total / 10:.0f}",
+            f"{dense_cost / 10:.0f}",
+            f"{tree_cost / 10:.0f}",
+            f"{tree_cost / max(dense_cost, 1e-9):.1f}x",
+        ])
+
+    print()
+    print(render_table(
+        ["window", "avg records", "dense cost", "B+-tree cost", "B+tree/dense"],
+        rows,
+        title="time-window scans under the disk-arm cost model "
+        "(10 random windows each):",
+    ))
+    print(
+        "\nThe dense file reads each window as one sequential sweep; the\n"
+        "B+-tree chases a leaf chain scattered by 1500 late-arrival splits."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro — reproduction of Willard (SIGMOD 1986).
+
+Good worst-case algorithms for inserting and deleting records in dense
+sequential files: the calibrator tree, CONTROL 1 (amortized) and
+CONTROL 2 (worst-case ``O(log^2 M / (D - d))`` page accesses per
+update), the macro-block extension, plus the baselines and simulated
+disk substrate used to reproduce the paper's claims.
+
+Quickstart
+----------
+>>> from repro import DenseSequentialFile
+>>> f = DenseSequentialFile(num_pages=64, d=8, D=40)
+>>> for key in range(100):
+...     f.insert(key)
+>>> len(list(f.range(10, 19)))
+10
+"""
+
+from .concurrent import ThreadSafeDenseFile
+from .core import (
+    AdaptiveControl2Engine,
+    CalibratorTree,
+    ConfigurationError,
+    Control1Engine,
+    Control2Engine,
+    DenseSequentialFile,
+    DensityParams,
+    DuplicateKeyError,
+    FileFullError,
+    InvariantViolationError,
+    MacroBlockControl2Engine,
+    Moment,
+    MomentRecorder,
+    OperationLog,
+    RecordNotFoundError,
+    ReproError,
+    build_engine,
+    ceil_log2,
+    macro_block_factor,
+    macro_params,
+    recommended_j,
+)
+from .persistent import JournaledDenseFile, PersistentDenseFile
+from .records import Record, ensure_record
+from .storage import (
+    AccessStats,
+    AccessTrace,
+    CostModel,
+    DISK_ARM_MODEL,
+    PAGE_ACCESS_MODEL,
+    PageFile,
+    SimulatedDisk,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessStats",
+    "AdaptiveControl2Engine",
+    "AccessTrace",
+    "CalibratorTree",
+    "ConfigurationError",
+    "Control1Engine",
+    "Control2Engine",
+    "CostModel",
+    "DISK_ARM_MODEL",
+    "DenseSequentialFile",
+    "DensityParams",
+    "DuplicateKeyError",
+    "FileFullError",
+    "InvariantViolationError",
+    "JournaledDenseFile",
+    "MacroBlockControl2Engine",
+    "Moment",
+    "MomentRecorder",
+    "OperationLog",
+    "PAGE_ACCESS_MODEL",
+    "PageFile",
+    "PersistentDenseFile",
+    "Record",
+    "RecordNotFoundError",
+    "ReproError",
+    "SimulatedDisk",
+    "ThreadSafeDenseFile",
+    "build_engine",
+    "ceil_log2",
+    "ensure_record",
+    "macro_block_factor",
+    "macro_params",
+    "recommended_j",
+]

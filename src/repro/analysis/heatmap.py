@@ -1,0 +1,91 @@
+"""ASCII occupancy visualizations for dense files.
+
+Two views used by the CLI and the examples:
+
+* :func:`occupancy_bar` — one line per bucket of pages, a glyph encoding
+  fill level, so a whole file fits in a terminal row.
+* :func:`occupancy_history` — a strip per snapshot, visualizing how a
+  surge of insertions diffuses outward under CONTROL 2's sweeps (the
+  dynamic Figure 4 illustrates).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: Fill glyphs from empty to over-full.
+GLYPHS = " .:-=+*#%@"
+OVERFULL = "!"
+
+
+def _glyph(count: int, capacity: int) -> str:
+    if capacity <= 0:
+        return OVERFULL
+    if count > capacity:
+        return OVERFULL
+    index = min(len(GLYPHS) - 1, (count * (len(GLYPHS) - 1)) // capacity)
+    if count > 0 and index == 0:
+        index = 1
+    return GLYPHS[index]
+
+
+def occupancy_bar(
+    occupancies: Sequence[int], capacity: int, width: int = 64
+) -> str:
+    """Render page occupancies as one fixed-width strip.
+
+    Pages are grouped into ``width`` equal buckets; each bucket shows the
+    glyph for its mean fill.  ``!`` marks a bucket whose *maximum* page
+    exceeds ``capacity`` (an invariant violation worth seeing).
+    """
+    total = len(occupancies)
+    if total == 0:
+        return ""
+    width = min(width, total)
+    cells = []
+    for bucket in range(width):
+        lo = bucket * total // width
+        hi = max(lo + 1, (bucket + 1) * total // width)
+        chunk = occupancies[lo:hi]
+        if max(chunk) > capacity:
+            cells.append(OVERFULL)
+        else:
+            mean = sum(chunk) / len(chunk)
+            cells.append(_glyph(round(mean), capacity))
+    return "".join(cells)
+
+
+def occupancy_legend(capacity: int) -> str:
+    """One-line legend mapping glyphs to fill fractions."""
+    steps = len(GLYPHS) - 1
+    marks = ", ".join(
+        f"'{GLYPHS[index]}'~{index * capacity // steps}"
+        for index in range(0, len(GLYPHS), 3)
+    )
+    return f"fill per page (capacity {capacity}): {marks}, '!'=over capacity"
+
+
+def occupancy_history(
+    snapshots: Sequence[Sequence[int]],
+    capacity: int,
+    labels: Sequence[str] = (),
+    width: int = 64,
+) -> str:
+    """Render a sequence of occupancy snapshots, one strip per row."""
+    lines: List[str] = []
+    for index, snapshot in enumerate(snapshots):
+        label = labels[index] if index < len(labels) else f"t{index}"
+        lines.append(f"{label:>8} |{occupancy_bar(snapshot, capacity, width)}|")
+    return "\n".join(lines)
+
+
+def fill_summary(occupancies: Sequence[int], capacity: int) -> str:
+    """One line of fill statistics for the CLI's info command."""
+    total = sum(occupancies)
+    nonempty = sum(1 for count in occupancies if count)
+    peak = max(occupancies) if occupancies else 0
+    return (
+        f"{total} records over {len(occupancies)} pages "
+        f"({nonempty} non-empty); peak page {peak}/{capacity}; "
+        f"mean fill {total / max(1, len(occupancies)):.2f}"
+    )

@@ -1,0 +1,68 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+Every benchmark prints the rows/series it reproduces through these
+helpers, so `pytest benchmarks/ --benchmark-only -s` doubles as the
+"regenerate the paper's tables" command.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(
+            cell.rjust(widths[index]) for index, cell in enumerate(cells)
+        )
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def render_series(
+    label: str, xs: Sequence, ys: Sequence, width: int = 40
+) -> str:
+    """Render an (x, y) series with a proportional ASCII bar per row."""
+    maximum = max((float(y) for y in ys), default=0.0)
+    lines = [label]
+    for x, y in zip(xs, ys):
+        value = float(y)
+        bar = "#" * (int(width * value / maximum) if maximum > 0 else 0)
+        lines.append(f"  {x!s:>12}  {value:>12.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Sequence,
+) -> str:
+    """Render several named series against a shared x column.
+
+    ``series`` is a sequence of ``(name, values)`` pairs.
+    """
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for index, x in enumerate(xs):
+        row = [x]
+        for _, values in series:
+            value = values[index]
+            row.append(f"{value:.3f}" if isinstance(value, float) else value)
+        rows.append(row)
+    return render_table(headers, rows, title=title)

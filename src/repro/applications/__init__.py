@@ -1,0 +1,10 @@
+"""Domain layers built on the dense file: the paper's motivating uses."""
+
+from .priority_queue import DensePriorityQueue, EmptyQueueError
+from .timeseries import TimeSeriesStore
+
+__all__ = [
+    "DensePriorityQueue",
+    "EmptyQueueError",
+    "TimeSeriesStore",
+]

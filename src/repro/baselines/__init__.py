@@ -1,0 +1,13 @@
+"""Comparison structures: the strawmen and rivals the paper argues against."""
+
+from .btree import BPlusTree
+from .overflow_file import OverflowChainFile
+from .pma import PackedMemoryArray
+from .sequential_file import PackedSequentialFile
+
+__all__ = [
+    "BPlusTree",
+    "OverflowChainFile",
+    "PackedMemoryArray",
+    "PackedSequentialFile",
+]

@@ -1,0 +1,154 @@
+"""A coarse-grained thread-safe wrapper for dense files.
+
+The engines are single-writer data structures (the paper's algorithms
+are sequential); :class:`ThreadSafeDenseFile` makes one safe to share
+across threads by serializing every operation behind one reentrant
+lock.  Scans are materialized *under the lock* and returned as lists,
+so callers never iterate a structure that another thread is mutating.
+
+This is deliberately the simplest correct concurrency story — a global
+lock matches both the paper's model and CPython's execution model.
+Fine-grained locking of calibrator subtrees is possible in principle
+(SHIFT touches disjoint page ranges most of the time) but is out of
+scope for the reproduction.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional
+
+from .records import Record
+
+
+class ThreadSafeDenseFile:
+    """Serialize access to any dense-file facade behind one lock.
+
+    Wraps a :class:`~repro.core.dense_file.DenseSequentialFile` or a
+    :class:`~repro.persistent.PersistentDenseFile`-compatible object.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value=None) -> None:
+        """Insert a record (serialized)."""
+        with self._lock:
+            self._inner.insert(key, value)
+
+    def delete(self, key) -> Record:
+        """Delete and return the record with ``key`` (serialized)."""
+        with self._lock:
+            return self._inner.delete(key)
+
+    def update(self, key, value) -> Record:
+        """Replace the value under ``key`` in place (serialized)."""
+        with self._lock:
+            return self._inner.update(key, value)
+
+    def insert_many(self, items) -> int:
+        """Insert a batch atomically with respect to other threads."""
+        with self._lock:
+            return self._inner.insert_many(items)
+
+    def delete_range(self, lo_key, hi_key) -> int:
+        """Bulk-delete a key range atomically w.r.t. other threads."""
+        with self._lock:
+            return self._inner.delete_range(lo_key, hi_key)
+
+    def compact(self) -> int:
+        """Uniformly redistribute all records (serialized)."""
+        with self._lock:
+            return self._inner.compact()
+
+    # ------------------------------------------------------------------
+    # queries (scans materialize under the lock)
+    # ------------------------------------------------------------------
+
+    def search(self, key) -> Optional[Record]:
+        """Return the record with ``key`` or ``None`` (serialized)."""
+        with self._lock:
+            return self._inner.search(key)
+
+    def range(self, lo_key, hi_key) -> List[Record]:
+        """Records with ``lo_key <= key <= hi_key`` as a snapshot list."""
+        with self._lock:
+            return list(self._inner.range(lo_key, hi_key))
+
+    def scan(self, start_key, count: int) -> List[Record]:
+        """Up to ``count`` records from ``start_key`` (snapshot)."""
+        with self._lock:
+            return self._inner.scan(start_key, count)
+
+    def rank(self, key) -> int:
+        """Records with key strictly below ``key`` (serialized)."""
+        with self._lock:
+            return self._inner.rank(key)
+
+    def count_range(self, lo_key, hi_key) -> int:
+        """Records with ``lo_key <= key <= hi_key`` (serialized)."""
+        with self._lock:
+            return self._inner.count_range(lo_key, hi_key)
+
+    def select(self, index: int) -> Record:
+        """The record of 0-based rank ``index`` (serialized)."""
+        with self._lock:
+            return self._inner.select(index)
+
+    def min(self) -> Optional[Record]:
+        """Smallest-keyed record (serialized)."""
+        with self._lock:
+            return self._inner.min()
+
+    def max(self) -> Optional[Record]:
+        """Largest-keyed record (serialized)."""
+        with self._lock:
+            return self._inner.max()
+
+    def successor(self, key) -> Optional[Record]:
+        """Smallest record with key > ``key`` (serialized)."""
+        with self._lock:
+            return self._inner.successor(key)
+
+    def predecessor(self, key) -> Optional[Record]:
+        """Largest record with key < ``key`` (serialized)."""
+        with self._lock:
+            return self._inner.predecessor(key)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._inner
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._inner)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assert the structural invariants (serialized)."""
+        with self._lock:
+            self._inner.validate()
+
+    @property
+    def params(self):
+        """The wrapped file's density parameters."""
+        return self._inner.params
+
+    @property
+    def stats(self):
+        """The wrapped file's access counters (read without the lock)."""
+        return self._inner.stats
+
+    @property
+    def inner(self):
+        """The wrapped facade (callers must hold no expectations of
+        thread safety when touching it directly)."""
+        return self._inner

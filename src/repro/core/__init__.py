@@ -1,0 +1,46 @@
+"""Core algorithms: the calibrator, CONTROL 1, CONTROL 2 and the facade."""
+
+from .adaptive import AdaptiveControl2Engine
+from .calibrator import CalibratorTree
+from .control1 import Control1Engine
+from .control2 import Control2Engine
+from .dense_file import DenseSequentialFile, build_engine
+from .errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    FileFullError,
+    InvariantViolationError,
+    RecordNotFoundError,
+    ReproError,
+)
+from .macroblock import (
+    MacroBlockControl2Engine,
+    macro_block_factor,
+    macro_params,
+)
+from .params import DensityParams, ceil_log2, recommended_j
+from .trace import Moment, MomentRecorder, OperationLog
+
+__all__ = [
+    "AdaptiveControl2Engine",
+    "CalibratorTree",
+    "ConfigurationError",
+    "Control1Engine",
+    "Control2Engine",
+    "DenseSequentialFile",
+    "DensityParams",
+    "DuplicateKeyError",
+    "FileFullError",
+    "InvariantViolationError",
+    "MacroBlockControl2Engine",
+    "Moment",
+    "MomentRecorder",
+    "OperationLog",
+    "RecordNotFoundError",
+    "ReproError",
+    "build_engine",
+    "ceil_log2",
+    "macro_block_factor",
+    "macro_params",
+    "recommended_j",
+]

@@ -1,0 +1,115 @@
+"""EXTENSION (not in the paper): an adaptive shift-budget controller.
+
+CONTROL 2 performs exactly ``J`` SELECT/SHIFT iterations after every
+command while any warning is raised.  Because warnings persist until a
+node's density falls all the way to ``g(v, 1/3)``, the commands *after*
+a surge keep paying the full budget while the file drains back to
+sparse — even though nothing is anywhere near violating ``BALANCE``.
+
+:class:`AdaptiveControl2Engine` spends a small *base* budget per command
+and escalates to the full paper budget only when some warning node is in
+the **danger zone**: the upper half of the corridor between its warning
+threshold ``g(v, 2/3)`` and its hard limit ``g(v, 1)``, i.e.
+
+    p(v)  >=  ( g(v, 2/3) + g(v, 1) ) / 2,
+
+evaluated, like every other threshold in this library, in exact integer
+arithmetic.  The worst-case per-command cost keeps the paper's
+``O(log^2 M / (D - d))`` ceiling (escalation never exceeds ``J``), while
+calm and post-surge traffic pays close to the base budget.  Benchmark
+EXP-A6 measures the trade.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
+from ..storage.disk import SimulatedDisk
+from .control2 import Control2Engine
+from .errors import ConfigurationError
+from .params import DensityParams
+from .trace import STEP_1, STEP_2, STEP_3, STEP_4A, STEP_4B, STEP_4C
+
+
+class AdaptiveControl2Engine(Control2Engine):
+    """CONTROL 2 with a two-level (base / escalated) shift budget."""
+
+    algorithm_name = "CONTROL 2 (adaptive J)"
+
+    def __init__(
+        self,
+        params: DensityParams,
+        base_budget: int = 2,
+        disk: Optional[SimulatedDisk] = None,
+        model: CostModel = PAGE_ACCESS_MODEL,
+    ):
+        super().__init__(params, disk=disk, model=model)
+        if base_budget < 1:
+            raise ConfigurationError("base_budget must be at least 1")
+        self.base_budget = min(base_budget, params.shift_budget)
+        #: Commands that ran with the escalated (full) budget.
+        self.escalations = 0
+
+    # ------------------------------------------------------------------
+    # the danger-zone predicate
+    # ------------------------------------------------------------------
+
+    def _in_danger_zone(self, node: int) -> bool:
+        """Exact test of ``p(v) >= (g(v, 2/3) + g(v, 1)) / 2``.
+
+        With ``L = ceil(log2 M)``, multiplying the paper's ``g`` formula
+        through by ``6 L`` keeps everything integral: the test becomes
+
+            6 L N_v  >=  (6 L d + (6 depth - 1) (D - d)) M_v.
+        """
+        tree = self.calibrator
+        params = self.params
+        count = tree.count[node]
+        pages = tree.pages_in(node)
+        depth = tree.depth[node]
+        lhs = 6 * params.log_m * count
+        rhs = (
+            6 * params.log_m * params.d
+            + (6 * depth - 1) * params.slack
+        ) * pages
+        return lhs >= rhs
+
+    def _any_warning_in_danger(self) -> bool:
+        return any(
+            self._in_danger_zone(node)
+            for node in self.calibrator.flagged_nodes()
+        )
+
+    # ------------------------------------------------------------------
+    # the adaptive mainline (steps 2-4)
+    # ------------------------------------------------------------------
+
+    def _run_steps_2_to_4(self, page: int) -> None:
+        tree = self.calibrator
+        path = tree.path_from_leaf(page)
+        self._notify(STEP_1)
+
+        self._lower_flags_if_sparse(path)
+        self._notify(STEP_2)
+
+        for node in path:
+            if tree.parent[node] < 0:
+                continue
+            if not tree.flag[node] and self._density_at_least(node, 2):
+                self._activate(node)
+        self._notify(STEP_3)
+
+        budget = self.base_budget
+        if self._any_warning_in_danger():
+            budget = self.params.shift_budget
+            self.escalations += 1
+        for _ in range(budget):
+            target = self._select(page)
+            self._notify(STEP_4A)
+            if target is None:
+                break
+            changed = self._shift(target)
+            self._notify(STEP_4B)
+            self._lower_flags_if_sparse(changed)
+            self._notify(STEP_4C)

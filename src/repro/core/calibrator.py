@@ -1,0 +1,242 @@
+"""The calibrator: a binary tree of page ranges with rank counters.
+
+Section 3 of the paper defines the calibrator as a binary tree whose
+root spans pages ``[1, M]``, whose internal nodes split their range at
+``floor((A- + A+) / 2)``, and whose leaves span a single page.  Each
+node ``v`` stores a rank counter ``N_v`` = number of records whose page
+address lies in ``RANGE(v)``.
+
+This implementation stores the tree in parallel arrays indexed by a
+dense integer node id (0 is the root).  Besides the counters it
+maintains, per node, a *flag* bit (CONTROL 2's ``WARNING`` state) and a
+subtree count of flagged nodes, which makes the paper's ``SELECT``
+queries ("lowest ancestor with a flagged proper descendant", "deepest
+flagged descendant") cheap without scanning the whole tree.
+
+The calibrator lives in core memory; none of its operations charge page
+accesses.  That matches the paper, which treats the calibrator walk as
+negligible next to the data-page accesses it meters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+
+class CalibratorTree:
+    """Binary range tree over pages ``1..M`` with rank counters."""
+
+    def __init__(self, num_pages: int):
+        if num_pages < 1:
+            raise ValueError("num_pages must be >= 1")
+        self.num_pages = num_pages
+        self.lo: List[int] = []
+        self.hi: List[int] = []
+        self.depth: List[int] = []
+        self.parent: List[int] = []
+        self.left: List[int] = []
+        self.right: List[int] = []
+        self.count: List[int] = []
+        self.flag: List[bool] = []
+        self.flags_below: List[int] = []  # flagged nodes in subtree, incl. self
+        self.leaf_of_page: List[int] = [-1] * (num_pages + 1)
+        self._build(1, num_pages, parent=-1, depth=0)
+
+    def _build(self, lo: int, hi: int, parent: int, depth: int) -> int:
+        node = len(self.lo)
+        self.lo.append(lo)
+        self.hi.append(hi)
+        self.depth.append(depth)
+        self.parent.append(parent)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.count.append(0)
+        self.flag.append(False)
+        self.flags_below.append(0)
+        if lo == hi:
+            self.leaf_of_page[lo] = node
+            return node
+        mid = (lo + hi) // 2
+        self.left[node] = self._build(lo, mid, node, depth + 1)
+        self.right[node] = self._build(mid + 1, hi, node, depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return len(self.lo)
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether ``node`` spans a single page."""
+        return self.left[node] < 0
+
+    def is_root(self, node: int) -> bool:
+        """Whether ``node`` is the root (depth 0)."""
+        return self.parent[node] < 0
+
+    def is_right_child(self, node: int) -> bool:
+        """``DIR(v)`` of the paper: True when ``v`` is a right son."""
+        parent = self.parent[node]
+        if parent < 0:
+            raise ValueError("the root has no direction")
+        return self.right[parent] == node
+
+    def pages_in(self, node: int) -> int:
+        """``M_v``: the number of pages in the node's range."""
+        return self.hi[node] - self.lo[node] + 1
+
+    def contains_page(self, node: int, page: int) -> bool:
+        """Whether ``page`` lies in ``RANGE(node)``."""
+        return self.lo[node] <= page <= self.hi[node]
+
+    def iter_nodes(self) -> Iterator[int]:
+        """Iterate every node id (preorder of construction)."""
+        return iter(range(len(self.lo)))
+
+    def path_from_leaf(self, page: int) -> List[int]:
+        """Node ids from the page's leaf up to (and including) the root."""
+        node = self.leaf_of_page[page]
+        path = []
+        while node >= 0:
+            path.append(node)
+            node = self.parent[node]
+        return path
+
+    def nodes_separating(self, dest_page: int, source_page: int) -> List[int]:
+        """The paper's ``UP`` set for a SHIFT.
+
+        Returns every node ``x`` with ``dest_page in RANGE(x)`` but
+        ``source_page not in RANGE(x)``: the nodes on the leaf-to-root
+        path of ``dest_page`` strictly below the least common ancestor
+        of the two pages, ordered leaf-first.
+        """
+        nodes = []
+        node = self.leaf_of_page[dest_page]
+        while node >= 0 and not self.contains_page(node, source_page):
+            nodes.append(node)
+            node = self.parent[node]
+        return nodes
+
+    # ------------------------------------------------------------------
+    # rank counters
+    # ------------------------------------------------------------------
+
+    def add(self, page: int, delta: int) -> List[int]:
+        """Add ``delta`` records at ``page``; return the updated node ids.
+
+        Updates every counter on the leaf-to-root path (the counters the
+        paper says "require change"), leaf first.
+        """
+        path = self.path_from_leaf(page)
+        for node in path:
+            self.count[node] += delta
+            if self.count[node] < 0:
+                raise ValueError(f"negative rank counter at node {node}")
+        return path
+
+    def transfer(self, source_page: int, dest_page: int, moved: int) -> List[int]:
+        """Account for ``moved`` records moving between two pages.
+
+        Returns the node ids whose counters changed (those on exactly one
+        of the two leaf-to-root paths).
+        """
+        changed = []
+        for node in self.nodes_separating(dest_page, source_page):
+            self.count[node] += moved
+            changed.append(node)
+        for node in self.nodes_separating(source_page, dest_page):
+            self.count[node] -= moved
+            if self.count[node] < 0:
+                raise ValueError(f"negative rank counter at node {node}")
+            changed.append(node)
+        return changed
+
+    def leaf_count(self, page: int) -> int:
+        """Rank counter of the leaf covering ``page``."""
+        return self.count[self.leaf_of_page[page]]
+
+    # ------------------------------------------------------------------
+    # flags (CONTROL 2 warning states)
+    # ------------------------------------------------------------------
+
+    def set_flag(self, node: int, value: bool) -> None:
+        """Raise or lower the flag bit, maintaining subtree flag counts."""
+        if self.flag[node] == value:
+            return
+        self.flag[node] = value
+        delta = 1 if value else -1
+        cursor = node
+        while cursor >= 0:
+            self.flags_below[cursor] += delta
+            cursor = self.parent[cursor]
+
+    def clear_flags(self) -> None:
+        """Lower every flag and zero the subtree flag counts."""
+        for node in range(len(self.flag)):
+            self.flag[node] = False
+            self.flags_below[node] = 0
+
+    def any_flagged(self) -> bool:
+        """Whether any node currently holds a raised flag."""
+        return self.flags_below[self.root] > 0
+
+    def flagged_nodes(self) -> List[int]:
+        """List of node ids currently flagged."""
+        return [node for node in self.iter_nodes() if self.flag[node]]
+
+    def lowest_ancestor_with_flagged_proper_descendant(
+        self, page: int
+    ) -> Optional[int]:
+        """SELECT step 1: walk up from the page's leaf.
+
+        Returns the lowest ancestor ``alpha`` of the leaf such that some
+        *proper* descendant of ``alpha`` is flagged, or ``None`` when no
+        flags are raised anywhere on the path (equivalently: anywhere,
+        once the root is reached).
+        """
+        node = self.leaf_of_page[page]
+        while node >= 0:
+            proper = self.flags_below[node] - (1 if self.flag[node] else 0)
+            if proper > 0:
+                return node
+            node = self.parent[node]
+        return None
+
+    def deepest_flagged_descendant(self, node: int) -> Optional[int]:
+        """SELECT step 2: the deepest flagged node in ``node``'s subtree.
+
+        Ties on depth break toward the smaller page range start, which
+        the left-first traversal below produces naturally.  Only subtrees
+        that contain flags are visited, so the cost is proportional to
+        the number of flagged root-to-node paths, not the tree size.
+        """
+        best = -1
+        best_depth = -1
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if self.flags_below[current] == 0:
+                continue
+            if self.flag[current] and self.depth[current] > best_depth:
+                best = current
+                best_depth = self.depth[current]
+            if not self.is_leaf(current):
+                # Push right first so the left child is examined first,
+                # giving the smallest-A- tie-break deterministically.
+                stack.append(self.right[current])
+                stack.append(self.left[current])
+        return best if best >= 0 else None
+
+    # ------------------------------------------------------------------
+    # debugging helpers
+    # ------------------------------------------------------------------
+
+    def describe(self, node: int) -> Tuple[int, int, int, int]:
+        """Return ``(lo, hi, depth, count)`` for one node."""
+        return (self.lo[node], self.hi[node], self.depth[node], self.count[node])

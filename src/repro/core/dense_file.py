@@ -1,0 +1,252 @@
+"""The public facade: a ``(d, D)``-dense sequential file.
+
+:class:`DenseSequentialFile` is what a downstream user imports.  It
+chooses the right engine for the requested geometry (CONTROL 2, the
+macro-block variant when the slack condition fails, or CONTROL 1 as the
+amortized baseline), and exposes a dictionary-flavoured API plus ordered
+scans, which is the workload the paper argues dense files exist for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..records import Record
+from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
+from .control1 import Control1Engine
+from .control2 import Control2Engine
+from .errors import ConfigurationError
+from .macroblock import MacroBlockControl2Engine
+from .params import DensityParams
+
+ALGORITHMS = ("control1", "control2")
+
+
+def build_engine(
+    num_pages: int,
+    d: int,
+    D: int,
+    algorithm: str = "control2",
+    j: Optional[int] = None,
+    model: CostModel = PAGE_ACCESS_MODEL,
+    auto_macroblock: bool = True,
+):
+    """Construct the maintenance engine for the requested geometry.
+
+    When ``algorithm="control2"`` and the slack condition
+    ``D - d > 3 * ceil(log2 M)`` fails, the macro-block variant of
+    Theorem 5.7 is selected automatically (disable with
+    ``auto_macroblock=False`` to get a :class:`ConfigurationError`
+    instead).
+    """
+    if algorithm not in ALGORITHMS:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}"
+        )
+    params = DensityParams(num_pages=num_pages, d=d, D=D, j=j)
+    if algorithm == "control1":
+        return Control1Engine(params, model=model)
+    if params.satisfies_slack_condition:
+        return Control2Engine(params, model=model)
+    if not auto_macroblock:
+        raise ConfigurationError(
+            f"D - d = {D - d} <= 3*ceil(log2 M) = {3 * params.log_m}; "
+            "enable auto_macroblock or widen the slack"
+        )
+    return MacroBlockControl2Engine(num_pages, d, D, j=j, model=model)
+
+
+class DenseSequentialFile:
+    """A dynamically maintained ``(d, D)``-dense sequential file.
+
+    Parameters
+    ----------
+    num_pages:
+        ``M``, the number of consecutive pages of auxiliary memory.
+    d:
+        Average density bound; the file holds at most ``d * num_pages``
+        records.
+    D:
+        Per-page capacity.
+    algorithm:
+        ``"control2"`` (default, worst-case guarantees) or
+        ``"control1"`` (amortized baseline).
+    j:
+        CONTROL 2's per-command shift budget; ``None`` uses the
+        recommended default.
+    model:
+        Access-cost model charged by the simulated disk.
+
+    Examples
+    --------
+    >>> f = DenseSequentialFile(num_pages=64, d=8, D=40)
+    >>> f.insert(42, "answer")
+    >>> f.search(42).value
+    'answer'
+    >>> [r.key for r in f.range(40, 45)]
+    [42]
+    """
+
+    def __init__(
+        self,
+        num_pages: int,
+        d: int,
+        D: int,
+        algorithm: str = "control2",
+        j: Optional[int] = None,
+        model: CostModel = PAGE_ACCESS_MODEL,
+        auto_macroblock: bool = True,
+    ):
+        self.engine = build_engine(
+            num_pages,
+            d,
+            D,
+            algorithm=algorithm,
+            j=j,
+            model=model,
+            auto_macroblock=auto_macroblock,
+        )
+        self.algorithm = algorithm
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records, num_pages: int, d: int, D: int, **kwargs):
+        """Build a file and bulk-load ``records`` with uniform density."""
+        dense_file = cls(num_pages, d, D, **kwargs)
+        dense_file.bulk_load(records)
+        return dense_file
+
+    def bulk_load(self, records) -> None:
+        """Uniformly load an iterable of records/keys into an empty file."""
+        self.engine.bulk_load(records)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value=None) -> None:
+        """Insert a record; worst-case ``O(log^2 M / (D-d))`` page accesses."""
+        self.engine.insert(key, value)
+
+    def delete(self, key) -> Record:
+        """Delete and return the record with ``key``."""
+        return self.engine.delete(key)
+
+    def insert_many(self, items) -> int:
+        """Insert an iterable of records/keys in a key-ordered sweep."""
+        return self.engine.insert_many(items)
+
+    def delete_range(self, lo_key, hi_key) -> int:
+        """Bulk-delete every record with ``lo_key <= key <= hi_key``."""
+        return self.engine.delete_range(lo_key, hi_key)
+
+    def update(self, key, value) -> Record:
+        """Replace the value stored under an existing ``key`` in place."""
+        page = self.engine.pagefile.locate(key)
+        if page is None:
+            from .errors import RecordNotFoundError
+
+            raise RecordNotFoundError(key)
+        return self.engine.pagefile.replace_record(page, Record(key, value))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def search(self, key) -> Optional[Record]:
+        """Return the record with ``key`` or ``None``."""
+        return self.engine.search(key)
+
+    def __contains__(self, key) -> bool:
+        return key in self.engine
+
+    def __len__(self) -> int:
+        return len(self.engine)
+
+    def range(self, lo_key, hi_key) -> Iterator[Record]:
+        """Stream records with ``lo_key <= key <= hi_key`` in key order.
+
+        This is the paper's "stream retrieval": the underlying accesses
+        sweep consecutive pages, which is the whole point of keeping the
+        file dense and sequential.
+        """
+        return self.engine.range_scan(lo_key, hi_key)
+
+    def scan(self, start_key, count: int) -> List[Record]:
+        """Return up to ``count`` records with key >= ``start_key``."""
+        return self.engine.scan_count(start_key, count)
+
+    def rank(self, key) -> int:
+        """Number of records with key strictly less than ``key``."""
+        return self.engine.rank(key)
+
+    def count_range(self, lo_key, hi_key) -> int:
+        """Records with ``lo_key <= key <= hi_key`` (<= 2 page accesses)."""
+        return self.engine.count_range(lo_key, hi_key)
+
+    def select(self, index: int) -> Record:
+        """The record of 0-based rank ``index`` in key order."""
+        return self.engine.select(index)
+
+    def compact(self) -> int:
+        """Uniformly redistribute all records; returns pages rewritten."""
+        return self.engine.compact()
+
+    def min(self) -> Optional[Record]:
+        """The smallest-keyed record, or ``None`` on an empty file."""
+        return self.engine.min_record()
+
+    def max(self) -> Optional[Record]:
+        """The largest-keyed record, or ``None`` on an empty file."""
+        return self.engine.max_record()
+
+    def successor(self, key) -> Optional[Record]:
+        """Smallest record with key strictly greater than ``key``."""
+        return self.engine.successor(key)
+
+    def predecessor(self, key) -> Optional[Record]:
+        """Largest record with key strictly less than ``key``."""
+        return self.engine.predecessor(key)
+
+    def __iter__(self) -> Iterator:
+        return self.keys()
+
+    def keys(self) -> Iterator:
+        """Yield every key in ascending order (charges reads per page)."""
+        for record in self.engine.iter_records():
+            yield record.key
+
+    def items(self) -> Iterator:
+        """Yield ``(key, value)`` pairs in ascending key order."""
+        for record in self.engine.iter_records():
+            yield record.key, record.value
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def params(self) -> DensityParams:
+        return self.engine.params
+
+    @property
+    def stats(self):
+        """Access counters of the simulated disk."""
+        return self.engine.stats
+
+    def occupancies(self) -> List[int]:
+        """Records per page (macro-block granularity in macro mode)."""
+        return self.engine.occupancies()
+
+    def validate(self) -> None:
+        """Assert all end-of-command invariants (raises on violation)."""
+        self.engine.validate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DenseSequentialFile({self.engine.algorithm_name}, "
+            f"{self.params}, size={len(self)})"
+        )

@@ -1,0 +1,444 @@
+"""Shared machinery for the CONTROL 1 and CONTROL 2 engines.
+
+Both algorithms share step 1 of the paper's Figure 2 verbatim: binary
+search for the affected page, apply the insertion or deletion, and
+adjust the calibrator's rank counters.  They differ only in how they
+react afterwards (amortized rebalance vs bounded shifting), which the
+subclasses implement in :meth:`BaseEngine._after_insert` and
+:meth:`BaseEngine._after_delete`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..records import Record, ensure_record
+from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
+from ..storage.disk import SimulatedDisk
+from ..storage.pagefile import PageFile
+from .calibrator import CalibratorTree
+from .errors import FileFullError, RecordNotFoundError
+from .params import DensityParams
+from .trace import OperationLog
+
+
+class BaseEngine:
+    """Common state and step 1 for dense-file maintenance algorithms."""
+
+    #: Subclasses override with their paper name ("CONTROL 1" / "CONTROL 2").
+    algorithm_name = "abstract"
+
+    def __init__(
+        self,
+        params: DensityParams,
+        disk: Optional[SimulatedDisk] = None,
+        model: CostModel = PAGE_ACCESS_MODEL,
+    ):
+        self.params = params
+        if disk is None:
+            disk = SimulatedDisk(params.num_pages, model)
+        self.disk = disk
+        self.pagefile = PageFile(params.num_pages, disk=disk)
+        self.calibrator = CalibratorTree(params.num_pages)
+        self.size = 0
+        self.commands_executed = 0
+        self.records_moved_total = 0
+        self.operation_log: Optional[OperationLog] = None
+
+    # ------------------------------------------------------------------
+    # hooks implemented by the concrete algorithms
+    # ------------------------------------------------------------------
+
+    def _after_insert(self, page: int) -> None:
+        raise NotImplementedError
+
+    def _after_delete(self, page: int) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, records) -> None:
+        """Load records with the uniform density Theorem 5.5 assumes.
+
+        Records are sorted and spread so that page ``i`` receives
+        ``floor(i*n/M) - floor((i-1)*n/M)`` records: as even a spread as
+        integer counts allow.  Only valid on an empty file.
+        """
+        if self.size:
+            raise ValueError("bulk_load requires an empty file")
+        loaded = sorted(
+            (ensure_record(item) for item in records),
+            key=lambda record: record.key,
+        )
+        if len(loaded) > self.params.max_records:
+            raise FileFullError(
+                f"{len(loaded)} records exceed the cap N = "
+                f"{self.params.max_records}"
+            )
+        total = len(loaded)
+        pages = self.params.num_pages
+        cursor = 0
+        for page in range(1, pages + 1):
+            upto = (page * total) // pages
+            chunk = loaded[cursor:upto]
+            cursor = upto
+            if chunk:
+                self.pagefile.load_page(page, chunk)
+                self.calibrator.add(page, len(chunk))
+        self.size = total
+
+    def load_occupancies(self, occupancies, key_start: int = 0, key_gap: int = 1):
+        """Load synthetic integer-keyed records page by page.
+
+        ``occupancies[i]`` records go to page ``i+1``, with keys ascending
+        across the whole file starting at ``key_start`` and separated by
+        ``key_gap``.  Used to set up paper examples and tests.  Returns
+        the list of loaded records.
+        """
+        if self.size:
+            raise ValueError("load_occupancies requires an empty file")
+        if len(occupancies) != self.params.num_pages:
+            raise ValueError("need one occupancy per page")
+        records = []
+        key = key_start
+        for index, count in enumerate(occupancies):
+            page = index + 1
+            chunk = []
+            for _ in range(count):
+                chunk.append(Record(key))
+                key += key_gap
+            if chunk:
+                self.pagefile.load_page(page, chunk)
+                self.calibrator.add(page, len(chunk))
+                records.extend(chunk)
+        self.size = len(records)
+        if self.size > self.params.max_records:
+            raise FileFullError("occupancies exceed the cap N = d*M")
+        return records
+
+    # ------------------------------------------------------------------
+    # step 1 plumbing
+    # ------------------------------------------------------------------
+
+    def _target_page_for_insert(self, key) -> int:
+        located = self.pagefile.locate(key)
+        if located is None:
+            # Empty file: start in the middle so growth is symmetric.
+            return (self.params.num_pages + 1) // 2
+        return located
+
+    def _begin_command(self, label: str) -> None:
+        if self.operation_log is not None:
+            self.disk.stats.checkpoint("op")
+            self._moved_mark = self.records_moved_total
+            self._op_label = label
+
+    def _end_command(self) -> None:
+        self.commands_executed += 1
+        if self.operation_log is not None:
+            delta = self.disk.stats.delta("op")
+            self.operation_log.append(
+                accesses=delta.page_accesses,
+                moved=self.records_moved_total - self._moved_mark,
+                cost=delta.cost,
+                label=self._op_label,
+            )
+
+    # ------------------------------------------------------------------
+    # public update API
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value=None) -> None:
+        """Insert a record (paper command ``Z`` of insertion type)."""
+        if self.size >= self.params.max_records:
+            raise FileFullError(
+                f"file already holds N = {self.params.max_records} records"
+            )
+        self._begin_command("insert")
+        page = self._target_page_for_insert(key)
+        self.pagefile.insert_record(page, Record(key, value))
+        self.calibrator.add(page, 1)
+        self.size += 1
+        self._after_insert(page)
+        self._end_command()
+
+    def insert_at_page(self, page: int, key, value=None) -> None:
+        """Insert directly into ``page``, bypassing the key search.
+
+        This is how the paper's Example 5.2 phrases commands ("insert a
+        record into the page 8"); the caller is responsible for choosing
+        a page consistent with sequential key order.
+        """
+        if self.size >= self.params.max_records:
+            raise FileFullError(
+                f"file already holds N = {self.params.max_records} records"
+            )
+        self._begin_command("insert")
+        self.pagefile.insert_record(page, Record(key, value))
+        self.calibrator.add(page, 1)
+        self.size += 1
+        self._after_insert(page)
+        self._end_command()
+
+    def delete(self, key) -> Record:
+        """Delete the record with ``key`` (command ``Z`` of deletion type)."""
+        self._begin_command("delete")
+        page = self.pagefile.locate(key)
+        if page is None:
+            self._end_command()
+            raise RecordNotFoundError(key)
+        try:
+            record = self.pagefile.remove_record(page, key)
+        except RecordNotFoundError:
+            self._end_command()
+            raise
+        self.calibrator.add(page, -1)
+        self.size -= 1
+        self._after_delete(page)
+        self._end_command()
+        return record
+
+    # ------------------------------------------------------------------
+    # batch updates
+    # ------------------------------------------------------------------
+
+    def insert_many(self, items) -> int:
+        """Insert an iterable of records/keys; returns the count inserted.
+
+        Items are pre-sorted so the insertions sweep the file left to
+        right — each command still runs the full maintenance algorithm
+        (and so keeps its worst-case bound), but the access pattern stays
+        disk-arm friendly.
+        """
+        records = sorted(
+            (ensure_record(item) for item in items),
+            key=lambda record: record.key,
+        )
+        for record in records:
+            self.insert(record.key, record.value)
+        return len(records)
+
+    def delete_range(self, lo_key, hi_key) -> int:
+        """Delete every record with ``lo_key <= key <= hi_key`` in bulk.
+
+        Range deletion is a single pass over the affected pages: since
+        ``(d, D)``-density and ``BALANCE(d, D)`` impose no *lower* bound
+        on local density, removing records wholesale can never violate
+        them — only warning flags may need lowering afterwards (the
+        bulk analogue of Figure 2's step 2).  Costs one read plus one
+        write per touched page; returns the number of records deleted.
+        """
+        touched = []
+        removed = 0
+        start = self.pagefile.locate_in_core(lo_key)
+        if start is None:
+            return 0
+        for page in list(self.pagefile.nonempty_pages()):
+            if page < start:
+                continue
+            page_records = self.pagefile.read_page(page)
+            if page_records and page_records[0].key > hi_key:
+                break
+            victims = [
+                record.key
+                for record in page_records
+                if lo_key <= record.key <= hi_key
+            ]
+            if not victims:
+                continue
+            for key in victims:
+                self.pagefile._pages[page].remove(key)
+            self.pagefile.disk.write(page)
+            self.pagefile._directory_update(page)
+            self.pagefile._persist(page)
+            self.calibrator.add(page, -len(victims))
+            touched.append(page)
+            removed += len(victims)
+        self.size -= removed
+        if removed:
+            self._after_bulk_delete(touched)
+        self.commands_executed += 1
+        return removed
+
+    def _after_bulk_delete(self, touched_pages: List[int]) -> None:
+        """Hook for post-range-delete repair (flag lowering); no-op here."""
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def search(self, key) -> Optional[Record]:
+        """Return the record with ``key`` or ``None``."""
+        page = self.pagefile.locate(key)
+        if page is None:
+            return None
+        return self.pagefile.get(page, key)
+
+    def __contains__(self, key) -> bool:
+        return self.search(key) is not None
+
+    def __len__(self) -> int:
+        return self.size
+
+    def min_record(self) -> Optional[Record]:
+        """The smallest-keyed record, or ``None`` on an empty file."""
+        return self.pagefile.min_record()
+
+    def max_record(self) -> Optional[Record]:
+        """The largest-keyed record, or ``None`` on an empty file."""
+        return self.pagefile.max_record()
+
+    def successor(self, key) -> Optional[Record]:
+        """Smallest record with key strictly greater than ``key``."""
+        return self.pagefile.successor(key)
+
+    def predecessor(self, key) -> Optional[Record]:
+        """Largest record with key strictly less than ``key``."""
+        return self.pagefile.predecessor(key)
+
+    def range_scan(self, lo_key, hi_key) -> Iterator[Record]:
+        """Stream records with keys in ``[lo_key, hi_key]`` in order."""
+        return self.pagefile.scan_range(lo_key, hi_key)
+
+    # ------------------------------------------------------------------
+    # order statistics (powered by the in-core directory and counters)
+    # ------------------------------------------------------------------
+
+    def rank(self, key) -> int:
+        """Number of stored records with key strictly less than ``key``.
+
+        The page counts of every page left of the boundary come from the
+        in-core machinery for free; only the single boundary page is
+        read.  Cost: at most one page access.
+        """
+        boundary = self.pagefile.locate_in_core(key)
+        if boundary is None:
+            return 0
+        total = 0
+        for page in self.pagefile.nonempty_pages():
+            if page >= boundary:
+                break
+            total += self.pagefile.page_len(page)
+        for record in self.pagefile.read_page(boundary):
+            if record.key < key:
+                total += 1
+        return total
+
+    def count_range(self, lo_key, hi_key) -> int:
+        """Number of records with ``lo_key <= key <= hi_key``.
+
+        Cost: at most two page accesses (the two boundary pages),
+        regardless of how many records lie inside — the interior comes
+        from the in-core counters.
+        """
+        if hi_key < lo_key:
+            return 0
+        lo_page = self.pagefile.locate_in_core(lo_key)
+        if lo_page is None:
+            return 0
+        hi_page = self.pagefile.locate_in_core(hi_key)
+        if lo_page == hi_page:
+            return sum(
+                1
+                for record in self.pagefile.read_page(lo_page)
+                if lo_key <= record.key <= hi_key
+            )
+        total = sum(
+            1
+            for record in self.pagefile.read_page(lo_page)
+            if record.key >= lo_key
+        )
+        total += sum(
+            1
+            for record in self.pagefile.read_page(hi_page)
+            if record.key <= hi_key
+        )
+        for page in self.pagefile.nonempty_pages():
+            if lo_page < page < hi_page:
+                total += self.pagefile.page_len(page)
+        return total
+
+    def select(self, index: int) -> Record:
+        """The record of rank ``index`` (0-based, in key order).
+
+        Walks the in-core page counts to the owning page, then reads
+        that one page.  Cost: one page access.
+        """
+        if index < 0 or index >= self.size:
+            raise IndexError(
+                f"rank {index} out of range [0, {self.size})"
+            )
+        remaining = index
+        for page in self.pagefile.nonempty_pages():
+            count = self.pagefile.page_len(page)
+            if remaining < count:
+                return self.pagefile.read_page(page)[remaining]
+            remaining -= count
+        raise AssertionError("size and page counts disagree")
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def compact(self) -> int:
+        """Redistribute every record uniformly over all ``M`` pages.
+
+        Deletions leave the file sparse in places, which lengthens
+        stream scans (more pages per record).  ``compact`` is the bulk
+        remedy — the same uniform redistribution CONTROL 1 applies
+        locally and Theorem 5.5 assumes initially — at a cost of one
+        read plus one write per page.  Warning state is cleared: a
+        uniform file at legal cardinality satisfies ``p(v) <= d`` for
+        every node, far below every warning threshold.
+
+        Returns the number of pages rewritten.
+        """
+        span = self.pagefile.redistribute(1, self.params.num_pages)
+        tree = self.calibrator
+        for page in range(1, self.params.num_pages + 1):
+            leaf = tree.leaf_of_page[page]
+            tree.count[leaf] = self.pagefile.page_len(page)
+        for node in sorted(tree.iter_nodes(), key=lambda n: -tree.depth[n]):
+            if not tree.is_leaf(node):
+                tree.count[node] = (
+                    tree.count[tree.left[node]] + tree.count[tree.right[node]]
+                )
+        if hasattr(self, "destinations"):
+            for node in list(tree.flagged_nodes()):
+                tree.set_flag(node, False)
+            self.destinations.clear()
+            self.sources.clear()
+        return span
+
+    def scan_count(self, start_key, count: int) -> List[Record]:
+        """Return up to ``count`` records with key >= ``start_key``."""
+        return self.pagefile.scan_count(start_key, count)
+
+    def iter_records(self) -> Iterator[Record]:
+        """Yield every record in key order (charges reads per page)."""
+        return self.pagefile.iter_all()
+
+    def occupancies(self) -> List[int]:
+        """Records per page, as a list of length M."""
+        return self.pagefile.occupancies()
+
+    @property
+    def stats(self):
+        return self.disk.stats
+
+    def enable_operation_log(self) -> OperationLog:
+        """Start recording per-command cost; returns the live log."""
+        self.operation_log = OperationLog()
+        return self.operation_log
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assert every end-of-command invariant; raises on violation."""
+        from .invariants import check_engine
+
+        check_engine(self)

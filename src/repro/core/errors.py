@@ -1,0 +1,50 @@
+"""Exception hierarchy for the dense-sequential-file library.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when construction parameters are inconsistent.
+
+    Examples: ``d >= D``, a non-positive page count, or a ``J`` parameter
+    that is too small to guarantee ``BALANCE(d, D)`` for the requested
+    safety level.
+    """
+
+
+class FileFullError(ReproError):
+    """Raised when an insertion would exceed the ``N = d * M`` record cap.
+
+    The paper's Theorem 5.5 requires that the file cardinality never
+    exceed ``d * M``; the library enforces that precondition explicitly
+    rather than silently degrading.
+    """
+
+
+class DuplicateKeyError(ReproError, KeyError):
+    """Raised when inserting a key that is already present.
+
+    Dense sequential files in the paper store a *set* of records ordered
+    by key, so keys are unique.
+    """
+
+
+class RecordNotFoundError(ReproError, KeyError):
+    """Raised when deleting or updating a key that is not present."""
+
+
+class InvariantViolationError(ReproError, AssertionError):
+    """Raised by the invariant checkers when a structural invariant fails.
+
+    The message names the violated invariant (sequential order,
+    ``(d, D)``-density, ``BALANCE(d, D)``, or calibrator-counter
+    consistency) and the offending node or page.
+    """

@@ -1,0 +1,108 @@
+"""Macro-block generalization (Section 5, equations 5.3-5.4, Theorem 5.7).
+
+CONTROL 2 as stated needs ``D - d > 3 * ceil(log2 M)``.  When the slack
+is smaller, the paper groups ``K`` consecutive pages into *macro-blocks*
+with ``K`` the least integer satisfying ``K * (D - d) > 3 * ceil(log2 M)``,
+and runs CONTROL 2 over macro-blocks against the ``(K*d, K*D)``-dense
+constraint.  A macro-block access costs ``K`` ordinary page accesses,
+and the translated cost works out to the same
+``O(log^2 M / (D - d))`` bound (Theorem 5.7).
+
+We realise this by instantiating an ordinary
+:class:`~repro.core.control2.Control2Engine` whose "pages" are
+macro-blocks, on a disk whose transfer cost is scaled by ``K``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
+from ..storage.disk import SimulatedDisk
+from .control2 import Control2Engine
+from .errors import ConfigurationError
+from .params import DensityParams, ceil_log2
+
+
+def macro_block_factor(num_pages: int, d: int, D: int) -> int:
+    """The least ``K`` with ``K * (D - d) > 3 * ceil(log2 M)`` (eq. 5.3)."""
+    if D <= d:
+        raise ConfigurationError("D must exceed d")
+    return (3 * ceil_log2(num_pages)) // (D - d) + 1
+
+
+def macro_params(
+    num_pages: int, d: int, D: int, j: Optional[int] = None
+) -> DensityParams:
+    """Density parameters of the macro-block file for a physical file.
+
+    Physical pages group into ``M# = ceil(M / K)`` macro-blocks with
+    densities ``d# = K*d`` and ``D# = K*D``.
+    """
+    factor = macro_block_factor(num_pages, d, D)
+    macro_pages = math.ceil(num_pages / factor)
+    if macro_pages < 2:
+        raise ConfigurationError(
+            f"file too small for macro-blocks: M={num_pages}, K={factor} "
+            f"leaves only {macro_pages} macro-block(s)"
+        )
+    return DensityParams(
+        num_pages=macro_pages, d=factor * d, D=factor * D, j=j
+    )
+
+
+class MacroBlockControl2Engine(Control2Engine):
+    """CONTROL 2 over macro-blocks, presenting macro-granular pages.
+
+    The engine's ``params.num_pages`` counts macro-blocks; the physical
+    geometry is retained in :attr:`physical_pages`, :attr:`physical_d`,
+    :attr:`physical_D` and :attr:`block_factor`.  Record capacity is
+    capped at the *physical* ``d * M`` so the wrapper honours the same
+    contract as a plain engine on the same physical file.
+    """
+
+    algorithm_name = "CONTROL 2 (macro-blocks)"
+
+    def __init__(
+        self,
+        num_pages: int,
+        d: int,
+        D: int,
+        j: Optional[int] = None,
+        model: CostModel = PAGE_ACCESS_MODEL,
+    ):
+        params = macro_params(num_pages, d, D, j=j)
+        factor = macro_block_factor(num_pages, d, D)
+        scaled = CostModel(
+            transfer_cost=model.transfer_cost * factor,
+            seek_base=model.seek_base,
+            seek_per_page=model.seek_per_page * factor,
+            seek_max=model.seek_max,
+            contiguous_window=model.contiguous_window,
+        )
+        disk = SimulatedDisk(params.num_pages, scaled)
+        super().__init__(params, disk=disk)
+        self.physical_pages = num_pages
+        self.physical_d = d
+        self.physical_D = D
+        self.block_factor = factor
+        self._physical_cap = d * num_pages
+
+    @property
+    def physical_max_records(self) -> int:
+        """The physical cardinality cap ``d * M`` (not ``d# * M#``)."""
+        return self._physical_cap
+
+    def insert(self, key, value=None) -> None:
+        if self.size >= self._physical_cap:
+            from .errors import FileFullError
+
+            raise FileFullError(
+                f"file already holds the physical cap d*M = {self._physical_cap}"
+            )
+        super().insert(key, value)
+
+    def physical_page_accesses(self) -> int:
+        """Macro accesses translated into physical page accesses."""
+        return self.stats.page_accesses * self.block_factor

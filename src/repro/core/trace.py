@@ -1,0 +1,153 @@
+"""Measurable-moment tracing for CONTROL 2.
+
+Section 5 of the paper reasons about *measurable time instances*: the
+moments just after CONTROL 2 finishes one of its steps 1, 2, 3, 4a, 4b
+or 4c.  Moments of type 3, 4a and 4c are *flag-stable* (Fact 5.1 holds
+there).  Example 5.2 / Figure 4 tabulates the page occupancies at a
+sequence of flag-stable moments ``t0..t8``.
+
+:class:`MomentRecorder` subscribes to an engine and snapshots the file at
+selected moment types, which is how the benchmark suite reproduces
+Figure 4 row by row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Moment types, named after the algorithm step that just completed.
+STEP_1 = "1"
+STEP_2 = "2"
+STEP_3 = "3"
+STEP_4A = "4a"
+STEP_4B = "4b"
+STEP_4C = "4c"
+
+FLAG_STABLE_TYPES = frozenset({STEP_3, STEP_4A, STEP_4C})
+
+
+@dataclass(frozen=True)
+class Moment:
+    """One recorded measurable moment."""
+
+    index: int
+    moment_type: str
+    command_index: int
+    occupancies: Tuple[int, ...]
+    warnings: Tuple[int, ...]
+    destinations: Tuple[Tuple[int, int], ...]
+
+    @property
+    def flag_stable(self) -> bool:
+        return self.moment_type in FLAG_STABLE_TYPES
+
+    def destination_of(self, node: int) -> Optional[int]:
+        """DEST pointer of ``node`` at this moment, or ``None``."""
+        for recorded_node, dest in self.destinations:
+            if recorded_node == node:
+                return dest
+        return None
+
+
+class MomentRecorder:
+    """Collects :class:`Moment` snapshots emitted by an engine.
+
+    Parameters
+    ----------
+    moment_types:
+        Which moment types to keep.  Defaults to the flag-stable types,
+        which is what Figure 4 tabulates.
+    """
+
+    def __init__(self, moment_types=FLAG_STABLE_TYPES):
+        self.moment_types = frozenset(moment_types)
+        self.moments: List[Moment] = []
+        self._engine = None
+
+    def attach(self, engine) -> "MomentRecorder":
+        """Subscribe to ``engine`` (a Control2Engine); returns self."""
+        engine.moment_listener = self.on_moment
+        self._engine = engine
+        return self
+
+    def on_moment(self, moment_type: str, engine) -> None:
+        """Engine callback: snapshot the state if the type is recorded."""
+        if moment_type not in self.moment_types:
+            return
+        self.moments.append(
+            Moment(
+                index=len(self.moments),
+                moment_type=moment_type,
+                command_index=engine.commands_executed,
+                occupancies=tuple(engine.pagefile.occupancies()),
+                warnings=tuple(sorted(engine.calibrator.flagged_nodes())),
+                destinations=tuple(sorted(engine.destinations.items())),
+            )
+        )
+
+    def occupancy_rows(self) -> List[Tuple[int, ...]]:
+        """The Figure 4 view: one occupancy tuple per recorded moment."""
+        return [moment.occupancies for moment in self.moments]
+
+    def distinct_occupancy_rows(self) -> List[Tuple[int, ...]]:
+        """Occupancy rows with consecutive duplicates collapsed.
+
+        Figure 4 labels one row per *interesting* flag-stable moment; the
+        algorithm may pass through several flag-stable moments without
+        moving any records, which would repeat the row.
+        """
+        rows: List[Tuple[int, ...]] = []
+        for moment in self.moments:
+            if not rows or rows[-1] != moment.occupancies:
+                rows.append(moment.occupancies)
+        return rows
+
+    def clear(self) -> None:
+        """Forget every recorded moment."""
+        self.moments.clear()
+
+
+@dataclass
+class OperationLog:
+    """Per-command cost series for the evaluation harness.
+
+    Records, for every insertion/deletion command, the number of page
+    accesses, records physically moved, and modelled cost charged while
+    serving it.  Powering the worst-case/amortized experiments.
+    """
+
+    page_accesses: List[int] = field(default_factory=list)
+    records_moved: List[int] = field(default_factory=list)
+    costs: List[float] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+
+    def append(self, accesses: int, moved: int, cost: float, label: str) -> None:
+        """Record one command's accesses, record moves, cost and label."""
+        self.page_accesses.append(accesses)
+        self.records_moved.append(moved)
+        self.costs.append(cost)
+        self.labels.append(label)
+
+    def __len__(self) -> int:
+        return len(self.page_accesses)
+
+    @property
+    def worst_case_accesses(self) -> int:
+        return max(self.page_accesses) if self.page_accesses else 0
+
+    @property
+    def amortized_accesses(self) -> float:
+        if not self.page_accesses:
+            return 0.0
+        return sum(self.page_accesses) / len(self.page_accesses)
+
+    @property
+    def worst_case_moved(self) -> int:
+        return max(self.records_moved) if self.records_moved else 0
+
+    @property
+    def amortized_moved(self) -> float:
+        if not self.records_moved:
+            return 0.0
+        return sum(self.records_moved) / len(self.records_moved)

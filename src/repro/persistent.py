@@ -1,0 +1,430 @@
+"""A durable dense sequential file backed by a real OS file.
+
+:class:`PersistentDenseFile` couples a CONTROL 2 (or CONTROL 1) engine
+to the slotted on-disk store of :mod:`repro.storage.ondisk`: every page
+mutation writes through to disk, and :meth:`open` rebuilds the complete
+engine state — page contents, in-core directory, calibrator rank
+counters, and the WARNING flags the paper's Fact 5.1 requires — from the
+file alone.
+
+This is deliberately a *write-through* design: the dense-file algorithms
+already bound how many pages one command touches (that is the entire
+point of the paper), so writing each touched page immediately costs the
+same ``O(log^2 M / (D - d))`` I/Os the cost model meters.
+
+Example
+-------
+>>> import tempfile, os
+>>> path = os.path.join(tempfile.mkdtemp(), "orders.dsf")
+>>> with PersistentDenseFile.create(path, num_pages=64, d=8, D=40) as f:
+...     f.insert(1, "first")
+>>> with PersistentDenseFile.open(path) as f:
+...     f.search(1).value
+'first'
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .core.control1 import Control1Engine
+from .core.control2 import Control2Engine
+from .core.errors import ConfigurationError, RecordNotFoundError
+from .core.params import DensityParams
+from .records import Record
+from .storage.ondisk import DiskPagedStore, StorageError, attach_store, load_into
+
+_ALGORITHM_CODES = {"control2": 0, "control1": 1}
+_ALGORITHM_NAMES = {code: name for name, code in _ALGORITHM_CODES.items()}
+
+
+class PersistentDenseFile:
+    """Durable ``(d, D)``-dense sequential file with CONTROL 2 updates."""
+
+    def __init__(self, store: DiskPagedStore, engine):
+        self._store = store
+        self.engine = engine
+        attach_store(engine.pagefile, store)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        num_pages: int,
+        d: int,
+        D: int,
+        j: Optional[int] = None,
+        algorithm: str = "control2",
+        slot_capacity: int = 0,
+        overwrite: bool = False,
+    ) -> "PersistentDenseFile":
+        """Create a new file at ``path`` with the given geometry."""
+        if algorithm not in _ALGORITHM_CODES:
+            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        params = DensityParams(num_pages=num_pages, d=d, D=D, j=j)
+        if algorithm == "control2" and not params.satisfies_slack_condition:
+            raise ConfigurationError(
+                "persistent files require D - d > 3*ceil(log2 M); widen "
+                "the slack or use more pages"
+            )
+        # Encode the algorithm in the (otherwise unused) high bits of J.
+        stored_j = (params.j or 0) | (_ALGORITHM_CODES[algorithm] << 24)
+        store = DiskPagedStore.create(
+            path,
+            num_pages=num_pages,
+            d=d,
+            D=D,
+            j=stored_j,
+            slot_capacity=slot_capacity,
+            overwrite=overwrite,
+        )
+        engine_cls = Control2Engine if algorithm == "control2" else Control1Engine
+        engine = engine_cls(params)
+        return cls(store, engine)
+
+    @classmethod
+    def open(cls, path: str) -> "PersistentDenseFile":
+        """Open an existing file, rebuilding all in-core state.
+
+        Refuses to open a file with a pending transaction journal: that
+        file was last written by :class:`JournaledDenseFile`, whose
+        :meth:`JournaledDenseFile.open` performs the required recovery.
+        """
+        import os
+
+        if os.path.exists(path + ".journal"):
+            raise StorageError(
+                f"{path} has a pending transaction journal; open it with "
+                "JournaledDenseFile.open() so recovery can run"
+            )
+        store = DiskPagedStore.open(path)
+        algorithm = _ALGORITHM_NAMES.get(store.j >> 24)
+        if algorithm is None:
+            store.close()
+            raise StorageError(f"{path}: unknown algorithm code")
+        explicit_j = store.j & 0xFFFFFF
+        params = DensityParams(
+            num_pages=store.num_pages,
+            d=store.d,
+            D=store.D,
+            j=explicit_j or None,
+        )
+        engine_cls = Control2Engine if algorithm == "control2" else Control1Engine
+        engine = engine_cls(params)
+        engine.size = load_into(engine.pagefile, store)
+        for page in engine.pagefile.nonempty_pages():
+            engine.calibrator.add(page, engine.pagefile.page_len(page))
+        if isinstance(engine, Control2Engine):
+            cls._rebuild_warning_flags(engine)
+        return cls(store, engine)
+
+    @staticmethod
+    def _rebuild_warning_flags(engine: Control2Engine) -> None:
+        """Restore Fact 5.1(b): re-activate dense nodes, deepest first.
+
+        DEST pointers are volatile sweep state the paper never needs to
+        survive a restart — re-activation resets each sweep to its
+        starting position, which is always a legal (merely conservative)
+        configuration.
+        """
+        tree = engine.calibrator
+        nodes = sorted(tree.iter_nodes(), key=lambda n: -tree.depth[n])
+        for node in nodes:
+            if tree.parent[node] < 0 or tree.flag[node]:
+                continue
+            if engine._density_at_least(node, 2):
+                engine._activate(node)
+
+    def close(self) -> None:
+        """Flush and close the backing store."""
+        self._store.close()
+
+    def flush(self) -> None:
+        """fsync the backing file."""
+        self._store.flush()
+
+    @property
+    def closed(self) -> bool:
+        return self._store.closed
+
+    @property
+    def path(self) -> str:
+        return self._store.path
+
+    def __enter__(self) -> "PersistentDenseFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the dense-file API (delegated)
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value=None) -> None:
+        """Insert a record (written through to disk)."""
+        self.engine.insert(key, value)
+
+    def delete(self, key) -> Record:
+        """Delete and return the record with ``key``."""
+        return self.engine.delete(key)
+
+    def update(self, key, value) -> Record:
+        """Replace the value stored under an existing ``key`` in place."""
+        page = self.engine.pagefile.locate(key)
+        if page is None:
+            raise RecordNotFoundError(key)
+        return self.engine.pagefile.replace_record(page, Record(key, value))
+
+    def insert_many(self, items) -> int:
+        """Insert an iterable of records/keys in a key-ordered sweep."""
+        return self.engine.insert_many(items)
+
+    def delete_range(self, lo_key, hi_key) -> int:
+        """Bulk-delete every record with ``lo_key <= key <= hi_key``."""
+        return self.engine.delete_range(lo_key, hi_key)
+
+    def rank(self, key) -> int:
+        """Number of records with key strictly less than ``key``."""
+        return self.engine.rank(key)
+
+    def count_range(self, lo_key, hi_key) -> int:
+        """Records with ``lo_key <= key <= hi_key`` (<= 2 accesses)."""
+        return self.engine.count_range(lo_key, hi_key)
+
+    def select(self, index: int) -> Record:
+        """The record of 0-based rank ``index`` in key order."""
+        return self.engine.select(index)
+
+    def compact(self) -> int:
+        """Uniformly redistribute all records; returns pages rewritten."""
+        return self.engine.compact()
+
+    def search(self, key) -> Optional[Record]:
+        """Return the record with ``key`` or ``None``."""
+        return self.engine.search(key)
+
+    def __contains__(self, key) -> bool:
+        return key in self.engine
+
+    def __len__(self) -> int:
+        return len(self.engine)
+
+    def range(self, lo_key, hi_key) -> Iterator[Record]:
+        """Stream records with ``lo_key <= key <= hi_key`` in order."""
+        return self.engine.range_scan(lo_key, hi_key)
+
+    def scan(self, start_key, count: int) -> List[Record]:
+        """Return up to ``count`` records with key >= ``start_key``."""
+        return self.engine.scan_count(start_key, count)
+
+    def bulk_load(self, records) -> None:
+        """Uniformly load records into an empty file (durable)."""
+        self.engine.bulk_load(records)
+
+    def occupancies(self) -> List[int]:
+        """Records per page, as a list of length M."""
+        return self.engine.occupancies()
+
+    @property
+    def params(self) -> DensityParams:
+        return self.engine.params
+
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    def validate(self) -> None:
+        """In-core invariants plus on-disk/in-core agreement."""
+        self.engine.validate()
+        for page in range(1, self.params.num_pages + 1):
+            stored = self._store.read_page(page)
+            live = self.engine.pagefile._pages[page].records()
+            if stored != live:
+                from .core.errors import InvariantViolationError
+
+                raise InvariantViolationError(
+                    f"page {page}: on-disk contents diverge from memory"
+                )
+
+    def verify_checksums(self) -> List[int]:
+        """Checksum every on-disk page; return corrupt page numbers."""
+        return self._store.verify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PersistentDenseFile({self.path!r}, {self.params}, "
+            f"size={len(self)})"
+        )
+
+
+class JournaledDenseFile(PersistentDenseFile):
+    """A crash-atomic durable dense file (redo journal per command).
+
+    :class:`PersistentDenseFile` writes each page through as it mutates,
+    which is durable but not atomic: a crash between the two page writes
+    of one SHIFT could lose the records in flight.  This variant makes
+    every *public mutating call* a transaction:
+
+    1. the command runs in memory, collecting the dirty page set;
+    2. the new page images plus a checksummed commit marker are fsynced
+       to a side journal (``<path>.journal``);
+    3. only then are the pages applied to the main file and the journal
+       removed.
+
+    :meth:`open` replays a committed journal (redo) or discards a torn
+    one, so a reopened file always shows the state exactly before or
+    exactly after each command — never in between.  The invariant is
+    exercised exhaustively by the crash-point sweep in
+    ``tests/test_crash_consistency.py``.
+
+    After a :class:`~repro.storage.wal.SimulatedCrash` (or any mid-
+    transaction exception) the in-memory object is dead: close it and
+    reopen from disk.
+    """
+
+    def __init__(self, store: DiskPagedStore, engine, injector=None):
+        # Deliberately skip PersistentDenseFile.__init__: journaled mode
+        # buffers dirty pages instead of writing through per mutation.
+        from .storage.wal import TransactionJournal
+
+        self._store = store
+        self.engine = engine
+        self._dirty = set()
+        engine.pagefile._persist = self._dirty.add
+        self.journal = TransactionJournal(store.path + ".journal", injector)
+        store.fault_injector = injector
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        num_pages: int,
+        d: int,
+        D: int,
+        j: Optional[int] = None,
+        algorithm: str = "control2",
+        slot_capacity: int = 0,
+        overwrite: bool = False,
+        injector=None,
+    ) -> "JournaledDenseFile":
+        """Create a new crash-atomic file at ``path``."""
+        plain = PersistentDenseFile.create(
+            path,
+            num_pages=num_pages,
+            d=d,
+            D=D,
+            j=j,
+            algorithm=algorithm,
+            slot_capacity=slot_capacity,
+            overwrite=overwrite,
+        )
+        return cls(plain._store, plain.engine, injector=injector)
+
+    @classmethod
+    def open(cls, path: str, injector=None) -> "JournaledDenseFile":
+        """Open with journal recovery, rebuilding all in-core state."""
+        from .storage.wal import TransactionJournal
+
+        journal = TransactionJournal(path + ".journal")
+        committed = journal.read_committed()
+        if committed is not None:
+            store = DiskPagedStore.open(path)
+            for page, payload in committed.items():
+                store.write_page_payload(page, payload)
+            store.flush()
+            store.close()
+        journal.clear()
+        plain = PersistentDenseFile.open(path)
+        return cls(plain._store, plain.engine, injector=injector)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        if not self._dirty:
+            return
+        from .storage.codec import encode_page
+
+        payloads = {
+            page: encode_page(self.engine.pagefile._pages[page].records())
+            for page in self._dirty
+        }
+        self.journal.write_transaction(payloads)
+        for page, payload in payloads.items():
+            self._store.write_page_payload(page, payload)
+        self._store.flush()
+        self.journal.clear()
+        self._dirty.clear()
+
+    def _transactional(self, operation):
+        result = operation()
+        self._commit()
+        return result
+
+    # -- wrapped mutators ----------------------------------------------
+
+    def insert(self, key, value=None) -> None:
+        """Insert a record (one atomic, durable transaction)."""
+        self._transactional(lambda: self.engine.insert(key, value))
+
+    def delete(self, key) -> Record:
+        """Delete and return the record with ``key`` (atomic)."""
+        return self._transactional(lambda: self.engine.delete(key))
+
+    def update(self, key, value) -> Record:
+        """Replace the value under an existing ``key`` (atomic)."""
+        return self._transactional(
+            lambda: PersistentDenseFile.update(self, key, value)
+        )
+
+    def insert_many(self, items) -> int:
+        """Insert a batch as one atomic transaction (all or nothing)."""
+        return self._transactional(lambda: self.engine.insert_many(items))
+
+    def delete_range(self, lo_key, hi_key) -> int:
+        """Bulk-delete a key range as one atomic transaction."""
+        return self._transactional(
+            lambda: self.engine.delete_range(lo_key, hi_key)
+        )
+
+    def bulk_load(self, records) -> None:
+        """Uniformly load an empty file as one atomic transaction."""
+        self._transactional(lambda: self.engine.bulk_load(records))
+
+    def compact(self) -> int:
+        """Uniformly redistribute all records as one atomic transaction."""
+        return self._transactional(lambda: self.engine.compact())
+
+    def close(self) -> None:
+        """Commit any buffered transaction, then close the store."""
+        if self._dirty and not self._store.closed:
+            self._commit()
+        super().close()
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """In-core invariants plus on-disk/in-core agreement.
+
+        Only meaningful between transactions (there must be no buffered
+        dirty pages, or the comparison would be vacuous).
+        """
+        if self._dirty:
+            from .core.errors import InvariantViolationError
+
+            raise InvariantViolationError(
+                "validate() called with an uncommitted transaction"
+            )
+        super().validate()

@@ -1,0 +1,42 @@
+"""The record model shared by every file structure in this package.
+
+The paper manipulates records identified by a totally ordered key,
+``KEY(R)``, stored at a page address ``ADD(R)``.  We model a record as an
+immutable ``(key, value)`` pair; keys must be mutually comparable (ints,
+floats, strings, tuples, ...) and unique within a file.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+
+class Record(NamedTuple):
+    """An immutable keyed record.
+
+    Attributes
+    ----------
+    key:
+        The ordering key, ``KEY(R)`` in the paper.  Any totally ordered
+        Python value works as long as all keys in one file are mutually
+        comparable.
+    value:
+        Opaque payload carried along with the key.  ``None`` by default
+        so key-only workloads stay cheap.
+    """
+
+    key: Any
+    value: Any = None
+
+
+def ensure_record(item: Any) -> Record:
+    """Coerce ``item`` into a :class:`Record`.
+
+    Accepts an existing :class:`Record`, a ``(key, value)`` pair, or a
+    bare key (which becomes ``Record(key, None)``).
+    """
+    if isinstance(item, Record):
+        return item
+    if isinstance(item, tuple) and len(item) == 2:
+        return Record(item[0], item[1])
+    return Record(item)

@@ -1,0 +1,44 @@
+"""Simulated auxiliary-memory substrate: pages, page files, disks, costs.
+
+This subpackage is the "hardware" under every file structure in the
+repository.  It implements the paper's cost model (page accesses) plus a
+parametric disk-arm model used by the stream-retrieval benchmarks.
+"""
+
+from .codec import CodecError, decode_page, encode_page
+from .cost import AccessStats, CostModel, DISK_ARM_MODEL, PAGE_ACCESS_MODEL
+from .disk import SimulatedDisk
+from .ondisk import (
+    CorruptPageError,
+    DiskPagedStore,
+    PageOverflowError,
+    StorageError,
+    attach_store,
+    load_into,
+)
+from .page import Page
+from .pagefile import PageFile
+from .tracing import AccessEvent, AccessTrace, READ, WRITE
+
+__all__ = [
+    "AccessEvent",
+    "AccessStats",
+    "AccessTrace",
+    "CodecError",
+    "CorruptPageError",
+    "CostModel",
+    "DISK_ARM_MODEL",
+    "DiskPagedStore",
+    "PAGE_ACCESS_MODEL",
+    "Page",
+    "PageFile",
+    "PageOverflowError",
+    "READ",
+    "SimulatedDisk",
+    "StorageError",
+    "WRITE",
+    "attach_store",
+    "decode_page",
+    "encode_page",
+    "load_into",
+]

@@ -1,0 +1,127 @@
+"""An LRU buffer-pool simulator for access-trace replay.
+
+Willard remarks that CONTROL 2 "can be programmed to access consecutive
+pages in one fell swoop" — its page touches cluster, so even a small
+buffer pool absorbs most of them.  This module quantifies that: record
+an :class:`~repro.storage.tracing.AccessTrace` while running any
+structure, then replay it through :class:`BufferPool` instances of
+different capacities to get hit rates and the effective physical I/O a
+cached system would perform.
+
+The pool is a classic write-back LRU: a read miss faults the page in
+(one physical read, possibly one write-back of a dirty victim); a write
+marks the cached frame dirty; ``flush`` writes every dirty frame.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .tracing import AccessEvent, READ, WRITE
+
+
+@dataclass
+class PoolStats:
+    """Counters accumulated while replaying a trace."""
+
+    capacity: int = 0
+    hits: int = 0
+    misses: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def physical_io(self) -> int:
+        return self.physical_reads + self.physical_writes
+
+    def as_row(self):
+        """Format the counters for ``render_table``."""
+        return [
+            self.capacity,
+            self.accesses,
+            f"{self.hit_rate:.3f}",
+            self.physical_reads,
+            self.physical_writes,
+        ]
+
+
+POOL_STATS_HEADERS = [
+    "frames", "accesses", "hit rate", "phys reads", "phys writes",
+]
+
+
+class BufferPool:
+    """Write-back LRU pool over page numbers."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("a buffer pool needs at least one frame")
+        self.capacity = capacity
+        self._frames: "OrderedDict[int, bool]" = OrderedDict()  # page -> dirty
+        self.stats = PoolStats(capacity=capacity)
+
+    def access(self, kind: str, page: int) -> bool:
+        """Apply one logical access; returns True on a cache hit."""
+        frames = self._frames
+        if page in frames:
+            self.stats.hits += 1
+            dirty = frames.pop(page)
+            frames[page] = dirty or kind == WRITE
+            return True
+        self.stats.misses += 1
+        if len(frames) >= self.capacity:
+            _, victim_dirty = frames.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.physical_writes += 1
+        if kind == READ:
+            self.stats.physical_reads += 1
+            frames[page] = False
+        else:
+            # A write miss faults the page in, then dirties it.
+            self.stats.physical_reads += 1
+            frames[page] = True
+        return False
+
+    def flush(self) -> int:
+        """Write back every dirty frame; returns the number written."""
+        written = 0
+        for page, dirty in self._frames.items():
+            if dirty:
+                written += 1
+        self.stats.physical_writes += written
+        for page in list(self._frames):
+            self._frames[page] = False
+        return written
+
+    def resident_pages(self):
+        """Pages currently cached, least-recently-used first."""
+        return list(self._frames)
+
+
+def replay(events: Iterable[AccessEvent], capacity: int) -> PoolStats:
+    """Replay a trace through a fresh pool (with a final flush)."""
+    pool = BufferPool(capacity)
+    for event in events:
+        pool.access(event.kind, event.page)
+    pool.flush()
+    return pool.stats
+
+
+def miss_curve(events, capacities) -> "list[PoolStats]":
+    """Replay the same trace at several pool sizes."""
+    materialized = list(events)
+    return [replay(materialized, capacity) for capacity in capacities]

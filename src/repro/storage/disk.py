@@ -1,0 +1,97 @@
+"""A simulated auxiliary-memory device addressed in whole pages.
+
+This is the substrate under every file structure in the repository: the
+dense sequential file, the B-tree, the overflow file and the PMA all
+charge their page touches to a :class:`SimulatedDisk`.  The disk knows
+nothing about records; it only meters accesses through a
+:class:`~repro.storage.cost.CostModel`, tracks the simulated arm
+position, and optionally records an access trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cost import AccessStats, CostModel, PAGE_ACCESS_MODEL
+from .tracing import READ, WRITE, AccessTrace
+
+
+class SimulatedDisk:
+    """Page-granular access meter with a movable arm.
+
+    Parameters
+    ----------
+    num_pages:
+        Size of the address space; page numbers run from 1 to
+        ``num_pages`` inclusive (the paper numbers pages from 1).
+        Structures that allocate pages dynamically (the B-tree) may pass
+        ``num_pages=0`` and grow the device with :meth:`extend`.
+    model:
+        The :class:`CostModel` used to price each access.
+    trace:
+        Optional :class:`AccessTrace`; a disabled trace is created when
+        omitted.
+    """
+
+    def __init__(
+        self,
+        num_pages: int,
+        model: CostModel = PAGE_ACCESS_MODEL,
+        trace: Optional[AccessTrace] = None,
+    ):
+        if num_pages < 0:
+            raise ValueError("num_pages must be non-negative")
+        self.num_pages = num_pages
+        self.model = model
+        self.stats = AccessStats()
+        self.trace = trace if trace is not None else AccessTrace()
+        self._arm = -1  # -1 = arm parked / position unknown
+
+    @property
+    def arm_position(self) -> int:
+        """Page currently under the simulated head (-1 if parked)."""
+        return self._arm
+
+    def park(self) -> None:
+        """Forget the arm position (next access pays a full base seek)."""
+        self._arm = -1
+
+    def extend(self, extra_pages: int) -> int:
+        """Grow the address space; return the first newly valid page."""
+        if extra_pages <= 0:
+            raise ValueError("extra_pages must be positive")
+        first_new = self.num_pages + 1
+        self.num_pages += extra_pages
+        return first_new
+
+    def _check(self, page: int) -> None:
+        if not 1 <= page <= self.num_pages:
+            raise IndexError(
+                f"page {page} out of range [1, {self.num_pages}]"
+            )
+
+    def _moved(self, page: int) -> bool:
+        if self._arm < 0:
+            return True
+        return abs(page - self._arm) > self.model.contiguous_window
+
+    def read(self, page: int) -> None:
+        """Charge one read of ``page``."""
+        self._check(page)
+        cost = self.model.access_cost(self._arm, page)
+        self.stats.record_read(cost, self._moved(page))
+        self.trace.record(READ, page)
+        self._arm = page
+
+    def write(self, page: int) -> None:
+        """Charge one write of ``page``."""
+        self._check(page)
+        cost = self.model.access_cost(self._arm, page)
+        self.stats.record_write(cost, self._moved(page))
+        self.trace.record(WRITE, page)
+        self._arm = page
+
+    def reset_stats(self) -> None:
+        """Zero the meters without moving the arm."""
+        self.stats.reset()
+        self.trace.clear()

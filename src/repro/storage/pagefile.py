@@ -1,0 +1,383 @@
+"""``M`` consecutive pages of simulated auxiliary memory holding records.
+
+:class:`PageFile` is the physical layer of every sequential-file
+structure in this package.  It owns the pages (numbered 1..M as in the
+paper), keeps records in global key order across pages, charges every
+physical touch to a :class:`~repro.storage.disk.SimulatedDisk`, and
+maintains a small in-memory directory (which pages are non-empty and
+their minimum keys) standing in for the in-core part of the calibrator.
+
+Cost accounting conventions
+---------------------------
+* ``locate(key)`` resolves the target page through the in-core
+  directory (the calibrator machinery the paper keeps in memory) and
+  charges one verification read, matching the paper's "use the
+  calibrator as a binary search tree ... ``O(log M)`` [time] and
+  typically only two or three page accesses" per update.
+* Mutating one page charges one read plus one write of that page.
+* Moving records between two pages charges a read of the source and a
+  write of each of the two touched pages.
+* Length/emptiness queries are free: the rank counters live in the
+  in-core calibrator.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+from ..core.errors import RecordNotFoundError
+from ..records import Record
+from .cost import CostModel, PAGE_ACCESS_MODEL
+from .disk import SimulatedDisk
+from .page import Page
+
+
+class PageFile:
+    """The record-bearing pages of one sequential file."""
+
+    def __init__(
+        self,
+        num_pages: int,
+        disk: Optional[SimulatedDisk] = None,
+        model: CostModel = PAGE_ACCESS_MODEL,
+    ):
+        if num_pages < 1:
+            raise ValueError("a page file needs at least one page")
+        self.num_pages = num_pages
+        self.disk = disk if disk is not None else SimulatedDisk(num_pages, model)
+        if self.disk.num_pages < num_pages:
+            raise ValueError("disk is smaller than the requested page file")
+        self._pages: List[Page] = [Page() for _ in range(num_pages + 1)]
+        # Sorted list of non-empty page numbers; mins[i] matches it 1:1.
+        self._nonempty: List[int] = []
+        self._mins: List = []
+
+    # ------------------------------------------------------------------
+    # in-memory directory maintenance
+    # ------------------------------------------------------------------
+
+    def _directory_update(self, page_number: int) -> None:
+        """Re-sync the non-empty directory entry for one page."""
+        page = self._pages[page_number]
+        index = bisect.bisect_left(self._nonempty, page_number)
+        present = (
+            index < len(self._nonempty) and self._nonempty[index] == page_number
+        )
+        if page.is_empty:
+            if present:
+                del self._nonempty[index]
+                del self._mins[index]
+        else:
+            if present:
+                self._mins[index] = page.min_key
+            else:
+                self._nonempty.insert(index, page_number)
+                self._mins.insert(index, page.min_key)
+
+
+    # ------------------------------------------------------------------
+    # persistence hook (no-op here; overridden by PersistentPageFile)
+    # ------------------------------------------------------------------
+
+    def _persist(self, page_number: int) -> None:
+        """Write-through hook invoked after each page mutation."""
+
+    # ------------------------------------------------------------------
+    # free (in-core) queries
+    # ------------------------------------------------------------------
+
+    def page_len(self, page_number: int) -> int:
+        """Number of records on ``page_number`` (free: calibrator data)."""
+        return len(self._pages[page_number])
+
+    def is_empty_page(self, page_number: int) -> bool:
+        """Whether ``page_number`` holds no records (free query)."""
+        return self._pages[page_number].is_empty
+
+    def total_records(self) -> int:
+        """Total records across all pages (free query)."""
+        return sum(len(self._pages[p]) for p in self._nonempty)
+
+    def nonempty_pages(self) -> List[int]:
+        """Sorted list of non-empty page numbers (copy)."""
+        return list(self._nonempty)
+
+    def occupancies(self) -> List[int]:
+        """Record counts for pages 1..M, as a list of length M."""
+        return [len(self._pages[p]) for p in range(1, self.num_pages + 1)]
+
+    def next_nonempty_right(self, page_number: int) -> Optional[int]:
+        """Smallest non-empty page strictly greater than ``page_number``."""
+        index = bisect.bisect_right(self._nonempty, page_number)
+        if index < len(self._nonempty):
+            return self._nonempty[index]
+        return None
+
+    def next_nonempty_left(self, page_number: int) -> Optional[int]:
+        """Largest non-empty page strictly less than ``page_number``."""
+        index = bisect.bisect_left(self._nonempty, page_number) - 1
+        if index >= 0:
+            return self._nonempty[index]
+        return None
+
+    # ------------------------------------------------------------------
+    # charged physical operations
+    # ------------------------------------------------------------------
+
+    def read_page(self, page_number: int) -> List[Record]:
+        """Charge one read and return a copy of the page's records."""
+        self.disk.read(page_number)
+        return self._pages[page_number].records()
+
+    def locate(self, key) -> Optional[int]:
+        """Find the page owning ``key`` for an update command.
+
+        Returns the unique non-empty page whose key interval could
+        contain ``key`` (the rightmost non-empty page whose minimum key
+        is <= ``key``), or the first non-empty page when ``key`` precedes
+        every stored key, or ``None`` when the file is empty.
+
+        Cost accounting follows the paper's step 1 ("use the calibrator
+        as a binary search tree ... requires O(log M) [time] and
+        typically only two or three page accesses"): the binary search
+        itself runs over the in-core directory, and one verification
+        read of the candidate page is charged.  Together with the
+        read+write charged by the subsequent mutation, an update's
+        search-and-touch component is the paper's two-or-three accesses.
+        """
+        page = self.locate_in_core(key)
+        if page is not None:
+            self.disk.read(page)
+        return page
+
+    def locate_in_core(self, key) -> Optional[int]:
+        """Like :meth:`locate` but free of page-access charges.
+
+        Scans start here: the page-minimum directory is core-resident
+        (it is part of the calibrator machinery the paper keeps in
+        memory), so positioning a stream retrieval costs no disk reads.
+        Update commands use the charged :meth:`locate` instead, matching
+        the paper's step-1 accounting.
+        """
+        if not self._nonempty:
+            return None
+        index = bisect.bisect_right(self._mins, key) - 1
+        if index < 0:
+            return self._nonempty[0]
+        return self._nonempty[index]
+
+    def get(self, page_number: int, key) -> Optional[Record]:
+        """Charge one read; return the record with ``key`` or ``None``."""
+        self.disk.read(page_number)
+        return self._pages[page_number].get(key)
+
+    def min_record(self) -> Optional[Record]:
+        """Smallest-keyed record (one read), or ``None`` when empty."""
+        if not self._nonempty:
+            return None
+        page_number = self._nonempty[0]
+        self.disk.read(page_number)
+        return self._pages[page_number].records()[0]
+
+    def max_record(self) -> Optional[Record]:
+        """Largest-keyed record (one read), or ``None`` when empty."""
+        if not self._nonempty:
+            return None
+        page_number = self._nonempty[-1]
+        self.disk.read(page_number)
+        return self._pages[page_number].records()[-1]
+
+    def successor(self, key) -> Optional[Record]:
+        """Smallest record with key strictly greater than ``key``.
+
+        Charges one read (two when the answer sits on the next page).
+        """
+        start = self.locate_in_core(key)
+        if start is None:
+            return None
+        index = bisect.bisect_left(self._nonempty, start)
+        while index < len(self._nonempty):
+            page_number = self._nonempty[index]
+            self.disk.read(page_number)
+            for record in self._pages[page_number]:
+                if record.key > key:
+                    return record
+            index += 1
+        return None
+
+    def predecessor(self, key) -> Optional[Record]:
+        """Largest record with key strictly less than ``key``.
+
+        Charges one read (two when the answer sits on the previous page).
+        """
+        start = self.locate_in_core(key)
+        if start is None:
+            return None
+        index = bisect.bisect_left(self._nonempty, start)
+        while index >= 0:
+            page_number = self._nonempty[index]
+            self.disk.read(page_number)
+            for record in reversed(self._pages[page_number].records()):
+                if record.key < key:
+                    return record
+            index -= 1
+        return None
+
+    def insert_record(self, page_number: int, record: Record) -> None:
+        """Insert ``record`` into ``page_number`` (one read + one write)."""
+        self.disk.read(page_number)
+        self._pages[page_number].insert(record)
+        self.disk.write(page_number)
+        self._directory_update(page_number)
+        self._persist(page_number)
+
+    def remove_record(self, page_number: int, key) -> Record:
+        """Remove ``key`` from ``page_number`` (one read + one write)."""
+        self.disk.read(page_number)
+        record = self._pages[page_number].remove(key)
+        self.disk.write(page_number)
+        self._directory_update(page_number)
+        self._persist(page_number)
+        return record
+
+    def replace_record(self, page_number: int, record: Record) -> Record:
+        """Replace the record with ``record.key`` in place."""
+        self.disk.read(page_number)
+        old = self._pages[page_number].replace(record)
+        self.disk.write(page_number)
+        self._persist(page_number)
+        return old
+
+    def move_records(self, source: int, dest: int, count: int) -> int:
+        """Move up to ``count`` records from page ``source`` to ``dest``.
+
+        Moves the records *nearest to the destination* in key order: when
+        ``dest < source`` the lowest-keyed records of the source move and
+        are appended above the destination's keys; when ``dest > source``
+        the highest-keyed records move below the destination's keys.
+        Requires that no records sit on pages strictly between the two
+        (otherwise sequential order would break); the caller (SHIFT)
+        guarantees this.  Returns the number of records actually moved.
+
+        Charges one read of the source and one write of each page.
+        """
+        if source == dest:
+            raise ValueError("source and dest must differ")
+        if count <= 0:
+            return 0
+        source_page = self._pages[source]
+        dest_page = self._pages[dest]
+        self.disk.read(source)
+        if dest < source:
+            moved = source_page.take_lowest(count)
+            dest_page.extend_high(moved)
+        else:
+            moved = source_page.take_highest(count)
+            dest_page.extend_low(moved)
+        self.disk.write(dest)
+        self.disk.write(source)
+        self._directory_update(source)
+        self._directory_update(dest)
+        self._persist(source)
+        self._persist(dest)
+        return len(moved)
+
+    def redistribute(self, lo_page: int, hi_page: int) -> int:
+        """Spread all records in pages ``[lo_page, hi_page]`` evenly.
+
+        This is CONTROL 1's rebalancing primitive: after the call every
+        page in the range holds either ``floor(n/m)`` or ``ceil(n/m)``
+        records (``n`` records over ``m`` pages), with the surplus placed
+        on the leftmost pages, preserving key order.  Charges one read
+        and one write per page in the range and returns the number of
+        pages touched.
+        """
+        if lo_page > hi_page:
+            raise ValueError("empty page range")
+        gathered: List[Record] = []
+        for page_number in range(lo_page, hi_page + 1):
+            self.disk.read(page_number)
+            gathered.extend(self._pages[page_number].clear())
+        span = hi_page - lo_page + 1
+        base, surplus = divmod(len(gathered), span)
+        cursor = 0
+        for offset in range(span):
+            page_number = lo_page + offset
+            take = base + (1 if offset < surplus else 0)
+            chunk = gathered[cursor : cursor + take]
+            cursor += take
+            page = self._pages[page_number]
+            page.extend_high(chunk)
+            self.disk.write(page_number)
+            self._directory_update(page_number)
+            self._persist(page_number)
+        return span
+
+    def load_page(self, page_number: int, records: List[Record]) -> None:
+        """Overwrite one page's contents (bulk loading; one write)."""
+        page = self._pages[page_number]
+        page.clear()
+        page.extend_high(sorted(records, key=lambda record: record.key))
+        self.disk.write(page_number)
+        self._directory_update(page_number)
+        self._persist(page_number)
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+
+    def scan_range(self, lo_key, hi_key) -> Iterator[Record]:
+        """Yield records with ``lo_key <= key <= hi_key`` in key order.
+
+        Charges one read per page touched; pages are touched in
+        ascending order so the accesses form one sequential sweep.
+        """
+        start = self.locate_in_core(lo_key)
+        if start is None:
+            return
+        index = bisect.bisect_left(self._nonempty, start)
+        while index < len(self._nonempty):
+            page_number = self._nonempty[index]
+            if self._mins[index] > hi_key:
+                return
+            self.disk.read(page_number)
+            for record in self._pages[page_number]:
+                if record.key < lo_key:
+                    continue
+                if record.key > hi_key:
+                    return
+                yield record
+            index += 1
+
+    def scan_count(self, start_key, count: int) -> List[Record]:
+        """Return up to ``count`` records with key >= ``start_key``."""
+        result: List[Record] = []
+        start = self.locate_in_core(start_key)
+        if start is None or count <= 0:
+            return result
+        index = bisect.bisect_left(self._nonempty, start)
+        while index < len(self._nonempty) and len(result) < count:
+            page_number = self._nonempty[index]
+            self.disk.read(page_number)
+            for record in self._pages[page_number]:
+                if record.key >= start_key:
+                    result.append(record)
+                    if len(result) == count:
+                        break
+            index += 1
+        return result
+
+    def iter_all(self) -> Iterator[Record]:
+        """Yield every record in key order, charging reads per page."""
+        for page_number in list(self._nonempty):
+            self.disk.read(page_number)
+            for record in self._pages[page_number]:
+                yield record
+
+    def snapshot(self) -> List[Tuple[int, List[Record]]]:
+        """Uncharged dump of (page, records) for tests and checkers."""
+        return [
+            (page_number, self._pages[page_number].records())
+            for page_number in self._nonempty
+        ]

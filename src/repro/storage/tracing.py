@@ -1,0 +1,103 @@
+"""Access-trace recording for the simulated disk.
+
+A trace is a list of ``(kind, page)`` events.  Traces let tests assert
+*which* pages an algorithm touched (not just how many), and let the
+analysis layer compute run-length statistics: Willard points out that
+CONTROL 2, unlike a B-tree, touches *consecutive* pages during updates,
+so its accesses coalesce into long sequential runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+READ = "r"
+WRITE = "w"
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """A single page access: ``kind`` is ``"r"`` or ``"w"``."""
+
+    kind: str
+    page: int
+
+
+class AccessTrace:
+    """Bounded in-memory recording of page accesses.
+
+    Recording is off by default because maintenance benchmarks perform
+    millions of accesses; call :meth:`enable` (or construct with
+    ``enabled=True``) to start collecting.
+    """
+
+    def __init__(self, enabled: bool = False, capacity: int = 1_000_000):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[AccessEvent] = []
+        self.dropped = 0
+
+    def record(self, kind: str, page: int) -> None:
+        """Append one event if recording is on and capacity remains."""
+        if not self.enabled:
+            return
+        if len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(AccessEvent(kind, page))
+
+    def enable(self) -> None:
+        """Start recording accesses."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording accesses (events kept)."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop every recorded event and reset the drop counter."""
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AccessEvent]:
+        return iter(self._events)
+
+    def pages(self) -> List[int]:
+        """Return the sequence of page numbers touched, in order."""
+        return [event.page for event in self._events]
+
+    def runs(self) -> List[Tuple[int, int]]:
+        """Split the trace into maximal sequential runs.
+
+        A run is a maximal subsequence of accesses in which each page is
+        within one page of its predecessor (re-touching the same page
+        continues the run).  Returns ``(start_page, length)`` pairs where
+        ``length`` counts accesses, not distinct pages.
+        """
+        runs: List[Tuple[int, int]] = []
+        start = -1
+        previous = None
+        length = 0
+        for event in self._events:
+            if previous is not None and abs(event.page - previous) <= 1:
+                length += 1
+            else:
+                if length:
+                    runs.append((start, length))
+                start = event.page
+                length = 1
+            previous = event.page
+        if length:
+            runs.append((start, length))
+        return runs
+
+    def mean_run_length(self) -> float:
+        """Average length of the sequential runs (0.0 for an empty trace)."""
+        runs = self.runs()
+        if not runs:
+            return 0.0
+        return sum(length for _, length in runs) / len(runs)

@@ -1,0 +1,160 @@
+"""Transaction journal: crash atomicity for multi-page commands.
+
+A single CONTROL 2 command touches several pages (the insert page plus
+up to ``J`` SHIFT moves).  Plain write-through persists those pages one
+at a time, so a crash *between* the two page writes of one SHIFT could
+lose the records in flight.  This module closes that hole with a
+classic redo journal:
+
+1. the command runs against memory, collecting the dirty page set;
+2. the new images of every dirty page are appended to a side journal
+   file, followed by a checksummed **commit marker**, and fsynced;
+3. only then are the pages applied to the main store and the journal
+   cleared.
+
+On open, a journal with a valid commit marker is replayed (redo is
+idempotent); a journal without one is discarded — the main file was
+never touched by that transaction, so it still holds the consistent
+pre-command state.  Either way the reopened file shows exactly the
+state before or after each command, never in between.
+
+:class:`FaultInjector` lets the test suite crash the process at *every*
+physical write of a command and assert that recovery lands on one of
+the two legal states.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Dict, Optional
+
+from ..core.errors import ReproError
+
+JOURNAL_MAGIC = b"DSJ1"
+ENTRY = struct.Struct("<III")  # page, payload length, crc32
+COMMIT = struct.Struct("<4sII")  # marker, entry count, crc of entry crcs
+COMMIT_MARKER = b"CMT1"
+
+
+class SimulatedCrash(ReproError):
+    """Raised by a :class:`FaultInjector` in place of a power failure."""
+
+
+class FaultInjector:
+    """Counts down physical writes and 'crashes' when exhausted."""
+
+    def __init__(self):
+        self.countdown: Optional[int] = None
+        self.crashes = 0
+
+    def arm(self, writes_before_crash: int) -> None:
+        """Crash on the (n+1)-th physical write from now."""
+        self.countdown = writes_before_crash
+
+    def disarm(self) -> None:
+        """Stop injecting faults."""
+        self.countdown = None
+
+    def check(self) -> None:
+        """Called by stores/journals before each physical write."""
+        if self.countdown is None:
+            return
+        if self.countdown <= 0:
+            self.crashes += 1
+            raise SimulatedCrash("injected crash before a physical write")
+        self.countdown -= 1
+
+
+class TransactionJournal:
+    """Append-once redo journal beside the main store file."""
+
+    def __init__(self, path: str, injector: Optional[FaultInjector] = None):
+        self.path = path
+        self.injector = injector
+
+    def _check(self) -> None:
+        if self.injector is not None:
+            self.injector.check()
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def write_transaction(self, pages: Dict[int, bytes]) -> None:
+        """Persist one transaction's page images plus a commit marker.
+
+        The injector is consulted once per journal write (header, each
+        entry, the commit marker, the fsync), so crash-point sweeps can
+        land inside the journal as well as inside the main-store apply
+        phase.
+        """
+        self._check()
+        crcs = []
+        with open(self.path, "wb") as handle:
+            handle.write(JOURNAL_MAGIC)
+            for page, payload in sorted(pages.items()):
+                self._check()
+                crc = zlib.crc32(payload)
+                crcs.append(crc)
+                handle.write(ENTRY.pack(page, len(payload), crc))
+                handle.write(payload)
+            self._check()
+            trailer_crc = zlib.crc32(
+                b"".join(struct.pack("<I", crc) for crc in crcs)
+            )
+            handle.write(COMMIT.pack(COMMIT_MARKER, len(pages), trailer_crc))
+            handle.flush()
+            self._check()
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def read_committed(self) -> Optional[Dict[int, bytes]]:
+        """Return the page images of a committed journal, else ``None``.
+
+        ``None`` means: no journal, or a torn/uncommitted one — in
+        either case the main store holds the pre-command state and the
+        journal may simply be discarded.
+        """
+        if not os.path.exists(self.path):
+            return None
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        if len(raw) < len(JOURNAL_MAGIC) or raw[:4] != JOURNAL_MAGIC:
+            return None
+        offset = 4
+        pages: Dict[int, bytes] = {}
+        crcs = []
+        while True:
+            remaining = len(raw) - offset
+            if remaining >= COMMIT.size:
+                marker, count, trailer_crc = COMMIT.unpack_from(raw, offset)
+                if marker == COMMIT_MARKER and count == len(pages):
+                    expected = zlib.crc32(
+                        b"".join(struct.pack("<I", crc) for crc in crcs)
+                    )
+                    if expected == trailer_crc:
+                        return pages
+            if remaining < ENTRY.size:
+                return None  # torn: ran out before a valid commit marker
+            page, length, crc = ENTRY.unpack_from(raw, offset)
+            offset += ENTRY.size
+            payload = raw[offset : offset + length]
+            offset += length
+            if len(payload) != length or zlib.crc32(payload) != crc:
+                return None  # torn entry
+            pages[page] = payload
+            crcs.append(crc)
+
+    def clear(self) -> None:
+        """Remove the journal (the transaction is fully applied)."""
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def exists(self) -> bool:
+        """Whether a journal file is currently on disk."""
+        return os.path.exists(self.path)

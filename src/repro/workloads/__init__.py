@@ -1,0 +1,41 @@
+"""Workload generation and execution for the evaluation harness."""
+
+from .driver import RunResult, run_workload
+from .generators import (
+    DELETE,
+    INSERT,
+    Operation,
+    ascending_inserts,
+    converging_inserts,
+    descending_inserts,
+    hotspot_inserts,
+    interleaved_point_inserts,
+    keys_of,
+    mixed_workload,
+    sawtooth_workload,
+    uniform_random_inserts,
+)
+from .replay import TraceFormatError, dump_operations, load_operations
+from .zipf import ZipfSampler, zipf_region_inserts
+
+__all__ = [
+    "DELETE",
+    "INSERT",
+    "Operation",
+    "RunResult",
+    "TraceFormatError",
+    "ZipfSampler",
+    "ascending_inserts",
+    "converging_inserts",
+    "descending_inserts",
+    "dump_operations",
+    "hotspot_inserts",
+    "interleaved_point_inserts",
+    "keys_of",
+    "load_operations",
+    "mixed_workload",
+    "run_workload",
+    "sawtooth_workload",
+    "uniform_random_inserts",
+    "zipf_region_inserts",
+]

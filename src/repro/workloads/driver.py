@@ -1,0 +1,87 @@
+"""Executes operation streams against any file structure.
+
+The driver is deliberately structure-agnostic: anything with ``insert``
+and ``delete`` methods (the dense file engines, the B+-tree, the PMA,
+the overflow file, the packed file) can be driven, and per-operation
+costs are extracted from the structure's ``stats`` accumulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.trace import OperationLog
+from .generators import DELETE, INSERT, Operation
+
+
+@dataclass
+class RunResult:
+    """Everything measured while driving one workload."""
+
+    log: OperationLog
+    operations_executed: int
+    validations: int = 0
+    #: Per-operation record-move counts when the structure reports them.
+    final_size: int = 0
+    structure_name: str = ""
+    errors: List[str] = field(default_factory=list)
+
+
+def run_workload(
+    structure,
+    operations: Sequence[Operation],
+    validate_every: int = 0,
+    on_progress: Optional[Callable[[int], None]] = None,
+) -> RunResult:
+    """Drive ``operations`` through ``structure`` and meter each command.
+
+    Parameters
+    ----------
+    structure:
+        Any object with ``insert(key, value)``, ``delete(key)`` and a
+        ``stats`` :class:`~repro.storage.cost.AccessStats`.
+    validate_every:
+        If positive, call ``structure.validate()`` after every that many
+        operations (and once at the end).  Structures without a
+        ``validate`` method are validated never.
+    on_progress:
+        Optional callback invoked with the operation index.
+    """
+    log = OperationLog()
+    stats = structure.stats
+    validations = 0
+    moved_attr = hasattr(structure, "records_moved_total")
+    can_validate = validate_every > 0 and hasattr(structure, "validate")
+    for index, operation in enumerate(operations):
+        stats.checkpoint("driver")
+        moved_before = structure.records_moved_total if moved_attr else 0
+        if operation.kind == INSERT:
+            structure.insert(operation.key, operation.value)
+        elif operation.kind == DELETE:
+            structure.delete(operation.key)
+        else:  # pragma: no cover - Operation validates kinds
+            raise ValueError(f"unknown operation kind {operation.kind!r}")
+        delta = stats.delta("driver")
+        moved_after = structure.records_moved_total if moved_attr else 0
+        log.append(
+            accesses=delta.page_accesses,
+            moved=moved_after - moved_before,
+            cost=delta.cost,
+            label=operation.kind,
+        )
+        if can_validate and (index + 1) % validate_every == 0:
+            structure.validate()
+            validations += 1
+        if on_progress is not None:
+            on_progress(index)
+    if can_validate:
+        structure.validate()
+        validations += 1
+    return RunResult(
+        log=log,
+        operations_executed=len(log),
+        validations=validations,
+        final_size=len(structure) if hasattr(structure, "__len__") else 0,
+        structure_name=getattr(structure, "algorithm_name", type(structure).__name__),
+    )

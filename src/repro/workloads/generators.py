@@ -1,0 +1,201 @@
+"""Workload generators for the evaluation harness.
+
+Every generator yields :class:`Operation` objects; the driver executes
+them against any structure exposing ``insert``/``delete``.  Generators
+are deterministic given a seed, so experiments are reproducible run to
+run.
+
+The *converging* and *hammer* workloads are the adversarial patterns the
+paper worries about: "a large surge of insertions ... in a relatively
+small portion of the sequential file".  Converging keys are represented
+as exact :class:`fractions.Fraction` values so the adversary can subdivide
+an interval indefinitely without floating-point collisions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Iterator, List, Optional, Sequence
+
+INSERT = "insert"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One insertion or deletion command."""
+
+    kind: str
+    key: Any
+    value: Any = None
+
+    def __post_init__(self):
+        if self.kind not in (INSERT, DELETE):
+            raise ValueError(f"unknown operation kind {self.kind!r}")
+
+
+def uniform_random_inserts(
+    count: int, key_space: int = 1 << 30, seed: int = 0
+) -> List[Operation]:
+    """``count`` inserts with keys drawn uniformly without replacement."""
+    rng = random.Random(seed)
+    keys = rng.sample(range(key_space), count)
+    return [Operation(INSERT, key) for key in keys]
+
+
+def ascending_inserts(count: int, start: int = 0, gap: int = 1) -> List[Operation]:
+    """Monotonically increasing keys (append-at-end pattern)."""
+    return [Operation(INSERT, start + index * gap) for index in range(count)]
+
+
+def descending_inserts(count: int, start: int = 0, gap: int = 1) -> List[Operation]:
+    """Monotonically decreasing keys (prepend-at-front pattern)."""
+    return [Operation(INSERT, start - index * gap) for index in range(count)]
+
+
+def converging_inserts(
+    count: int, lo: int = 0, hi: int = 1, from_above: bool = True
+) -> List[Operation]:
+    """Keys converging onto a single point — the paper's "surge".
+
+    Every key lands strictly between the previous key and ``lo`` (when
+    ``from_above``) so all of them pile onto one spot of the key space:
+    the hardest case for any density-maintenance scheme, and the exact
+    scenario the introduction says overwhelms overflow heuristics.
+    """
+    operations = []
+    low = Fraction(lo)
+    high = Fraction(hi)
+    for _ in range(count):
+        mid = (low + high) / 2
+        operations.append(Operation(INSERT, mid))
+        if from_above:
+            high = mid
+        else:
+            low = mid
+    return operations
+
+
+def hotspot_inserts(
+    count: int,
+    center: int,
+    width: int,
+    key_space: int = 1 << 30,
+    hot_fraction: float = 0.9,
+    seed: int = 0,
+) -> List[Operation]:
+    """A burst: ``hot_fraction`` of inserts fall in a narrow key window."""
+    rng = random.Random(seed)
+    operations: List[Operation] = []
+    used = set()
+    while len(operations) < count:
+        if rng.random() < hot_fraction:
+            key = center + Fraction(rng.randrange(width * 1000), 1000)
+        else:
+            key = rng.randrange(key_space)
+        if key in used:
+            continue
+        used.add(key)
+        operations.append(Operation(INSERT, key))
+    return operations
+
+
+def mixed_workload(
+    count: int,
+    insert_ratio: float = 0.7,
+    key_space: int = 1 << 30,
+    seed: int = 0,
+    preloaded: Sequence = (),
+) -> List[Operation]:
+    """Random mix of inserts and deletes.
+
+    Deletes always target a key known to be live (either preloaded or
+    previously inserted), so the sequence is executable as-is.
+    """
+    rng = random.Random(seed)
+    live: List = list(preloaded)
+    live_set = set(live)
+    operations: List[Operation] = []
+    for _ in range(count):
+        do_insert = rng.random() < insert_ratio or not live
+        if do_insert:
+            key = rng.randrange(key_space)
+            while key in live_set:
+                key = rng.randrange(key_space)
+            live.append(key)
+            live_set.add(key)
+            operations.append(Operation(INSERT, key))
+        else:
+            index = rng.randrange(len(live))
+            live[index], live[-1] = live[-1], live[index]
+            key = live.pop()
+            live_set.remove(key)
+            operations.append(Operation(DELETE, key))
+    return operations
+
+
+def sawtooth_workload(
+    count: int, key_space: int = 1 << 30, period: int = 64, seed: int = 0
+) -> List[Operation]:
+    """Alternating bursts of inserts then deletes of the same keys.
+
+    Exercises the warning flags' raise/lower hysteresis: densities climb
+    toward ``g(., 2/3)`` then fall back through ``g(., 1/3)`` repeatedly.
+    """
+    rng = random.Random(seed)
+    operations: List[Operation] = []
+    live: List = []
+    live_set = set()
+    while len(operations) < count:
+        for _ in range(period):
+            key = rng.randrange(key_space)
+            while key in live_set:
+                key = rng.randrange(key_space)
+            live.append(key)
+            live_set.add(key)
+            operations.append(Operation(INSERT, key))
+            if len(operations) >= count:
+                return operations
+        for _ in range(period):
+            if not live:
+                break
+            key = live.pop(rng.randrange(len(live)))
+            live_set.remove(key)
+            operations.append(Operation(DELETE, key))
+            if len(operations) >= count:
+                return operations
+    return operations
+
+
+def interleaved_point_inserts(
+    count: int, points: Sequence[int], seed: Optional[int] = None
+) -> List[Operation]:
+    """Converging inserts alternating between several hot points.
+
+    Stresses CONTROL 2's roll-back rules: sweeps activated near
+    different hot points traverse overlapping ranges in opposite
+    directions.
+    """
+    streams = [
+        iter(converging_inserts(count, lo=point, hi=point + 1))
+        for point in points
+    ]
+    rng = random.Random(seed) if seed is not None else None
+    operations: List[Operation] = []
+    index = 0
+    while len(operations) < count:
+        if rng is not None:
+            stream = streams[rng.randrange(len(streams))]
+        else:
+            stream = streams[index % len(streams)]
+            index += 1
+        operations.append(next(stream))
+    return operations
+
+
+def keys_of(operations) -> Iterator:
+    """Convenience: the key stream of a list of operations."""
+    for operation in operations:
+        yield operation.key

@@ -1,0 +1,100 @@
+"""Save and load operation streams as JSON-lines trace files.
+
+Experiments are only reproducible if their workloads are shareable:
+this module serializes any :class:`~repro.workloads.generators.Operation`
+list to a plain ``.jsonl`` file (one command per line) and loads it back
+bit-identically, including exact :class:`fractions.Fraction` keys from
+the adversarial generators.
+
+Format: ``{"op": "insert"|"delete", "key": <encoded>, "value": <encoded>}``
+where non-JSON-native keys are encoded as tagged objects
+(``{"$frac": [num, den]}``, ``{"$tuple": [...]}``).
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Iterable, List
+
+from ..core.errors import ReproError
+from .generators import DELETE, INSERT, Operation
+
+
+class TraceFormatError(ReproError, ValueError):
+    """Raised when a trace file line cannot be decoded."""
+
+
+def _encode_value(value: Any):
+    if isinstance(value, Fraction):
+        return {"$frac": [value.numerator, value.denominator]}
+    if isinstance(value, tuple):
+        return {"$tuple": [_encode_value(item) for item in value]}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, list):
+        return {"$list": [_encode_value(item) for item in value]}
+    if isinstance(value, dict):
+        return {"$dict": [[_encode_value(k), _encode_value(v)]
+                          for k, v in value.items()]}
+    raise TraceFormatError(f"cannot encode {type(value).__name__} in a trace")
+
+
+def _decode_value(value: Any):
+    if isinstance(value, dict):
+        if "$frac" in value:
+            numerator, denominator = value["$frac"]
+            return Fraction(numerator, denominator)
+        if "$tuple" in value:
+            return tuple(_decode_value(item) for item in value["$tuple"])
+        if "$list" in value:
+            return [_decode_value(item) for item in value["$list"]]
+        if "$dict" in value:
+            return {
+                _decode_value(k): _decode_value(v) for k, v in value["$dict"]
+            }
+        raise TraceFormatError(f"unknown tagged value {sorted(value)}")
+    return value
+
+
+def dump_operations(operations: Iterable[Operation], path: str) -> int:
+    """Write operations to ``path`` (JSONL); returns the line count."""
+    count = 0
+    with open(path, "w") as handle:
+        for operation in operations:
+            line = {
+                "op": operation.kind,
+                "key": _encode_value(operation.key),
+            }
+            if operation.value is not None:
+                line["value"] = _encode_value(operation.value)
+            handle.write(json.dumps(line) + "\n")
+            count += 1
+    return count
+
+
+def load_operations(path: str) -> List[Operation]:
+    """Read a trace file back into an operation list."""
+    operations: List[Operation] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                kind = payload["op"]
+                if kind not in (INSERT, DELETE):
+                    raise TraceFormatError(f"unknown op {kind!r}")
+                operations.append(
+                    Operation(
+                        kind,
+                        _decode_value(payload["key"]),
+                        _decode_value(payload.get("value")),
+                    )
+                )
+            except (KeyError, json.JSONDecodeError) as error:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: {error}"
+                ) from error
+    return operations

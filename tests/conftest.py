@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Control1Engine, Control2Engine, DensityParams
+
+
+@pytest.fixture
+def paper_params() -> DensityParams:
+    """The exact geometry of the paper's Example 5.2."""
+    return DensityParams(num_pages=8, d=9, D=18, j=3)
+
+
+@pytest.fixture
+def small_params() -> DensityParams:
+    """A small geometry satisfying the slack condition (D-d > 3 log M)."""
+    return DensityParams(num_pages=16, d=4, D=20)
+
+
+@pytest.fixture
+def medium_params() -> DensityParams:
+    return DensityParams(num_pages=64, d=8, D=32)
+
+
+@pytest.fixture
+def control2(medium_params) -> Control2Engine:
+    return Control2Engine(medium_params)
+
+
+@pytest.fixture
+def control1(medium_params) -> Control1Engine:
+    return Control1Engine(medium_params)
+
+
+@pytest.fixture
+def paper_engine(paper_params) -> Control2Engine:
+    """Example 5.2's engine, loaded with its initial distribution."""
+    engine = Control2Engine(paper_params)
+    engine.load_occupancies([16, 1, 0, 1, 9, 9, 9, 16], key_start=0, key_gap=10)
+    return engine

@@ -1,0 +1,104 @@
+"""Tests for the analysis and reporting helpers."""
+
+import pytest
+
+from repro.analysis import (
+    SUMMARY_HEADERS,
+    growth_exponent,
+    percentile,
+    render_comparison,
+    render_series,
+    render_table,
+    summarize,
+    tail_profile,
+)
+
+
+class TestSummarize:
+    def test_empty_series(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.maximum == 0.0
+
+    def test_basic_statistics(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary.count == 4
+        assert summary.total == 10.0
+        assert summary.mean == 2.5
+        assert summary.maximum == 4.0
+
+    def test_percentiles_nearest_rank(self):
+        values = list(range(1, 101))
+        summary = summarize(values)
+        assert summary.p50 == 50.0
+        assert summary.p90 == 90.0
+        assert summary.p99 == 99.0
+
+    def test_as_row_matches_headers(self):
+        row = summarize([1.0, 2.0]).as_row()
+        assert len(row) == len(SUMMARY_HEADERS)
+
+    def test_percentile_of_singleton(self):
+        assert percentile([7.0], 0.99) == 7.0
+        assert percentile([], 0.5) == 0.0
+
+
+class TestTailProfile:
+    def test_uniform_mass(self):
+        histogram = tail_profile([1, 2, 3, 4, 5], bins=5)
+        assert sum(histogram) == 5
+
+    def test_spike_lands_in_last_bin(self):
+        histogram = tail_profile([1] * 99 + [100], bins=10)
+        assert histogram[-1] == 1
+        assert histogram[0] == 99
+
+    def test_empty_and_zero_series(self):
+        assert tail_profile([], bins=4) == [0, 0, 0, 0]
+        assert tail_profile([0, 0], bins=4)[0] == 2
+
+
+class TestGrowthExponent:
+    def test_linear_series_has_exponent_one(self):
+        xs = [2**k for k in range(4, 10)]
+        assert growth_exponent(xs, xs) == pytest.approx(1.0)
+
+    def test_flat_series_has_exponent_zero(self):
+        xs = [2**k for k in range(4, 10)]
+        assert growth_exponent(xs, [7] * len(xs)) == pytest.approx(0.0)
+
+    def test_quadratic_series(self):
+        xs = [2**k for k in range(4, 10)]
+        ys = [x * x for x in xs]
+        assert growth_exponent(xs, ys) == pytest.approx(2.0)
+
+    def test_degenerate_inputs(self):
+        assert growth_exponent([1], [1]) == 0.0
+        assert growth_exponent([0, 0], [1, 2]) == 0.0
+
+
+class TestRendering:
+    def test_table_alignment_and_title(self):
+        text = render_table(["a", "bb"], [[1, 2], [33, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_series_bars_scale(self):
+        text = render_series("s", ["x", "y"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 5
+        assert lines[2].count("#") == 10
+
+    def test_series_with_zero_max(self):
+        text = render_series("s", ["x"], [0.0])
+        assert "#" not in text
+
+    def test_comparison_columns(self):
+        text = render_comparison(
+            "cmp", "M", [64, 128], [("a", [1.0, 2.0]), ("b", [3.0, 4.0])]
+        )
+        header = text.splitlines()[1]
+        assert "M" in header and "a" in header and "b" in header

@@ -1,0 +1,165 @@
+"""Tests for the application layers (priority queue, time series)."""
+
+import random
+
+import pytest
+
+from repro.applications import (
+    DensePriorityQueue,
+    EmptyQueueError,
+    TimeSeriesStore,
+)
+
+
+class TestPriorityQueue:
+    @pytest.fixture
+    def queue(self):
+        return DensePriorityQueue(num_pages=64, d=8, D=40)
+
+    def test_pops_in_priority_order(self, queue):
+        for priority in (5, 1, 4, 2, 3):
+            queue.push(priority, f"p{priority}")
+        popped = [queue.pop() for _ in range(5)]
+        assert popped == [
+            (1, "p1"), (2, "p2"), (3, "p3"), (4, "p4"), (5, "p5"),
+        ]
+
+    def test_equal_priorities_pop_fifo(self, queue):
+        queue.push(7, "first")
+        queue.push(7, "second")
+        queue.push(7, "third")
+        assert [queue.pop()[1] for _ in range(3)] == [
+            "first", "second", "third",
+        ]
+
+    def test_peek_does_not_remove(self, queue):
+        queue.push(2, "two")
+        assert queue.peek() == (2, "two")
+        assert len(queue) == 1
+
+    def test_empty_queue_raises(self, queue):
+        with pytest.raises(EmptyQueueError):
+            queue.pop()
+        with pytest.raises(EmptyQueueError):
+            queue.peek()
+
+    def test_remove_by_handle(self, queue):
+        handle = queue.push(3, "victim")
+        queue.push(1, "keep")
+        assert queue.remove(handle) == "victim"
+        assert len(queue) == 1
+        assert queue.pop() == (1, "keep")
+
+    def test_drain_until_pops_everything_due(self, queue):
+        for priority in range(20):
+            queue.push(priority)
+        due = queue.drain_until(9)
+        assert [priority for priority, _ in due] == list(range(10))
+        assert len(queue) == 10
+        assert queue.peek()[0] == 10
+
+    def test_drain_until_on_boundary_is_inclusive(self, queue):
+        queue.push(5, "due")
+        queue.push(6, "later")
+        assert queue.drain_until(5) == [(5, "due")]
+
+    def test_due_count(self, queue):
+        for priority in range(30):
+            queue.push(priority)
+        assert queue.due_count(14) == 15
+        assert queue.due_count(-1) == 0
+
+    def test_matches_heapq_model(self, queue):
+        import heapq
+
+        rng = random.Random(11)
+        heap = []
+        counter = 0
+        for _ in range(400):
+            if heap and rng.random() < 0.4:
+                priority, _, value = heapq.heappop(heap)
+                assert queue.pop() == (priority, value)
+            else:
+                priority = rng.randrange(100)
+                queue.push(priority, f"v{counter}")
+                heapq.heappush(heap, (priority, counter, f"v{counter}"))
+                counter += 1
+        queue.validate()
+
+    def test_as_sorted_list(self, queue):
+        for priority in (3, 1, 2):
+            queue.push(priority)
+        assert [p for p, _ in queue.as_sorted_list()] == [1, 2, 3]
+
+
+class TestTimeSeriesStore:
+    @pytest.fixture
+    def store(self):
+        store = TimeSeriesStore(num_pages=128, d=8, D=48)
+        store.record_batch(
+            (minute * 60, "cpu", minute % 100)
+            for minute in range(200)
+        )
+        store.record_batch(
+            (minute * 60 + 1, "mem", minute % 50)
+            for minute in range(200)
+        )
+        return store
+
+    def test_len_and_capacity(self, store):
+        assert len(store) == 400
+        assert store.capacity == 1024
+
+    def test_window_interleaves_series_in_time_order(self, store):
+        rows = list(store.window(0, 120))
+        times = [timestamp for timestamp, _, _ in rows]
+        assert times == sorted(times)
+        assert {series for _, series, _ in rows} == {"cpu", "mem"}
+
+    def test_window_bounds_inclusive(self, store):
+        rows = list(store.window(60, 60))
+        assert [(t, s) for t, s, _ in rows] == [(60, "cpu")]
+
+    def test_series_window_filters(self, store):
+        cpu = store.series_window("cpu", 0, 600)
+        assert all(isinstance(value, int) for _, value in cpu)
+        assert len(cpu) == 11  # minutes 0..10
+
+    def test_late_arrivals_are_absorbed(self, store):
+        store.record(90, "cpu", "late!")
+        rows = list(store.window(60, 120))
+        assert (90, "cpu", "late!") in rows
+        store.validate()
+
+    def test_latest(self, store):
+        timestamp, series, _ = store.latest()
+        assert (timestamp, series) == (199 * 60 + 1, "mem")
+
+    def test_count_matches_scan(self, store):
+        assert store.count(0, 3600) == sum(1 for _ in store.window(0, 3600))
+
+    def test_expire_drops_old_keeps_boundary(self, store):
+        removed = store.expire(600)
+        # cpu at t in {0, 60, ..., 540} and mem at {1, 61, ..., 541}.
+        assert removed == 20
+        rows = list(store.window(0, 10**9))
+        assert min(timestamp for timestamp, _, _ in rows) == 600
+        store.validate()
+
+    def test_expire_with_compact(self, store):
+        before = len(store)
+        removed = store.expire(6000, compact=True)
+        assert removed > 0
+        assert len(store) == before - removed
+        occupancies = store._file.occupancies()
+        nonzero = [count for count in occupancies if count]
+        assert max(nonzero) - min(nonzero) <= 1
+        store.validate()
+
+    def test_expire_empty_store(self):
+        store = TimeSeriesStore(num_pages=64, d=4, D=32)
+        assert store.expire(100) == 0
+
+    def test_latest_empty_store(self):
+        store = TimeSeriesStore(num_pages=64, d=4, D=32)
+        assert store.latest() is None

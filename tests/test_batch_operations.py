@@ -1,0 +1,131 @@
+"""Tests for batch updates: insert_many and bulk delete_range."""
+
+import pytest
+
+from repro import (
+    Control1Engine,
+    Control2Engine,
+    DenseSequentialFile,
+    DensityParams,
+)
+from repro.records import Record
+
+
+@pytest.fixture(params=[Control1Engine, Control2Engine])
+def engine(request):
+    return request.param(DensityParams(num_pages=64, d=8, D=40))
+
+
+class TestInsertMany:
+    def test_inserts_everything_in_order(self, engine):
+        count = engine.insert_many([5, 1, (3, "three"), Record(2, "two")])
+        assert count == 4
+        keys = [record.key for record in engine.pagefile.iter_all()]
+        assert keys == [1, 2, 3, 5]
+        assert engine.search(3).value == "three"
+
+    def test_empty_iterable(self, engine):
+        assert engine.insert_many([]) == 0
+
+    def test_large_batch_stays_valid(self, engine):
+        engine.insert_many(range(0, 500))
+        engine.validate()
+        assert len(engine) == 500
+
+    def test_duplicates_in_batch_raise(self, engine):
+        from repro.core.errors import DuplicateKeyError
+
+        with pytest.raises(DuplicateKeyError):
+            engine.insert_many([1, 1])
+
+    def test_generator_input(self, engine):
+        assert engine.insert_many(k * 2 for k in range(10)) == 10
+
+
+class TestDeleteRange:
+    def test_deletes_inclusive_range(self, engine):
+        engine.insert_many(range(20))
+        removed = engine.delete_range(5, 9)
+        assert removed == 5
+        engine.validate()
+        keys = [record.key for record in engine.pagefile.iter_all()]
+        assert keys == [0, 1, 2, 3, 4] + list(range(10, 20))
+
+    def test_empty_range_is_noop(self, engine):
+        engine.insert_many(range(10))
+        assert engine.delete_range(100, 200) == 0
+        assert len(engine) == 10
+
+    def test_range_on_empty_file(self, engine):
+        assert engine.delete_range(0, 10) == 0
+
+    def test_delete_everything(self, engine):
+        engine.insert_many(range(200))
+        removed = engine.delete_range(-1, 10**9)
+        assert removed == 200
+        assert len(engine) == 0
+        engine.validate()
+
+    def test_range_spanning_many_pages(self, engine):
+        engine.insert_many(range(400))
+        removed = engine.delete_range(50, 349)
+        assert removed == 300
+        engine.validate()
+        assert len(engine) == 100
+
+    def test_size_and_counters_consistent(self, engine):
+        engine.insert_many(range(100))
+        engine.delete_range(10, 40)
+        assert len(engine) == engine.calibrator.count[engine.calibrator.root]
+
+    def test_cost_is_one_pass(self, engine):
+        engine.insert_many(range(400))
+        engine.stats.checkpoint("rd")
+        engine.delete_range(0, 399)
+        delta = engine.stats.delta("rd")
+        # One read + one write per touched page, nothing quadratic.
+        touched = 64
+        assert delta.page_accesses <= 2 * touched + 4
+
+    def test_single_key_range(self, engine):
+        engine.insert_many(range(10))
+        assert engine.delete_range(4, 4) == 1
+        assert 4 not in engine
+
+
+class TestControl2FlagRepair:
+    def test_warning_flags_lowered_after_range_delete(self):
+        params = DensityParams(num_pages=64, d=8, D=40, j=1)
+        engine = Control2Engine(params)
+        from repro.workloads import converging_inserts
+
+        for operation in converging_inserts(300):
+            engine.insert(operation.key)
+        # Bulk-delete the hot region; densities collapse, flags must drop.
+        engine.delete_range(-1, 10)
+        engine.validate()  # includes Fact 5.1(a)
+
+    def test_updates_continue_after_range_delete(self):
+        params = DensityParams(num_pages=64, d=8, D=40)
+        engine = Control2Engine(params)
+        engine.insert_many(range(300))
+        engine.delete_range(100, 199)
+        engine.insert_many(range(1000, 1100))
+        engine.validate()
+        assert len(engine) == 300
+
+
+class TestFacade:
+    def test_dense_file_batch_api(self):
+        dense = DenseSequentialFile(num_pages=64, d=8, D=40)
+        dense.insert_many([(k, str(k)) for k in range(50)])
+        assert dense.delete_range(10, 19) == 10
+        dense.validate()
+        assert len(dense) == 40
+
+    def test_macro_engine_batch_api(self):
+        dense = DenseSequentialFile(num_pages=64, d=8, D=12)  # macro blocks
+        dense.insert_many(range(100))
+        assert dense.delete_range(0, 49) == 50
+        dense.validate()
+        assert len(dense) == 50

@@ -1,0 +1,168 @@
+"""Tests for the disk-resident B+-tree baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.btree import BPlusTree
+from repro.core.errors import DuplicateKeyError, RecordNotFoundError
+from repro.records import Record
+
+
+@pytest.fixture
+def tree():
+    return BPlusTree(fanout=4, leaf_capacity=4)
+
+
+class TestInsertSearch:
+    def test_empty_tree(self, tree):
+        assert len(tree) == 0
+        assert tree.search(1) is None
+
+    def test_roundtrip(self, tree):
+        tree.insert(1, "a")
+        assert tree.search(1) == Record(1, "a")
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_duplicate_rejected(self, tree):
+        tree.insert(1)
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(1)
+
+    def test_splits_grow_height(self, tree):
+        for key in range(50):
+            tree.insert(key)
+        assert tree.height >= 3
+        tree.check_invariants()
+
+    def test_random_inserts_keep_invariants(self, tree):
+        keys = list(range(300))
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            tree.insert(key)
+        tree.check_invariants()
+        assert all(tree.search(key) is not None for key in range(300))
+
+    def test_descending_inserts(self, tree):
+        for key in range(100, 0, -1):
+            tree.insert(key)
+        tree.check_invariants()
+        assert [r.key for r in tree.range_scan(1, 100)] == list(range(1, 101))
+
+
+class TestDelete:
+    def test_delete_returns_record(self, tree):
+        tree.insert(1, "a")
+        assert tree.delete(1) == Record(1, "a")
+        assert len(tree) == 0
+
+    def test_delete_missing_raises(self, tree):
+        tree.insert(1)
+        with pytest.raises(RecordNotFoundError):
+            tree.delete(9)
+
+    def test_delete_triggers_borrow_and_merge(self, tree):
+        for key in range(64):
+            tree.insert(key)
+        for key in range(0, 64, 2):
+            tree.delete(key)
+        tree.check_invariants()
+        assert len(tree) == 32
+
+    def test_delete_everything_collapses_tree(self, tree):
+        for key in range(100):
+            tree.insert(key)
+        for key in range(100):
+            tree.delete(key)
+        tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_interleaved_inserts_deletes(self, tree):
+        rng = random.Random(7)
+        model = set()
+        for _ in range(1500):
+            key = rng.randrange(200)
+            if key in model:
+                tree.delete(key)
+                model.discard(key)
+            else:
+                tree.insert(key)
+                model.add(key)
+        tree.check_invariants()
+        assert sorted(model) == [r.key for r in tree.range_scan(-1, 10**9)]
+
+
+class TestScans:
+    def test_range_scan_inclusive(self, tree):
+        for key in range(0, 40, 2):
+            tree.insert(key)
+        assert [r.key for r in tree.range_scan(4, 10)] == [4, 6, 8, 10]
+
+    def test_scan_count(self, tree):
+        for key in range(20):
+            tree.insert(key)
+        assert [r.key for r in tree.scan_count(5, 4)] == [5, 6, 7, 8]
+
+    def test_scan_past_end(self, tree):
+        tree.insert(1)
+        assert [r.key for r in tree.scan_count(0, 10)] == [1]
+
+
+class TestBulkLoad:
+    def test_bulk_load_builds_searchable_tree(self):
+        tree = BPlusTree(fanout=8, leaf_capacity=8)
+        tree.bulk_load(range(0, 1000, 3))
+        tree.check_invariants()
+        assert tree.search(999) == Record(999, None)
+        assert tree.search(998) is None
+        assert len(tree) == 334
+
+    def test_bulk_loaded_leaves_are_physically_sequential(self):
+        tree = BPlusTree(fanout=8, leaf_capacity=8)
+        tree.bulk_load(range(200))
+        pages = tree.leaf_pages_in_order()
+        assert pages == sorted(pages)
+        assert pages == list(range(pages[0], pages[0] + len(pages)))
+
+    def test_updates_scatter_the_leaf_chain(self):
+        tree = BPlusTree(fanout=8, leaf_capacity=8)
+        tree.bulk_load(range(0, 400, 2))
+        for key in range(1, 400, 2):
+            tree.insert(key)
+        pages = tree.leaf_pages_in_order()
+        assert pages != sorted(pages)  # splits landed at the end
+
+    def test_bulk_load_requires_empty_tree(self):
+        tree = BPlusTree()
+        tree.insert(1)
+        with pytest.raises(ValueError):
+            tree.bulk_load([2])
+
+    def test_bulk_load_empty_iterable(self):
+        tree = BPlusTree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+
+
+class TestCosts:
+    def test_search_cost_is_height_reads(self):
+        tree = BPlusTree(fanout=4, leaf_capacity=4)
+        for key in range(100):
+            tree.insert(key)
+        tree.stats.reset()
+        tree.search(50)
+        assert tree.stats.reads == tree.height
+        assert tree.stats.writes == 0
+
+    def test_insert_writes_at_least_one_page(self, tree):
+        tree.stats.reset()
+        tree.insert(1)
+        assert tree.stats.writes >= 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(fanout=2)
+        with pytest.raises(ValueError):
+            BPlusTree(leaf_capacity=1)

@@ -1,0 +1,112 @@
+"""Tests for the LRU buffer-pool simulator."""
+
+import pytest
+
+from repro.storage.bufferpool import BufferPool, miss_curve, replay
+from repro.storage.tracing import AccessEvent, READ, WRITE
+
+
+def events(*pairs):
+    return [AccessEvent(kind, page) for kind, page in pairs]
+
+
+class TestBufferPool:
+    def test_needs_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)
+
+    def test_first_touch_misses_then_hits(self):
+        pool = BufferPool(2)
+        assert not pool.access(READ, 1)
+        assert pool.access(READ, 1)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        pool.access(READ, 1)
+        pool.access(READ, 2)
+        pool.access(READ, 1)  # 2 becomes LRU
+        pool.access(READ, 3)  # evicts 2
+        assert pool.resident_pages() == [1, 3]
+        assert pool.stats.evictions == 1
+
+    def test_clean_eviction_writes_nothing(self):
+        pool = BufferPool(1)
+        pool.access(READ, 1)
+        pool.access(READ, 2)
+        assert pool.stats.physical_writes == 0
+
+    def test_dirty_eviction_writes_back(self):
+        pool = BufferPool(1)
+        pool.access(WRITE, 1)
+        pool.access(READ, 2)
+        assert pool.stats.physical_writes == 1
+
+    def test_write_hit_marks_dirty(self):
+        pool = BufferPool(2)
+        pool.access(READ, 1)
+        pool.access(WRITE, 1)
+        pool.access(READ, 2)
+        pool.access(READ, 3)  # evicts dirty 1
+        assert pool.stats.physical_writes == 1
+
+    def test_flush_writes_dirty_frames_once(self):
+        pool = BufferPool(4)
+        pool.access(WRITE, 1)
+        pool.access(WRITE, 2)
+        pool.access(READ, 3)
+        assert pool.flush() == 2
+        assert pool.flush() == 0  # now clean
+
+    def test_every_miss_is_a_physical_read(self):
+        pool = BufferPool(2)
+        for page in (1, 2, 3, 1):
+            pool.access(READ, page)
+        assert pool.stats.physical_reads == pool.stats.misses
+
+
+class TestReplay:
+    def test_replay_counts_and_flushes(self):
+        stats = replay(events((WRITE, 1), (READ, 1), (WRITE, 2)), capacity=4)
+        assert stats.accesses == 3
+        assert stats.hits == 1
+        assert stats.physical_writes == 2  # final flush of pages 1 and 2
+
+    def test_hit_rate_bounds(self):
+        stats = replay(events((READ, 1)) * 0, capacity=2)
+        assert stats.hit_rate == 0.0
+        stats = replay(events((READ, 1), (READ, 1), (READ, 1)), capacity=2)
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_miss_curve_is_monotone(self):
+        trace = events(*[(READ, page % 8) for page in range(200)])
+        curve = miss_curve(trace, [1, 2, 4, 8])
+        rates = [stats.hit_rate for stats in curve]
+        assert rates == sorted(rates)
+        assert curve[-1].hit_rate > 0.9  # everything fits at 8 frames
+
+    def test_sequential_sweep_needs_one_frame(self):
+        trace = events(*[(READ, page) for page in range(1, 50)])
+        stats = replay(trace, capacity=1)
+        assert stats.hits == 0  # pure sweep: every page new
+        assert stats.physical_reads == 49
+
+
+class TestEngineLocality:
+    def test_dense_updates_cache_better_than_btree(self):
+        """The 'one fell swoop' claim, quantified at 8 frames."""
+        from repro import Control2Engine, DensityParams
+        from repro.baselines.btree import BPlusTree
+        from repro.workloads import converging_inserts, run_workload
+
+        dense = Control2Engine(DensityParams(num_pages=128, d=8, D=48))
+        dense.disk.trace.enable()
+        tree = BPlusTree(fanout=16, leaf_capacity=48)
+        tree.disk.trace.enable()
+        operations = converging_inserts(600)
+        run_workload(dense, operations)
+        run_workload(tree, operations)
+        dense_stats = replay(list(dense.disk.trace), capacity=8)
+        tree_stats = replay(list(tree.disk.trace), capacity=8)
+        assert dense_stats.hit_rate > tree_stats.hit_rate

@@ -1,0 +1,212 @@
+"""Unit tests for the calibrator tree."""
+
+import pytest
+
+from repro.core.calibrator import CalibratorTree
+
+
+class TestStructure:
+    def test_root_spans_whole_file(self):
+        tree = CalibratorTree(8)
+        assert (tree.lo[tree.root], tree.hi[tree.root]) == (1, 8)
+        assert tree.depth[tree.root] == 0
+
+    def test_floor_midpoint_split(self):
+        tree = CalibratorTree(8)
+        left, right = tree.left[tree.root], tree.right[tree.root]
+        assert (tree.lo[left], tree.hi[left]) == (1, 4)
+        assert (tree.lo[right], tree.hi[right]) == (5, 8)
+
+    def test_every_page_has_a_leaf(self):
+        tree = CalibratorTree(8)
+        for page in range(1, 9):
+            leaf = tree.leaf_of_page[page]
+            assert tree.is_leaf(leaf)
+            assert tree.lo[leaf] == tree.hi[leaf] == page
+
+    def test_power_of_two_tree_is_perfect(self):
+        tree = CalibratorTree(8)
+        assert len(tree) == 15
+        assert all(tree.depth[tree.leaf_of_page[p]] == 3 for p in range(1, 9))
+
+    def test_non_power_of_two_uneven_leaves(self):
+        tree = CalibratorTree(6)  # splits 1-3 / 4-6, then 1-2/3, 4-5/6
+        depths = {tree.depth[tree.leaf_of_page[p]] for p in range(1, 7)}
+        assert depths == {2, 3}
+
+    def test_single_page_tree(self):
+        tree = CalibratorTree(1)
+        assert len(tree) == 1
+        assert tree.is_leaf(tree.root)
+
+    def test_direction_flag(self):
+        tree = CalibratorTree(8)
+        assert tree.is_right_child(tree.right[tree.root])
+        assert not tree.is_right_child(tree.left[tree.root])
+        with pytest.raises(ValueError):
+            tree.is_right_child(tree.root)
+
+    def test_pages_in(self):
+        tree = CalibratorTree(8)
+        assert tree.pages_in(tree.root) == 8
+        assert tree.pages_in(tree.left[tree.root]) == 4
+
+    def test_path_from_leaf_is_leaf_to_root(self):
+        tree = CalibratorTree(8)
+        path = tree.path_from_leaf(5)
+        assert path[0] == tree.leaf_of_page[5]
+        assert path[-1] == tree.root
+        assert [tree.depth[node] for node in path] == [3, 2, 1, 0]
+
+
+class TestCounters:
+    def test_add_updates_whole_path(self):
+        tree = CalibratorTree(8)
+        tree.add(5, 3)
+        for node in tree.path_from_leaf(5):
+            assert tree.count[node] == 3
+        assert tree.count[tree.leaf_of_page[4]] == 0
+
+    def test_add_negative_delta(self):
+        tree = CalibratorTree(8)
+        tree.add(5, 3)
+        tree.add(5, -2)
+        assert tree.leaf_count(5) == 1
+
+    def test_underflow_rejected(self):
+        tree = CalibratorTree(8)
+        with pytest.raises(ValueError):
+            tree.add(5, -1)
+
+    def test_transfer_moves_counts_between_subtrees(self):
+        tree = CalibratorTree(8)
+        tree.add(5, 10)
+        tree.transfer(source_page=5, dest_page=2, moved=4)
+        assert tree.leaf_count(5) == 6
+        assert tree.leaf_count(2) == 4
+        assert tree.count[tree.root] == 10
+
+    def test_transfer_within_sibling_pages(self):
+        tree = CalibratorTree(8)
+        tree.add(7, 6)
+        tree.transfer(source_page=7, dest_page=8, moved=2)
+        # Parent of leaves 7,8 is unchanged.
+        parent = tree.parent[tree.leaf_of_page[7]]
+        assert tree.count[parent] == 6
+        assert tree.leaf_count(8) == 2
+
+    def test_nodes_separating_matches_up_set_definition(self):
+        tree = CalibratorTree(8)
+        nodes = tree.nodes_separating(dest_page=2, source_page=4)
+        ranges = {(tree.lo[n], tree.hi[n]) for n in nodes}
+        # Nodes containing page 2 but not page 4: L2 and [1,2].
+        assert ranges == {(2, 2), (1, 2)}
+
+    def test_nodes_separating_adjacent_pages(self):
+        tree = CalibratorTree(8)
+        nodes = tree.nodes_separating(dest_page=7, source_page=8)
+        assert [(tree.lo[n], tree.hi[n]) for n in nodes] == [(7, 7)]
+
+    def test_nodes_separating_is_leaf_first(self):
+        tree = CalibratorTree(8)
+        nodes = tree.nodes_separating(dest_page=1, source_page=8)
+        depths = [tree.depth[n] for n in nodes]
+        assert depths == sorted(depths, reverse=True)
+
+
+class TestFlags:
+    def test_set_flag_updates_subtree_counts(self):
+        tree = CalibratorTree(8)
+        leaf = tree.leaf_of_page[3]
+        tree.set_flag(leaf, True)
+        for node in tree.path_from_leaf(3):
+            assert tree.flags_below[node] == 1
+        assert tree.any_flagged()
+
+    def test_set_flag_is_idempotent(self):
+        tree = CalibratorTree(8)
+        leaf = tree.leaf_of_page[3]
+        tree.set_flag(leaf, True)
+        tree.set_flag(leaf, True)
+        assert tree.flags_below[tree.root] == 1
+
+    def test_lower_flag(self):
+        tree = CalibratorTree(8)
+        leaf = tree.leaf_of_page[3]
+        tree.set_flag(leaf, True)
+        tree.set_flag(leaf, False)
+        assert not tree.any_flagged()
+        assert tree.flags_below[tree.root] == 0
+
+    def test_flagged_nodes_listing(self):
+        tree = CalibratorTree(8)
+        a = tree.leaf_of_page[1]
+        b = tree.right[tree.root]
+        tree.set_flag(a, True)
+        tree.set_flag(b, True)
+        assert sorted(tree.flagged_nodes()) == sorted([a, b])
+
+    def test_clear_flags(self):
+        tree = CalibratorTree(8)
+        tree.set_flag(tree.leaf_of_page[1], True)
+        tree.clear_flags()
+        assert not tree.any_flagged()
+
+
+class TestSelectQueries:
+    def test_lowest_ancestor_prefers_nearby_warnings(self):
+        # Matches Example 5.2's first SELECT: from leaf 8 with L8 and v3
+        # flagged, alpha is the parent of leaves 7-8.
+        tree = CalibratorTree(8)
+        leaf8 = tree.leaf_of_page[8]
+        v3 = tree.right[tree.root]
+        tree.set_flag(leaf8, True)
+        tree.set_flag(v3, True)
+        alpha = tree.lowest_ancestor_with_flagged_proper_descendant(8)
+        assert (tree.lo[alpha], tree.hi[alpha]) == (7, 8)
+
+    def test_lowest_ancestor_walks_to_root_when_needed(self):
+        # Matches Example 5.2's second SELECT: only v3 flagged, alpha is
+        # the root, the deepest flagged descendant is v3 itself.
+        tree = CalibratorTree(8)
+        v3 = tree.right[tree.root]
+        tree.set_flag(v3, True)
+        alpha = tree.lowest_ancestor_with_flagged_proper_descendant(8)
+        assert alpha == tree.root
+        assert tree.deepest_flagged_descendant(alpha) == v3
+
+    def test_no_flags_returns_none(self):
+        tree = CalibratorTree(8)
+        assert tree.lowest_ancestor_with_flagged_proper_descendant(4) is None
+        assert tree.deepest_flagged_descendant(tree.root) is None
+
+    def test_deepest_flagged_descendant_prefers_depth(self):
+        tree = CalibratorTree(8)
+        shallow = tree.left[tree.root]
+        deep = tree.leaf_of_page[6]
+        tree.set_flag(shallow, True)
+        tree.set_flag(deep, True)
+        assert tree.deepest_flagged_descendant(tree.root) == deep
+
+    def test_depth_ties_break_to_smaller_range_start(self):
+        tree = CalibratorTree(8)
+        left_leaf = tree.leaf_of_page[2]
+        right_leaf = tree.leaf_of_page[7]
+        tree.set_flag(right_leaf, True)
+        tree.set_flag(left_leaf, True)
+        assert tree.deepest_flagged_descendant(tree.root) == left_leaf
+
+    def test_search_scoped_to_subtree(self):
+        tree = CalibratorTree(8)
+        outside = tree.leaf_of_page[1]
+        tree.set_flag(outside, True)
+        right = tree.right[tree.root]
+        assert tree.deepest_flagged_descendant(right) is None
+
+    def test_leaf_own_flag_found_via_parent(self):
+        tree = CalibratorTree(8)
+        leaf = tree.leaf_of_page[4]
+        tree.set_flag(leaf, True)
+        alpha = tree.lowest_ancestor_with_flagged_proper_descendant(4)
+        assert alpha == tree.parent[leaf]
+        assert tree.deepest_flagged_descendant(alpha) == leaf

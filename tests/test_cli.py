@@ -1,0 +1,177 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main, parse_key
+
+
+def run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "cli.dsf")
+
+
+@pytest.fixture
+def created(path):
+    code, _ = run(
+        "create", path, "--pages", "64", "--low-density", "8",
+        "--capacity", "40",
+    )
+    assert code == 0
+    return path
+
+
+class TestParseKey:
+    def test_int(self):
+        assert parse_key("42") == 42
+        assert isinstance(parse_key("42"), int)
+
+    def test_float(self):
+        assert parse_key("4.5") == 4.5
+
+    def test_string_fallback(self):
+        assert parse_key("alpha") == "alpha"
+
+
+class TestCreate:
+    def test_create_reports_geometry(self, path):
+        code, output = run(
+            "create", path, "--pages", "64", "--low-density", "8",
+            "--capacity", "40",
+        )
+        assert code == 0
+        assert "M=64" in output
+        assert "cap 512 records" in output
+
+    def test_create_refuses_overwrite_without_force(self, created):
+        code, output = run(
+            "create", created, "--pages", "64", "--low-density", "8",
+            "--capacity", "40",
+        )
+        assert code == 1
+        assert "error" in output
+
+    def test_force_overwrites(self, created):
+        code, _ = run(
+            "create", created, "--pages", "32", "--low-density", "8",
+            "--capacity", "40", "--force",
+        )
+        assert code == 0
+
+    def test_create_rejects_bad_slack(self, path):
+        code, output = run(
+            "create", path, "--pages", "64", "--low-density", "8",
+            "--capacity", "10",
+        )
+        assert code == 1
+        assert "slack" in output
+
+
+class TestPutGetDelete:
+    def test_roundtrip(self, created):
+        assert run("put", created, "7", "seven")[0] == 0
+        code, output = run("get", created, "7")
+        assert code == 0
+        assert output.strip() == "7\tseven"
+
+    def test_get_missing(self, created):
+        code, output = run("get", created, "9")
+        assert code == 2
+        assert "not found" in output
+
+    def test_delete(self, created):
+        run("put", created, "7")
+        assert run("delete", created, "7")[0] == 0
+        assert run("get", created, "7")[0] == 2
+
+    def test_delete_missing_is_an_error(self, created):
+        code, output = run("delete", created, "7")
+        assert code == 1
+        assert "error" in output
+
+    def test_duplicate_put_is_an_error(self, created):
+        run("put", created, "7")
+        code, output = run("put", created, "7")
+        assert code == 1
+        assert "error" in output
+
+
+class TestScans:
+    def test_load_then_scan(self, created):
+        code, output = run("load", created, "--keys", "0:100:2")
+        assert code == 0
+        assert "loaded 50" in output
+        code, output = run("scan", created, "--start", "10", "--count", "3")
+        assert code == 0
+        assert [line.split("\t")[0] for line in output.splitlines()] == [
+            "10", "12", "14",
+        ]
+
+    def test_range(self, created):
+        run("load", created, "--keys", "0:20")
+        code, output = run("range", created, "--lo", "5", "--hi", "8")
+        assert [line.split("\t")[0] for line in output.splitlines()] == [
+            "5", "6", "7", "8",
+        ]
+
+    def test_delete_range(self, created):
+        run("load", created, "--keys", "0:100")
+        code, output = run("delete-range", created, "--lo", "10", "--hi", "89")
+        assert code == 0
+        assert "deleted 80" in output
+
+    def test_bad_keys_spec(self, created):
+        code, output = run("load", created, "--keys", "0")
+        assert code == 1
+        assert "start:stop" in output
+
+
+class TestInfoVerify:
+    def test_info_shows_fill_and_heatmap(self, created):
+        run("load", created, "--keys", "0:200")
+        code, output = run("info", created)
+        assert code == 0
+        assert "CONTROL 2" in output
+        assert "200 records" in output
+        assert "|" in output  # the heatmap strip
+
+    def test_verify_clean(self, created):
+        run("load", created, "--keys", "0:50")
+        code, output = run("verify", created)
+        assert code == 0
+        assert "ok" in output
+
+    def test_verify_detects_corruption(self, created):
+        run("load", created, "--keys", "0:50")
+        from repro.persistent import PersistentDenseFile
+        from repro.storage.ondisk import HEADER, SLOT_HEADER
+
+        with PersistentDenseFile.open(created) as dense:
+            page = dense.engine.pagefile.nonempty_pages()[0]
+            slot = dense._store.slot_capacity
+        offset = HEADER.size + (page - 1) * slot + SLOT_HEADER.size + 1
+        with open(created, "r+b") as handle:
+            handle.seek(offset)
+            handle.write(b"\x99")
+        code, output = run("verify", created)
+        assert code == 3
+        assert "CORRUPT" in output
+
+    def test_open_missing_file(self, path):
+        code, output = run("info", path)
+        assert code == 1
+
+
+class TestDemo:
+    def test_demo_replays_figure_4(self):
+        code, output = run("demo")
+        assert code == 0
+        assert "t8: [15, 9, 0, 0, 4, 9, 15, 11]" in output
+        assert "matches Figure 4" in output

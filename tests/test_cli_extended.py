@@ -1,0 +1,95 @@
+"""Tests for the CLI's order-statistics, compact and atomicity behavior."""
+
+import io
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def created(tmp_path):
+    path = str(tmp_path / "cli-ext.dsf")
+    code, _ = run(
+        "create", path, "--pages", "64", "--low-density", "8",
+        "--capacity", "40",
+    )
+    assert code == 0
+    run("load", path, "--keys", "0:100:2")
+    return path
+
+
+class TestOrderStatisticsCommands:
+    def test_rank(self, created):
+        code, output = run("rank", created, "10")
+        assert code == 0
+        assert output.strip() == "5"
+
+    def test_rank_of_absent_key(self, created):
+        code, output = run("rank", created, "11")
+        assert output.strip() == "6"
+
+    def test_count(self, created):
+        code, output = run("count", created, "--lo", "10", "--hi", "20")
+        assert code == 0
+        assert output.strip() == "6"
+
+    def test_count_empty_window(self, created):
+        code, output = run("count", created, "--lo", "1000", "--hi", "2000")
+        assert output.strip() == "0"
+
+
+class TestCompactCommand:
+    def test_compact_reports_pages(self, created):
+        run("delete-range", created, "--lo", "0", "--hi", "60")
+        code, output = run("compact", created)
+        assert code == 0
+        assert "rewrote 64 pages" in output
+        code, _ = run("verify", created)
+        assert code == 0
+
+    def test_compact_preserves_contents(self, created):
+        _, before = run("range", created, "--lo", "0", "--hi", "98")
+        run("compact", created)
+        _, after = run("range", created, "--lo", "0", "--hi", "98")
+        assert after == before
+
+
+class TestCrashSafetyOfCli:
+    def test_cli_files_carry_no_journal_after_clean_ops(self, created):
+        run("put", created, "1001", "x")
+        assert not os.path.exists(created + ".journal")
+
+    def test_committed_journal_recovered_transparently(self, created):
+        """A leftover committed journal is replayed by the next command."""
+        from repro.persistent import JournaledDenseFile
+        from repro.storage.codec import encode_page
+
+        with JournaledDenseFile.open(created) as dense:
+            page = dense.engine.pagefile.nonempty_pages()[0]
+            victims = dense.engine.pagefile._pages[page].records()
+            dense.journal.write_transaction({page: encode_page([])})
+        # The journal says "that page is now empty" and is committed;
+        # the next CLI command must replay it before serving.
+        code, output = run("rank", created, str(10**9))
+        assert code == 0
+        assert int(output.strip()) == 50 - len(victims)
+
+    def test_plain_persistent_refuses_pending_journal(self, created):
+        from repro.core.errors import ReproError
+        from repro.persistent import JournaledDenseFile, PersistentDenseFile
+        from repro.storage.codec import encode_page
+
+        with JournaledDenseFile.open(created) as dense:
+            dense.journal.write_transaction({1: encode_page([])})
+        with pytest.raises(ReproError, match="journal"):
+            PersistentDenseFile.open(created)
+        # Cleanup so other tests can reopen.
+        os.unlink(created + ".journal")

@@ -1,0 +1,173 @@
+"""Unit tests for the binary record codec."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.records import Record
+from repro.storage.codec import (
+    CodecError,
+    decode_page,
+    decode_record,
+    decode_value,
+    encode_page,
+    encode_record,
+    encode_value,
+)
+
+
+def roundtrip_value(value):
+    out = []
+    encode_value(value, out)
+    decoded, offset = decode_value(b"".join(out), 0)
+    assert offset == len(b"".join(out))
+    return decoded
+
+
+class TestValues:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**100,
+            -(2**100),
+            1.5,
+            float("inf"),
+            "",
+            "héllo",
+            b"",
+            b"\x00\xff",
+            Fraction(1, 3),
+            Fraction(-7, 2),
+            (),
+            (1, "a", None),
+            ((1, 2), (3, (4,))),
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert roundtrip_value(value) == value
+
+    def test_bool_stays_bool(self):
+        decoded = roundtrip_value(True)
+        assert decoded is True
+
+    def test_int_zero_vs_false_distinct(self):
+        assert roundtrip_value(0) == 0
+        assert not isinstance(roundtrip_value(0), bool)
+
+    def test_fraction_type_preserved(self):
+        assert isinstance(roundtrip_value(Fraction(1, 3)), Fraction)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(CodecError):
+            encode_value({1, 2, 3}, [])
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            {},
+            {"name": "widget", "stock": 7},
+            {1: (2, 3), "nested": {"deep": [1, 2]}},
+            [],
+            [1, "two", None, [3.5]],
+        ],
+    )
+    def test_container_roundtrip(self, value):
+        assert roundtrip_value(value) == value
+
+    def test_list_and_tuple_stay_distinct(self):
+        assert isinstance(roundtrip_value([1]), list)
+        assert isinstance(roundtrip_value((1,)), tuple)
+
+    def test_nan_roundtrips_as_nan(self):
+        import math
+
+        assert math.isnan(roundtrip_value(float("nan")))
+
+    @given(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(),
+            st.floats(allow_nan=False),
+            st.text(),
+            st.binary(),
+            st.fractions(),
+        )
+    )
+    def test_roundtrip_property(self, value):
+        assert roundtrip_value(value) == value
+
+    @given(
+        st.recursive(
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(),
+                st.floats(allow_nan=False),
+                st.text(max_size=10),
+                st.binary(max_size=10),
+                st.fractions(),
+            ),
+            lambda children: st.one_of(
+                st.tuples(children, children),
+                st.lists(children, max_size=4),
+                st.dictionaries(
+                    st.text(max_size=6), children, max_size=4
+                ),
+            ),
+            max_leaves=12,
+        )
+    )
+    def test_nested_container_roundtrip_property(self, value):
+        assert roundtrip_value(value) == value
+
+
+class TestRecordsAndPages:
+    def test_record_roundtrip(self):
+        record = Record(5, ("x", 2.5))
+        buffer = encode_record(record)
+        decoded, offset = decode_record(buffer, 0)
+        assert decoded == record
+        assert offset == len(buffer)
+
+    def test_page_roundtrip(self):
+        records = [Record(k, f"v{k}") for k in range(10)]
+        assert decode_page(encode_page(records)) == records
+
+    def test_empty_page(self):
+        assert decode_page(encode_page([])) == []
+
+    def test_truncated_page_rejected(self):
+        buffer = encode_page([Record(1)])
+        with pytest.raises(CodecError):
+            decode_page(buffer[:-1])
+
+    def test_trailing_garbage_rejected(self):
+        buffer = encode_page([Record(1)]) + b"\x00"
+        with pytest.raises(CodecError):
+            decode_page(buffer)
+
+    def test_truncated_value_rejected(self):
+        with pytest.raises(CodecError):
+            decode_value(b"", 0)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            decode_value(bytes([200]), 0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(), st.one_of(st.none(), st.text())),
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    def test_page_roundtrip_property(self, pairs):
+        records = [Record(key, value) for key, value in pairs]
+        assert decode_page(encode_page(records)) == records

@@ -1,0 +1,134 @@
+"""Tests for the thread-safe wrapper under real thread contention."""
+
+import random
+import time
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import DenseSequentialFile
+from repro.concurrent import ThreadSafeDenseFile
+
+
+@pytest.fixture
+def shared():
+    return ThreadSafeDenseFile(DenseSequentialFile(num_pages=128, d=16, D=56))
+
+
+class TestBasicDelegation:
+    def test_api_surface(self, shared):
+        shared.insert(1, "one")
+        shared.insert_many([2, 3, 4])
+        assert shared.search(1).value == "one"
+        assert len(shared) == 4
+        assert 2 in shared
+        assert [r.key for r in shared.range(1, 3)] == [1, 2, 3]
+        assert shared.rank(3) == 2
+        assert shared.count_range(1, 4) == 4
+        assert shared.select(0).key == 1
+        assert shared.min().key == 1
+        assert shared.max().key == 4
+        assert shared.successor(2).key == 3
+        assert shared.predecessor(2).key == 1
+        shared.update(1, "uno")
+        shared.delete(4)
+        assert shared.delete_range(2, 3) == 2
+        shared.compact()
+        shared.validate()
+
+    def test_range_returns_a_snapshot_list(self, shared):
+        shared.insert_many(range(10))
+        window = shared.range(0, 9)
+        shared.delete_range(0, 9)
+        # The snapshot is unaffected by the later mutation.
+        assert len(window) == 10
+
+
+class TestThreadedWrites:
+    def test_disjoint_inserters(self, shared):
+        def worker(base):
+            for offset in range(100):
+                shared.insert(base * 1000 + offset)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(worker, range(8)))
+        assert len(shared) == 800
+        shared.validate()
+
+    def test_readers_and_writers_interleaved(self, shared):
+        shared.insert_many(range(0, 2000, 4))
+        errors = []
+
+        def reader(seed):
+            rng = random.Random(seed)
+            for _ in range(200):
+                start = rng.randrange(2000)
+                window = shared.range(start, start + 100)
+                keys = [record.key for record in window]
+                if keys != sorted(keys):
+                    errors.append("unsorted snapshot")
+                # Yield the lock so writers interleave rather than starve.
+                time.sleep(0)
+
+        def writer(base):
+            for offset in range(150):
+                shared.insert(10_000 + base * 1000 + offset)
+                time.sleep(0)
+
+        readers = [
+            threading.Thread(target=reader, args=(seed,)) for seed in range(3)
+        ]
+        for thread in readers:
+            thread.start()
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(writer, range(4)))
+        for thread in readers:
+            thread.join()
+        assert errors == []
+        assert len(shared) == 500 + 600
+        shared.validate()
+
+    def test_mixed_operations_with_key_ownership(self, shared):
+        """Each worker owns a key stripe, so semantics stay deterministic
+        per stripe while the structure is fully shared."""
+
+        def worker(stripe):
+            rng = random.Random(stripe)
+            owned = set()
+            for _ in range(200):
+                if rng.random() < 0.6 or not owned:
+                    key = stripe * 100_000 + rng.randrange(50_000)
+                    if key in owned:
+                        continue
+                    shared.insert(key)
+                    owned.add(key)
+                else:
+                    key = owned.pop()
+                    shared.delete(key)
+            return owned
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            survivors = list(pool.map(worker, range(6)))
+        expected = sorted(set().union(*survivors))
+        assert [r.key for r in shared.range(-1, 10**9)] == expected
+        shared.validate()
+
+    def test_concurrent_range_deletes_and_inserts(self, shared):
+        shared.insert_many(range(0, 5000, 5))
+
+        def deleter(block):
+            shared.delete_range(block * 1000, block * 1000 + 999)
+
+        def inserter(block):
+            for key in range(block * 1000 + 10_001, block * 1000 + 10_050):
+                shared.insert(key)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for block in range(4):
+                pool.submit(deleter, block)
+                pool.submit(inserter, block)
+        shared.validate()
+        # Every original key below 4000 is gone; the inserted stripes are in.
+        assert shared.count_range(0, 3999) == 0
+        assert shared.count_range(10_000, 14_999) == 4 * 49

@@ -1,0 +1,100 @@
+"""Unit and behaviour tests for CONTROL 1 (the amortized algorithm)."""
+
+import pytest
+
+from repro import Control1Engine, DensityParams
+from repro.core.invariants import balance_violations, check_counters
+from repro.workloads import (
+    converging_inserts,
+    mixed_workload,
+    run_workload,
+    uniform_random_inserts,
+)
+
+
+@pytest.fixture
+def engine():
+    return Control1Engine(DensityParams(num_pages=64, d=8, D=40))
+
+
+class TestStepB:
+    def test_no_rebalance_while_balanced(self, engine):
+        for key in range(10):
+            engine.insert(key)
+        assert engine.rebalances == 0
+
+    def test_violation_triggers_fathers_range_redistribution(self):
+        # Geometry: M=4, d=4, D=8, logM=2.  Leaf g(.,1) = 4 + (2/2)*4 = 8.
+        params = DensityParams(num_pages=4, d=4, D=8, j=1)
+        engine = Control1Engine(params)
+        engine.load_occupancies([8, 0, 0, 0], key_start=0, key_gap=10)
+        # Inserting into page 1 pushes p(L1) to 9 > 8: violation at L1,
+        # father [1,2] is redistributed.
+        engine.insert(-1)
+        assert engine.rebalances == 1
+        occupancies = engine.occupancies()
+        assert occupancies[0] + occupancies[1] == 9
+        assert max(occupancies[0], occupancies[1]) == 5
+
+    def test_rebalance_restores_balance(self):
+        params = DensityParams(num_pages=4, d=4, D=8, j=1)
+        engine = Control1Engine(params)
+        engine.load_occupancies([8, 0, 0, 0], key_start=0, key_gap=10)
+        engine.insert(-1)
+        assert balance_violations(engine.calibrator, params) == []
+
+    def test_counters_consistent_after_rebalance(self):
+        params = DensityParams(num_pages=4, d=4, D=8, j=1)
+        engine = Control1Engine(params)
+        engine.load_occupancies([8, 0, 0, 0], key_start=0, key_gap=10)
+        engine.insert(-1)
+        check_counters(engine.pagefile, engine.calibrator)
+
+    def test_deletions_never_rebalance(self, engine):
+        for key in range(40):
+            engine.insert(key)
+        before = engine.rebalances
+        for key in range(40):
+            engine.delete(key)
+        assert engine.rebalances == before
+        assert len(engine) == 0
+
+
+class TestBehaviour:
+    def test_random_workload_stays_valid(self, engine):
+        result = run_workload(
+            engine, mixed_workload(500, seed=11), validate_every=100
+        )
+        assert result.validations >= 5
+
+    def test_converging_adversary_stays_valid_but_spikes(self):
+        params = DensityParams(num_pages=64, d=8, D=40)
+        engine = Control1Engine(params)
+        log = engine.enable_operation_log()
+        for op in converging_inserts(300):
+            engine.insert(op.key)
+        engine.validate()
+        # The spike: some single command rewrites a large page range.
+        assert log.worst_case_accesses > 4 * params.shift_budget
+
+    def test_amortized_cost_is_modest_under_random_inserts(self):
+        params = DensityParams(num_pages=128, d=8, D=48)
+        engine = Control1Engine(params)
+        result = run_workload(engine, uniform_random_inserts(800, seed=5))
+        assert result.log.amortized_accesses < 20
+
+    def test_fill_to_capacity(self):
+        params = DensityParams(num_pages=16, d=4, D=20)
+        engine = Control1Engine(params)
+        for key in range(params.max_records):
+            engine.insert(key)
+        engine.validate()
+        assert len(engine) == params.max_records
+
+    def test_largest_rebalance_tracked(self):
+        params = DensityParams(num_pages=64, d=8, D=40)
+        engine = Control1Engine(params)
+        for op in converging_inserts(400):
+            engine.insert(op.key)
+        if engine.rebalances:
+            assert engine.largest_rebalance >= 2

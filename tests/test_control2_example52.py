@@ -1,0 +1,184 @@
+"""Bit-exact reproduction of the paper's Example 5.2 / Figure 4.
+
+The example runs CONTROL 2 on an 8-page file with d=9, D=18, J=3,
+initial occupancies [16,1,0,1,9,9,9,16], and two insertion commands:
+Z1 into page 8, then Z2 into page 1.  The paper tabulates the page
+occupancies at the flag-stable moments t0..t8 (Figure 4) and narrates
+every pointer assignment.  These tests assert all of it.
+"""
+
+import pytest
+
+from repro import Control2Engine, DensityParams, MomentRecorder
+
+FIGURE_4 = {
+    "t0": (16, 1, 0, 1, 9, 9, 9, 16),
+    "t1": (16, 1, 0, 1, 9, 9, 9, 17),
+    "t2": (16, 1, 0, 1, 9, 9, 15, 11),
+    "t3": (16, 1, 0, 1, 9, 9, 15, 11),
+    "t4": (16, 2, 0, 0, 9, 9, 15, 11),
+    "t5": (17, 2, 0, 0, 9, 9, 15, 11),
+    "t6": (4, 15, 0, 0, 9, 9, 15, 11),
+    "t7": (15, 4, 0, 0, 9, 9, 15, 11),
+    "t8": (15, 9, 0, 0, 4, 9, 15, 11),
+}
+
+
+@pytest.fixture
+def example(paper_engine):
+    """The engine plus the node ids the paper names."""
+    tree = paper_engine.calibrator
+    nodes = {
+        "v1": tree.root,
+        "v2": tree.left[tree.root],
+        "v3": tree.right[tree.root],
+        "L1": tree.leaf_of_page[1],
+        "L2": tree.leaf_of_page[2],
+        "L7": tree.leaf_of_page[7],
+        "L8": tree.leaf_of_page[8],
+    }
+    return paper_engine, nodes
+
+
+class TestInitialState:
+    def test_t0_distribution(self, example):
+        engine, _ = example
+        assert tuple(engine.occupancies()) == FIGURE_4["t0"]
+
+    def test_all_nodes_start_non_warning(self, example):
+        engine, _ = example
+        # Legitimate per Fact 5.1: every node has p < g(., 2/3) at t0.
+        assert engine.warning_nodes() == []
+        for node in engine.calibrator.iter_nodes():
+            assert not engine._density_at_least(node, 2)
+
+    def test_t0_satisfies_all_invariants(self, example):
+        engine, _ = example
+        engine.validate()
+
+
+class TestCommandZ1:
+    """Insert into page 8: the paper's first command."""
+
+    @pytest.fixture
+    def recorder(self, example):
+        engine, nodes = example
+        recorder = MomentRecorder(moment_types={"3", "4c"}).attach(engine)
+        engine.insert_at_page(8, 10_000)
+        return engine, nodes, recorder
+
+    def test_step3_raises_L8_and_v3(self, recorder):
+        engine, nodes, rec = recorder
+        t1 = rec.moments[0]
+        assert set(t1.warnings) == {nodes["L8"], nodes["v3"]}
+
+    def test_step3_initial_dest_pointers(self, recorder):
+        engine, nodes, rec = recorder
+        t1 = rec.moments[0]
+        assert t1.destination_of(nodes["L8"]) == 7
+        assert t1.destination_of(nodes["v3"]) == 1
+
+    def test_first_shift_moves_six_records_from_8_to_7(self, recorder):
+        engine, nodes, rec = recorder
+        assert rec.moments[1].occupancies == FIGURE_4["t2"]
+
+    def test_L8_lowered_after_first_shift(self, recorder):
+        engine, nodes, rec = recorder
+        assert nodes["L8"] not in rec.moments[1].warnings
+        assert nodes["v3"] in rec.moments[1].warnings
+
+    def test_second_shift_moves_nothing_but_advances_dest(self, recorder):
+        engine, nodes, rec = recorder
+        t3 = rec.moments[2]
+        assert t3.occupancies == FIGURE_4["t3"]
+        assert t3.destination_of(nodes["v3"]) == 2
+
+    def test_third_shift_moves_one_record_from_4_to_2(self, recorder):
+        engine, nodes, rec = recorder
+        assert rec.moments[3].occupancies == FIGURE_4["t4"]
+
+    def test_v3_still_warning_at_end_of_z1(self, recorder):
+        engine, nodes, rec = recorder
+        assert nodes["v3"] in rec.moments[3].warnings
+
+    def test_all_moments_of_z1_match_figure4(self, recorder):
+        engine, nodes, rec = recorder
+        rows = [m.occupancies for m in rec.moments]
+        assert rows == [FIGURE_4[t] for t in ("t1", "t2", "t3", "t4")]
+
+    def test_invariants_hold_after_z1(self, recorder):
+        engine, _, _ = recorder
+        engine.validate()
+
+
+class TestCommandZ2:
+    """Insert into page 1: the paper's second command (with roll-back)."""
+
+    @pytest.fixture
+    def recorder(self, example):
+        engine, nodes = example
+        engine.insert_at_page(8, 10_000)  # Z1
+        recorder = MomentRecorder(moment_types={"3", "4c"}).attach(engine)
+        engine.insert_at_page(1, -10_000)  # Z2
+        return engine, nodes, recorder
+
+    def test_activate_L1_sets_dest_2(self, recorder):
+        engine, nodes, rec = recorder
+        t5 = rec.moments[0]
+        assert nodes["L1"] in t5.warnings
+        assert t5.destination_of(nodes["L1"]) == 2
+
+    def test_rollback_rule1_resets_dest_v3_to_1(self, recorder):
+        """The first roll-back in the example: DEST(v3) 2 -> 1."""
+        engine, nodes, rec = recorder
+        t5 = rec.moments[0]
+        assert t5.destination_of(nodes["v3"]) == 1
+
+    def test_t5_occupancies(self, recorder):
+        engine, nodes, rec = recorder
+        assert rec.moments[0].occupancies == FIGURE_4["t5"]
+
+    def test_first_shift_moves_thirteen_records_right(self, recorder):
+        engine, nodes, rec = recorder
+        t6 = rec.moments[1]
+        assert t6.occupancies == FIGURE_4["t6"]
+        assert nodes["L1"] not in t6.warnings
+
+    def test_second_shift_moves_eleven_records_left(self, recorder):
+        engine, nodes, rec = recorder
+        t7 = rec.moments[2]
+        assert t7.occupancies == FIGURE_4["t7"]
+        assert t7.destination_of(nodes["v3"]) == 2
+
+    def test_third_shift_moves_five_records_from_5_to_2(self, recorder):
+        engine, nodes, rec = recorder
+        assert rec.moments[3].occupancies == FIGURE_4["t8"]
+
+    def test_all_warnings_cleared_at_t8(self, recorder):
+        engine, nodes, rec = recorder
+        assert rec.moments[3].warnings == ()
+        assert engine.warning_nodes() == []
+
+    def test_full_trace_matches_figure4(self, recorder):
+        engine, nodes, rec = recorder
+        rows = [m.occupancies for m in rec.moments]
+        assert rows == [FIGURE_4[t] for t in ("t5", "t6", "t7", "t8")]
+
+    def test_no_stuck_shifts_in_the_example(self, recorder):
+        engine, _, _ = recorder
+        assert engine.stuck_shifts == 0
+
+    def test_invariants_hold_after_z2(self, recorder):
+        engine, _, _ = recorder
+        engine.validate()
+
+
+class TestKeysSurviveTheExample:
+    def test_record_set_preserved_and_ordered(self, example):
+        engine, _ = example
+        before = {record.key for record in engine.pagefile.iter_all()}
+        engine.insert_at_page(8, 10_000)
+        engine.insert_at_page(1, -10_000)
+        after = [record.key for record in engine.pagefile.iter_all()]
+        assert set(after) == before | {10_000, -10_000}
+        assert after == sorted(after)

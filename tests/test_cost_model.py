@@ -1,0 +1,98 @@
+"""Unit tests for the access-cost model and counters."""
+
+from repro.storage.cost import (
+    AccessStats,
+    CostModel,
+    DISK_ARM_MODEL,
+    PAGE_ACCESS_MODEL,
+)
+
+
+class TestCostModel:
+    def test_page_access_model_charges_flat_units(self):
+        assert PAGE_ACCESS_MODEL.access_cost(1, 500) == 1.0
+        assert PAGE_ACCESS_MODEL.access_cost(500, 501) == 1.0
+
+    def test_contiguous_access_pays_no_seek(self):
+        model = CostModel(seek_base=10.0, seek_per_page=1.0)
+        assert model.access_cost(7, 8) == 1.0
+        assert model.access_cost(8, 8) == 1.0
+        assert model.access_cost(8, 7) == 1.0
+
+    def test_distant_access_pays_base_plus_distance(self):
+        model = CostModel(seek_base=10.0, seek_per_page=0.5)
+        assert model.access_cost(0, 100) == 1.0 + 10.0 + 50.0
+
+    def test_seek_cost_is_capped(self):
+        model = CostModel(seek_base=10.0, seek_per_page=1.0, seek_max=15.0)
+        assert model.seek_cost(1000) == 15.0
+
+    def test_zero_cap_means_uncapped(self):
+        model = CostModel(seek_base=1.0, seek_per_page=1.0, seek_max=0.0)
+        assert model.seek_cost(1000) == 1001.0
+
+    def test_cold_arm_pays_base_seek_only(self):
+        model = CostModel(seek_base=10.0, seek_per_page=1.0)
+        assert model.access_cost(-1, 500) == 11.0
+
+    def test_wider_contiguous_window(self):
+        model = CostModel(seek_base=10.0, contiguous_window=4)
+        assert model.access_cost(10, 14) == 1.0
+        assert model.access_cost(10, 15) == 11.0
+
+    def test_disk_arm_model_prefers_sequential(self):
+        sequential = DISK_ARM_MODEL.access_cost(10, 11)
+        random_probe = DISK_ARM_MODEL.access_cost(10, 5000)
+        assert random_probe > 5 * sequential
+
+
+class TestAccessStats:
+    def test_counts_reads_and_writes_separately(self):
+        stats = AccessStats()
+        stats.record_read(1.0, moved_arm=False)
+        stats.record_write(1.0, moved_arm=True)
+        stats.record_write(1.0, moved_arm=False)
+        assert stats.reads == 1
+        assert stats.writes == 2
+        assert stats.page_accesses == 3
+        assert stats.seeks == 1
+
+    def test_cost_accumulates(self):
+        stats = AccessStats()
+        stats.record_read(2.5, moved_arm=False)
+        stats.record_write(1.5, moved_arm=False)
+        assert stats.cost == 4.0
+
+    def test_checkpoint_delta_isolates_an_operation(self):
+        stats = AccessStats()
+        stats.record_read(1.0, False)
+        stats.checkpoint("op")
+        stats.record_write(3.0, True)
+        delta = stats.delta("op")
+        assert delta.reads == 0
+        assert delta.writes == 1
+        assert delta.cost == 3.0
+        assert delta.seeks == 1
+
+    def test_delta_without_checkpoint_measures_from_zero(self):
+        stats = AccessStats()
+        stats.record_read(1.0, False)
+        assert stats.delta("never-set").reads == 1
+
+    def test_named_checkpoints_are_independent(self):
+        stats = AccessStats()
+        stats.checkpoint("a")
+        stats.record_read(1.0, False)
+        stats.checkpoint("b")
+        stats.record_read(1.0, False)
+        assert stats.delta("a").reads == 2
+        assert stats.delta("b").reads == 1
+
+    def test_reset_clears_everything(self):
+        stats = AccessStats()
+        stats.record_read(1.0, True)
+        stats.checkpoint("x")
+        stats.reset()
+        assert stats.page_accesses == 0
+        assert stats.cost == 0.0
+        assert stats.delta("x").reads == 0

@@ -1,0 +1,120 @@
+"""Unit tests for the simulated disk and the access trace."""
+
+import pytest
+
+from repro.storage.cost import CostModel
+from repro.storage.disk import SimulatedDisk
+from repro.storage.tracing import AccessTrace
+
+
+class TestSimulatedDisk:
+    def test_reads_and_writes_are_metered(self):
+        disk = SimulatedDisk(10)
+        disk.read(3)
+        disk.write(3)
+        assert disk.stats.reads == 1
+        assert disk.stats.writes == 1
+
+    def test_out_of_range_page_raises(self):
+        disk = SimulatedDisk(10)
+        with pytest.raises(IndexError):
+            disk.read(0)
+        with pytest.raises(IndexError):
+            disk.write(11)
+
+    def test_arm_follows_accesses(self):
+        disk = SimulatedDisk(10)
+        assert disk.arm_position == -1
+        disk.read(4)
+        assert disk.arm_position == 4
+
+    def test_seek_counted_when_arm_jumps(self):
+        disk = SimulatedDisk(100, CostModel(seek_base=5.0))
+        disk.read(1)
+        disk.read(2)   # contiguous: no seek
+        disk.read(50)  # jump: seek
+        assert disk.stats.seeks == 2  # initial positioning + the jump
+
+    def test_park_forgets_position(self):
+        disk = SimulatedDisk(10, CostModel(seek_base=5.0))
+        disk.read(5)
+        disk.park()
+        disk.read(6)
+        # After parking, even an adjacent page pays the base seek.
+        assert disk.stats.cost == (1.0 + 5.0) * 2
+
+    def test_extend_grows_address_space(self):
+        disk = SimulatedDisk(5)
+        first_new = disk.extend(3)
+        assert first_new == 6
+        disk.read(8)  # now valid
+        with pytest.raises(IndexError):
+            disk.read(9)
+
+    def test_extend_requires_positive_growth(self):
+        disk = SimulatedDisk(5)
+        with pytest.raises(ValueError):
+            disk.extend(0)
+
+    def test_negative_page_count_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedDisk(-1)
+
+    def test_reset_stats_keeps_arm(self):
+        disk = SimulatedDisk(10)
+        disk.read(7)
+        disk.reset_stats()
+        assert disk.stats.page_accesses == 0
+        assert disk.arm_position == 7
+
+
+class TestAccessTrace:
+    def test_disabled_trace_records_nothing(self):
+        disk = SimulatedDisk(10)
+        disk.read(1)
+        assert len(disk.trace) == 0
+
+    def test_enabled_trace_records_kind_and_page(self):
+        trace = AccessTrace(enabled=True)
+        disk = SimulatedDisk(10, trace=trace)
+        disk.read(1)
+        disk.write(2)
+        events = list(trace)
+        assert [(e.kind, e.page) for e in events] == [("r", 1), ("w", 2)]
+
+    def test_capacity_drops_overflow(self):
+        trace = AccessTrace(enabled=True, capacity=2)
+        for page in (1, 2, 3):
+            trace.record("r", page)
+        assert len(trace) == 2
+        assert trace.dropped == 1
+
+    def test_runs_split_on_jumps(self):
+        trace = AccessTrace(enabled=True)
+        for page in (1, 2, 3, 10, 11, 5):
+            trace.record("r", page)
+        assert trace.runs() == [(1, 3), (10, 2), (5, 1)]
+
+    def test_rereading_same_page_continues_run(self):
+        trace = AccessTrace(enabled=True)
+        for page in (4, 4, 5):
+            trace.record("r", page)
+        assert trace.runs() == [(4, 3)]
+
+    def test_mean_run_length(self):
+        trace = AccessTrace(enabled=True)
+        for page in (1, 2, 9):
+            trace.record("r", page)
+        assert trace.mean_run_length() == 1.5
+
+    def test_empty_trace_run_stats(self):
+        trace = AccessTrace(enabled=True)
+        assert trace.runs() == []
+        assert trace.mean_run_length() == 0.0
+
+    def test_clear_resets(self):
+        trace = AccessTrace(enabled=True)
+        trace.record("r", 1)
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.pages() == []

@@ -1,0 +1,103 @@
+"""Edge-case geometries: the smallest, sparsest and tightest files."""
+
+import pytest
+
+from repro import (
+    Control2Engine,
+    DenseSequentialFile,
+    DensityParams,
+    MacroBlockControl2Engine,
+    build_engine,
+)
+from repro.core.errors import ConfigurationError, FileFullError
+from repro.workloads import mixed_workload, run_workload
+
+
+class TestTwoPageFile:
+    def test_m_equals_two_works(self):
+        # L = 1; slack condition needs D - d > 3.
+        params = DensityParams(num_pages=2, d=4, D=8)
+        engine = Control2Engine(params)
+        for key in range(params.max_records):
+            engine.insert(key)
+        engine.validate()
+        assert len(engine) == 8
+        with pytest.raises(FileFullError):
+            engine.insert(99)
+
+    def test_m_equals_two_deletions(self):
+        params = DensityParams(num_pages=2, d=4, D=8)
+        engine = Control2Engine(params)
+        engine.insert_many(range(8))
+        for key in range(8):
+            engine.delete(key)
+        engine.validate()
+        assert len(engine) == 0
+
+
+class TestSparseFiles:
+    def test_d_equals_one(self):
+        # One record per page on average; huge slack.
+        params = DensityParams(num_pages=64, d=1, D=32)
+        engine = Control2Engine(params)
+        run_workload(engine, mixed_workload(120, seed=1), validate_every=30)
+
+    def test_single_record_capacity_cap(self):
+        params = DensityParams(num_pages=2, d=1, D=8)
+        engine = Control2Engine(params)
+        engine.insert(1)
+        engine.insert(2)
+        with pytest.raises(FileFullError):
+            engine.insert(3)
+
+
+class TestTightSlack:
+    def test_slack_of_one_uses_macro_blocks(self):
+        dense = DenseSequentialFile(num_pages=64, d=4, D=5)
+        assert isinstance(dense.engine, MacroBlockControl2Engine)
+        assert dense.engine.block_factor * 1 > 3 * 6  # K * slack > 3 logM
+        dense.insert_many(range(100))
+        dense.validate()
+
+    def test_macro_blocks_refused_when_file_too_small(self):
+        # K would leave fewer than 2 macro blocks.
+        with pytest.raises(ConfigurationError):
+            build_engine(4, 4, 5)
+
+
+class TestLargeFiles:
+    def test_m_4096_quick_run(self):
+        params = DensityParams(num_pages=4096, d=4, D=48)
+        engine = Control2Engine(params)
+        run_workload(engine, mixed_workload(400, seed=2))
+        engine.validate()
+        assert engine.stuck_shifts == 0
+
+    def test_huge_d(self):
+        params = DensityParams(num_pages=8, d=1000, D=1100)
+        engine = Control2Engine(params)
+        engine.insert_many(range(3000))
+        engine.validate()
+        assert max(engine.occupancies()) <= 1100
+
+
+class TestDegenerateCommands:
+    def test_insert_delete_same_key_repeatedly(self):
+        params = DensityParams(num_pages=16, d=4, D=20)
+        engine = Control2Engine(params)
+        for _ in range(100):
+            engine.insert(42)
+            engine.delete(42)
+        engine.validate()
+        assert len(engine) == 0
+
+    def test_alternating_extremes(self):
+        params = DensityParams(num_pages=16, d=4, D=20)
+        engine = Control2Engine(params)
+        low, high = 0, 10**9
+        for index in range(30):
+            engine.insert(low + index)
+            engine.insert(high - index)
+        engine.validate()
+        assert engine.min_record().key == 0
+        assert engine.max_record().key == 10**9

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run clean end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_all_examples_are_covered():
+    # The suite below runs every example file; keep this list honest.
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate what they do"
+
+
+def test_paper_example_asserts_the_match():
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "paper_example.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "all 9 rows match the paper bit for bit" in completed.stdout

@@ -1,0 +1,93 @@
+"""Conformance of the engine's step sequence to Figure 2's grammar.
+
+Every command must emit measurable moments in exactly the paper's
+order:  ``1, 2, 3`` then up to ``J`` iterations of ``4a [4b 4c]`` —
+``4b``/``4c`` appear iff SELECT found a target, and iterations stop
+early only when no warning remains.
+"""
+
+import re
+
+import pytest
+
+from repro import Control2Engine, DensityParams
+from repro.workloads import converging_inserts, mixed_workload
+
+COMMAND_GRAMMAR = re.compile(r"^1 2 3( 4a( 4b 4c)?)*$")
+
+
+def moments_per_command(engine, operations):
+    """Run operations, returning the list of moment strings per command."""
+    sequences = []
+    current = []
+
+    def listener(kind, _engine):
+        current.append(kind)
+
+    engine.moment_listener = listener
+    for operation in operations:
+        current.clear()
+        if operation.kind == "insert":
+            engine.insert(operation.key)
+        else:
+            engine.delete(operation.key)
+        sequences.append(" ".join(current))
+    return sequences
+
+
+@pytest.mark.parametrize("make_ops", [
+    lambda: converging_inserts(120),
+    lambda: mixed_workload(120, seed=5),
+])
+def test_moment_stream_matches_grammar(make_ops):
+    params = DensityParams(num_pages=32, d=4, D=24, j=3)
+    engine = Control2Engine(params)
+    for sequence in moments_per_command(engine, make_ops()):
+        assert COMMAND_GRAMMAR.match(sequence), sequence
+
+
+def test_iteration_count_never_exceeds_j():
+    params = DensityParams(num_pages=32, d=4, D=24, j=2)
+    engine = Control2Engine(params)
+    for sequence in moments_per_command(engine, converging_inserts(120)):
+        assert sequence.count("4a") <= 2
+
+
+def test_early_exit_only_when_no_warnings_remain():
+    """A command that stops before J iterations must end flag-free."""
+    params = DensityParams(num_pages=32, d=4, D=24, j=5)
+    engine = Control2Engine(params)
+    sequences = []
+    current = []
+    engine.moment_listener = lambda kind, _e: current.append(kind)
+    for operation in converging_inserts(120):
+        current.clear()
+        engine.insert(operation.key)
+        sequences.append((list(current), bool(engine.warning_nodes())))
+    for moments, warnings_left in sequences:
+        full_iterations = moments.count("4b")
+        aborted = moments.count("4a") > full_iterations
+        if aborted:
+            # SELECT returned None: at that moment no warning existed,
+            # and nothing after it raises one within the same command.
+            assert not warnings_left
+
+
+def test_shifts_only_happen_on_warning_nodes():
+    """4b implies the selected node was in a warning state (checked via
+    the engine's own assertion that destinations exist for flags)."""
+    params = DensityParams(num_pages=32, d=4, D=24, j=3)
+    engine = Control2Engine(params)
+    observed = []
+
+    original_shift = engine._shift
+
+    def spying_shift(node):
+        observed.append(engine.calibrator.flag[node])
+        return original_shift(node)
+
+    engine._shift = spying_shift
+    for operation in converging_inserts(120):
+        engine.insert(operation.key)
+    assert observed, "the adversary must trigger shifts"
+    assert all(observed)

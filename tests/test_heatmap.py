@@ -1,0 +1,69 @@
+"""Tests for the ASCII occupancy visualizations."""
+
+from repro.analysis.heatmap import (
+    GLYPHS,
+    OVERFULL,
+    fill_summary,
+    occupancy_bar,
+    occupancy_history,
+    occupancy_legend,
+)
+
+
+class TestOccupancyBar:
+    def test_empty_pages_render_blank(self):
+        assert occupancy_bar([0, 0, 0], capacity=8) == "   "
+
+    def test_full_pages_render_densest_glyph(self):
+        assert occupancy_bar([8, 8], capacity=8) == GLYPHS[-1] * 2
+
+    def test_partial_fill_uses_intermediate_glyphs(self):
+        bar = occupancy_bar([4], capacity=8)
+        assert bar != " " and bar != GLYPHS[-1]
+
+    def test_nonzero_fill_never_renders_blank(self):
+        assert occupancy_bar([1], capacity=100) != " "
+
+    def test_over_capacity_flagged(self):
+        assert occupancy_bar([9], capacity=8) == OVERFULL
+
+    def test_bucketing_to_width(self):
+        bar = occupancy_bar([8] * 100, capacity=8, width=10)
+        assert len(bar) == 10
+
+    def test_width_capped_at_page_count(self):
+        assert len(occupancy_bar([1, 2], capacity=8, width=64)) == 2
+
+    def test_bucket_with_one_overfull_page_is_flagged(self):
+        occupancies = [2] * 9 + [99]
+        bar = occupancy_bar(occupancies, capacity=8, width=2)
+        assert bar[1] == OVERFULL
+
+    def test_empty_input(self):
+        assert occupancy_bar([], capacity=8) == ""
+
+
+class TestHistoryAndSummary:
+    def test_history_one_row_per_snapshot(self):
+        text = occupancy_history(
+            [[1, 2], [2, 1]], capacity=4, labels=["t0", "t1"]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].strip().startswith("t0")
+
+    def test_history_default_labels(self):
+        text = occupancy_history([[1], [1], [1]], capacity=4)
+        assert "t2" in text
+
+    def test_fill_summary_counts(self):
+        text = fill_summary([0, 4, 8], capacity=8)
+        assert "12 records" in text
+        assert "3 pages" in text
+        assert "2 non-empty" in text
+        assert "peak page 8/8" in text
+
+    def test_legend_mentions_capacity_and_overfull(self):
+        text = occupancy_legend(48)
+        assert "48" in text
+        assert OVERFULL in text

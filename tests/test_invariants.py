@@ -1,0 +1,166 @@
+"""Unit tests for the invariant checkers (including failure detection)."""
+
+import pytest
+
+from repro import Control2Engine, DensityParams
+from repro.core.errors import InvariantViolationError
+from repro.core.invariants import (
+    balance_violations,
+    check_balance,
+    check_counters,
+    check_density,
+    check_directory,
+    check_engine,
+    check_sequential_order,
+    check_warning_flags,
+)
+from repro.records import Record
+from repro.storage.pagefile import PageFile
+
+
+@pytest.fixture
+def params():
+    return DensityParams(num_pages=8, d=9, D=18, j=3)
+
+
+class TestSequentialOrder:
+    def test_accepts_ordered_file(self):
+        pf = PageFile(4)
+        pf.load_page(1, [Record(1), Record(2)])
+        pf.load_page(3, [Record(5)])
+        check_sequential_order(pf)
+
+    def test_detects_cross_page_inversion(self):
+        pf = PageFile(4)
+        pf.load_page(1, [Record(10)])
+        pf.load_page(3, [Record(5)])
+        with pytest.raises(InvariantViolationError, match="sequential order"):
+            check_sequential_order(pf)
+
+    def test_detects_duplicate_keys_across_pages(self):
+        pf = PageFile(4)
+        pf.load_page(1, [Record(5)])
+        pf.load_page(2, [Record(5)])
+        with pytest.raises(InvariantViolationError):
+            check_sequential_order(pf)
+
+    def test_empty_file_is_ordered(self):
+        check_sequential_order(PageFile(4))
+
+
+class TestDensity:
+    def test_accepts_within_bounds(self, params):
+        pf = PageFile(8)
+        pf.load_page(1, [Record(k) for k in range(18)])
+        check_density(pf, params)
+
+    def test_detects_page_over_capacity(self, params):
+        pf = PageFile(8)
+        pf.load_page(1, [Record(k) for k in range(19)])
+        with pytest.raises(InvariantViolationError, match="exceeding D"):
+            check_density(pf, params)
+
+    def test_detects_total_over_cap(self):
+        params = DensityParams(num_pages=2, d=1, D=5)
+        pf = PageFile(2)
+        pf.load_page(1, [Record(1), Record(2)])
+        pf.load_page(2, [Record(3)])
+        with pytest.raises(InvariantViolationError, match="d\\*M"):
+            check_density(pf, params)
+
+
+class TestBalance:
+    def test_accepts_balanced_tree(self, params):
+        engine = Control2Engine(params)
+        engine.load_occupancies([9] * 8)
+        check_balance(engine.calibrator, params)
+
+    def test_detects_leaf_violation(self, params):
+        engine = Control2Engine(params)
+        engine.load_occupancies([9] * 8)
+        # Force a leaf counter over g(leaf, 1) = D = 18 behind the
+        # algorithm's back.
+        engine.calibrator.add(1, 10)
+        violations = balance_violations(engine.calibrator, params)
+        assert violations
+        with pytest.raises(InvariantViolationError, match="BALANCE"):
+            check_balance(engine.calibrator, params)
+
+    def test_figure_1_example_is_balanced(self):
+        """The paper's Figure 1: 4 pages, d=2, D=3, counts [3,2,1,2]."""
+        params = DensityParams(num_pages=4, d=2, D=3, j=1)
+        from repro.core.calibrator import CalibratorTree
+
+        tree = CalibratorTree(4)
+        for page, count in enumerate([3, 2, 1, 2], start=1):
+            tree.add(page, count)
+        assert balance_violations(tree, params) == []
+
+
+class TestCounters:
+    def test_detects_desync(self, params):
+        engine = Control2Engine(params)
+        engine.load_occupancies([9] * 8)
+        engine.calibrator.count[engine.calibrator.root] += 1
+        with pytest.raises(InvariantViolationError, match="rank counter"):
+            check_counters(engine.pagefile, engine.calibrator)
+
+
+class TestDirectory:
+    def test_detects_stale_directory(self):
+        pf = PageFile(4)
+        pf.load_page(2, [Record(1)])
+        pf._nonempty.append(4)  # sabotage
+        pf._mins.append(99)
+        with pytest.raises(InvariantViolationError, match="directory"):
+            check_directory(pf)
+
+
+class TestWarningFlags:
+    def test_fact_51a_detected(self, params):
+        engine = Control2Engine(params)
+        engine.load_occupancies([2] * 8)
+        leaf = engine.calibrator.leaf_of_page[1]
+        engine.calibrator.set_flag(leaf, True)
+        engine.destinations[leaf] = 2
+        with pytest.raises(InvariantViolationError, match="5.1\\(a\\)"):
+            check_warning_flags(engine)
+
+    def test_fact_51b_detected(self, params):
+        engine = Control2Engine(params)
+        engine.load_occupancies([17, 0, 0, 0, 0, 0, 0, 0])
+        # p(L1) = 17 >= g(L1, 2/3) = 17 but no warning raised.
+        with pytest.raises(InvariantViolationError, match="5.1\\(b\\)"):
+            check_warning_flags(engine)
+
+    def test_warning_without_dest_detected(self, params):
+        engine = Control2Engine(params)
+        engine.load_occupancies([17, 0, 0, 0, 0, 0, 0, 0])
+        leaf = engine.calibrator.leaf_of_page[1]
+        engine.calibrator.set_flag(leaf, True)
+        with pytest.raises(InvariantViolationError, match="DEST"):
+            check_warning_flags(engine)
+
+    def test_dest_outside_father_range_detected(self, params):
+        engine = Control2Engine(params)
+        engine.load_occupancies([17, 0, 0, 0, 0, 0, 0, 0])
+        leaf = engine.calibrator.leaf_of_page[1]
+        engine.calibrator.set_flag(leaf, True)
+        engine.destinations[leaf] = 7  # f(L1) = [1,2]
+        with pytest.raises(InvariantViolationError, match="outside RANGE"):
+            check_warning_flags(engine)
+
+
+class TestCheckEngine:
+    def test_accepts_a_live_engine(self, params):
+        engine = Control2Engine(params)
+        for key in range(40):
+            engine.insert(key)
+        check_engine(engine)
+
+    def test_detects_size_desync(self, params):
+        engine = Control2Engine(params)
+        engine.insert(1)
+        engine.size += 1
+        with pytest.raises(InvariantViolationError, match="size"):
+            check_engine(engine)

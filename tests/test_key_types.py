@@ -1,0 +1,77 @@
+"""Key-type coverage: anything totally ordered should work as a key."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Control2Engine, DenseSequentialFile, DensityParams
+
+
+@pytest.fixture
+def dense():
+    return DenseSequentialFile(num_pages=64, d=8, D=40)
+
+
+class TestStringKeys:
+    def test_lexicographic_order(self, dense):
+        words = ["pear", "apple", "fig", "banana", "kiwi"]
+        dense.insert_many(words)
+        assert list(dense.keys()) == sorted(words)
+
+    def test_range_scan_on_strings(self, dense):
+        dense.insert_many(["alpha", "beta", "gamma", "delta"])
+        found = [r.key for r in dense.range("b", "e")]
+        assert found == ["beta", "delta"]
+
+    def test_workload_of_strings(self, dense):
+        import random
+
+        rng = random.Random(1)
+        words = {f"key-{rng.randrange(10**6):06d}" for _ in range(300)}
+        dense.insert_many(words)
+        dense.validate()
+        assert list(dense.keys()) == sorted(words)
+
+
+class TestFractionKeys:
+    def test_exact_rationals(self, dense):
+        keys = [Fraction(1, n) for n in range(1, 200)]
+        dense.insert_many(keys)
+        dense.validate()
+        assert dense.min().key == Fraction(1, 199)
+        assert dense.max().key == Fraction(1, 1)
+
+    def test_mixed_int_float_fraction(self, dense):
+        # Python's numeric tower keeps these mutually comparable.
+        dense.insert(1)
+        dense.insert(1.5)
+        dense.insert(Fraction(7, 4))
+        dense.insert(2)
+        assert [r.key for r in dense.range(0, 3)] == [1, 1.5, Fraction(7, 4), 2]
+
+
+class TestTupleKeys:
+    def test_composite_keys(self, dense):
+        rows = [(2, "b"), (1, "z"), (2, "a"), (1, "a")]
+        for key in rows:
+            dense.insert(key)
+        assert list(dense.keys()) == sorted(rows)
+
+    def test_range_on_composite_prefix(self, dense):
+        for key in [(1, 1), (1, 2), (2, 1), (2, 2), (3, 1)]:
+            dense.insert(key)
+        found = [r.key for r in dense.range((2, float("-inf")), (2, float("inf")))]
+        assert found == [(2, 1), (2, 2)]
+
+
+class TestNegativeAndExtremeKeys:
+    def test_negative_and_huge_ints(self, dense):
+        keys = [-(10**30), -5, 0, 5, 10**30]
+        dense.insert_many(keys)
+        assert list(dense.keys()) == keys
+
+    def test_engine_handles_float_infinities_as_probes(self):
+        engine = Control2Engine(DensityParams(num_pages=16, d=4, D=20))
+        engine.insert_many([1, 2, 3])
+        assert [r.key for r in engine.scan_count(float("-inf"), 2)] == [1, 2]
+        assert engine.rank(float("inf")) == 3

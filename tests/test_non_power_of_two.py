@@ -1,0 +1,102 @@
+"""CONTROL 1/2 on files whose page count is not a power of two.
+
+The calibrator splits ranges at the floor midpoint, so for general ``M``
+the leaves sit at depths ``ceil(log2 M)`` *and* shallower.  The
+``g(v, r)`` thresholds depend on each node's actual depth, so uneven
+trees exercise arithmetic paths the power-of-two examples never touch.
+"""
+
+import pytest
+
+from repro import (
+    Control1Engine,
+    Control2Engine,
+    DenseSequentialFile,
+    DensityParams,
+)
+from repro.workloads import (
+    converging_inserts,
+    mixed_workload,
+    run_workload,
+    uniform_random_inserts,
+)
+
+SIZES = [3, 6, 10, 24, 100, 321]
+
+
+@pytest.mark.parametrize("num_pages", SIZES)
+def test_calibrator_covers_every_page_exactly_once(num_pages):
+    from repro.core.calibrator import CalibratorTree
+
+    tree = CalibratorTree(num_pages)
+    for page in range(1, num_pages + 1):
+        leaf = tree.leaf_of_page[page]
+        assert tree.lo[leaf] == tree.hi[leaf] == page
+    # Internal consistency: children partition their parent.
+    for node in tree.iter_nodes():
+        if not tree.is_leaf(node):
+            left, right = tree.left[node], tree.right[node]
+            assert tree.lo[left] == tree.lo[node]
+            assert tree.hi[right] == tree.hi[node]
+            assert tree.hi[left] + 1 == tree.lo[right]
+
+
+@pytest.mark.parametrize("num_pages", SIZES)
+def test_leaf_depths_bounded_by_ceil_log(num_pages):
+    from repro.core.calibrator import CalibratorTree
+    from repro.core.params import ceil_log2
+
+    tree = CalibratorTree(num_pages)
+    depths = [tree.depth[tree.leaf_of_page[p]] for p in range(1, num_pages + 1)]
+    assert max(depths) == ceil_log2(num_pages)
+    assert min(depths) >= max(depths) - 1 or num_pages <= 2
+
+
+@pytest.mark.parametrize("num_pages", [6, 10, 24, 100])
+def test_control2_mixed_workload_on_uneven_tree(num_pages):
+    params = DensityParams(num_pages=num_pages, d=8, D=8 + 3 * 8)
+    engine = Control2Engine(params)
+    count = min(400, params.max_records)
+    result = run_workload(
+        engine, mixed_workload(count, seed=num_pages), validate_every=50
+    )
+    assert result.validations > 0
+    assert engine.stuck_shifts == 0
+
+
+@pytest.mark.parametrize("num_pages", [6, 24, 100])
+def test_control2_adversary_on_uneven_tree(num_pages):
+    params = DensityParams(num_pages=num_pages, d=8, D=8 + 3 * 8)
+    engine = Control2Engine(params)
+    count = min(500, params.max_records - 1)
+    run_workload(engine, converging_inserts(count), validate_every=50)
+    assert engine.stuck_shifts == 0
+
+
+@pytest.mark.parametrize("num_pages", [6, 100])
+def test_control1_on_uneven_tree(num_pages):
+    params = DensityParams(num_pages=num_pages, d=8, D=8 + 3 * 8)
+    engine = Control1Engine(params)
+    count = min(400, params.max_records - 1)
+    run_workload(
+        engine, uniform_random_inserts(count, seed=3), validate_every=50
+    )
+
+
+def test_fill_uneven_file_to_capacity():
+    params = DensityParams(num_pages=11, d=4, D=20)
+    engine = Control2Engine(params)
+    for key in range(params.max_records):
+        engine.insert(key)
+    engine.validate()
+    assert len(engine) == params.max_records
+
+
+def test_facade_on_prime_page_count():
+    dense = DenseSequentialFile(num_pages=97, d=6, D=40)
+    dense.insert_many(range(300))
+    assert dense.count_range(50, 149) == 100
+    assert dense.select(123).key == 123
+    dense.delete_range(100, 199)
+    dense.validate()
+    assert len(dense) == 200

@@ -1,0 +1,115 @@
+"""Tests for min/max/successor/predecessor order queries."""
+
+import pytest
+
+from repro import Control2Engine, DenseSequentialFile, DensityParams
+from repro.records import Record
+from repro.storage.pagefile import PageFile
+
+
+class TestPageFileOrderQueries:
+    @pytest.fixture
+    def pf(self):
+        pf = PageFile(8)
+        pf.load_page(2, [Record(10), Record(20)])
+        pf.load_page(5, [Record(30)])
+        pf.load_page(7, [Record(40), Record(50)])
+        return pf
+
+    def test_min_and_max(self, pf):
+        assert pf.min_record().key == 10
+        assert pf.max_record().key == 50
+
+    def test_empty_file(self):
+        pf = PageFile(4)
+        assert pf.min_record() is None
+        assert pf.max_record() is None
+        assert pf.successor(5) is None
+        assert pf.predecessor(5) is None
+
+    def test_successor_within_page(self, pf):
+        assert pf.successor(10).key == 20
+
+    def test_successor_crosses_pages(self, pf):
+        assert pf.successor(20).key == 30
+        assert pf.successor(30).key == 40
+
+    def test_successor_of_absent_key(self, pf):
+        assert pf.successor(15).key == 20
+        assert pf.successor(35).key == 40
+
+    def test_successor_below_minimum(self, pf):
+        assert pf.successor(-100).key == 10
+
+    def test_successor_at_maximum(self, pf):
+        assert pf.successor(50) is None
+
+    def test_predecessor_within_page(self, pf):
+        assert pf.predecessor(50).key == 40
+
+    def test_predecessor_crosses_pages(self, pf):
+        assert pf.predecessor(30).key == 20
+        assert pf.predecessor(40).key == 30
+
+    def test_predecessor_of_absent_key(self, pf):
+        assert pf.predecessor(25).key == 20
+
+    def test_predecessor_at_minimum(self, pf):
+        assert pf.predecessor(10) is None
+
+    def test_predecessor_above_maximum(self, pf):
+        assert pf.predecessor(1000).key == 50
+
+    def test_queries_charge_few_reads(self, pf):
+        pf.disk.stats.reset()
+        pf.successor(20)
+        assert pf.disk.stats.reads <= 2
+        pf.disk.stats.reset()
+        pf.predecessor(30)
+        assert pf.disk.stats.reads <= 2
+
+
+class TestEngineAndFacade:
+    def test_engine_delegation(self):
+        engine = Control2Engine(DensityParams(num_pages=64, d=8, D=40))
+        engine.insert_many([3, 1, 4, 1.5, 9])
+        assert engine.min_record().key == 1
+        assert engine.max_record().key == 9
+        assert engine.successor(3).key == 4
+        assert engine.predecessor(3).key == 1.5
+
+    def test_facade_order_api(self):
+        dense = DenseSequentialFile(num_pages=64, d=8, D=40)
+        dense.insert_many(["b", "d", "a", "c"])
+        assert dense.min().key == "a"
+        assert dense.max().key == "d"
+        assert dense.successor("b").key == "c"
+        assert dense.predecessor("b").key == "a"
+        assert list(dense) == ["a", "b", "c", "d"]
+
+    def test_queries_track_mutations(self):
+        dense = DenseSequentialFile(num_pages=64, d=8, D=40)
+        dense.insert_many(range(10))
+        dense.delete(0)
+        dense.delete(9)
+        assert dense.min().key == 1
+        assert dense.max().key == 8
+        dense.delete_range(3, 6)
+        assert dense.successor(2).key == 7
+
+    def test_model_based_successor_predecessor(self):
+        import random
+
+        engine = Control2Engine(DensityParams(num_pages=32, d=4, D=24))
+        rng = random.Random(3)
+        keys = sorted(rng.sample(range(1000), 80))
+        engine.insert_many(keys)
+        for probe in rng.sample(range(1000), 50):
+            expected_succ = next((k for k in keys if k > probe), None)
+            expected_pred = next(
+                (k for k in reversed(keys) if k < probe), None
+            )
+            succ = engine.successor(probe)
+            pred = engine.predecessor(probe)
+            assert (succ.key if succ else None) == expected_succ
+            assert (pred.key if pred else None) == expected_pred

@@ -1,0 +1,88 @@
+"""Tests for the overflow-chaining sequential file."""
+
+import pytest
+
+from repro.baselines.overflow_file import OverflowChainFile
+from repro.core.errors import DuplicateKeyError, RecordNotFoundError
+from repro.workloads import converging_inserts
+
+
+@pytest.fixture
+def overflow():
+    f = OverflowChainFile(num_primary_pages=8, capacity=4)
+    f.bulk_load(range(0, 320, 10))  # 32 records: 4 per primary page
+    return f
+
+
+class TestBasics:
+    def test_bulk_load_distribution(self, overflow):
+        assert len(overflow) == 32
+        assert overflow.overflow_pages_used() == 0
+
+    def test_search_in_primary(self, overflow):
+        assert overflow.search(100).key == 100
+        assert overflow.search(101) is None
+
+    def test_insert_into_full_page_creates_chain(self, overflow):
+        overflow.insert(1)  # page 1 holds 0,10,20,30 and is full
+        assert overflow.longest_chain() == 1
+        assert overflow.search(1).key == 1
+
+    def test_chain_grows_page_by_page(self, overflow):
+        for key in range(1, 10):
+            overflow.insert(key)
+        # 9 overflow records at capacity 4 -> ceil(9/4) = 3 chain pages.
+        assert overflow.longest_chain() == 3
+
+    def test_duplicate_rejected_in_primary_and_chain(self, overflow):
+        with pytest.raises(DuplicateKeyError):
+            overflow.insert(100)
+        overflow.insert(1)
+        with pytest.raises(DuplicateKeyError):
+            overflow.insert(1)
+
+    def test_delete_from_chain(self, overflow):
+        overflow.insert(1)
+        overflow.delete(1)
+        assert overflow.search(1) is None
+
+    def test_delete_missing_raises(self, overflow):
+        with pytest.raises(RecordNotFoundError):
+            overflow.delete(999)
+
+
+class TestScans:
+    def test_range_scan_merges_chains_in_order(self, overflow):
+        for key in (1, 2, 3, 4, 5):
+            overflow.insert(key)
+        keys = [r.key for r in overflow.range_scan(0, 40)]
+        assert keys == [0, 1, 2, 3, 4, 5, 10, 20, 30, 40]
+
+    def test_scan_cost_includes_chain_reads(self, overflow):
+        for key in range(1, 9):
+            overflow.insert(key)
+        overflow.stats.reset()
+        list(overflow.range_scan(0, 30))
+        # One primary page plus its two chain pages at minimum.
+        assert overflow.stats.reads >= 3
+
+
+class TestBurstDegradation:
+    def test_burst_makes_one_chain_long(self):
+        f = OverflowChainFile(num_primary_pages=16, capacity=8)
+        f.bulk_load(range(0, 1280, 10))
+        for op in converging_inserts(100, lo=50, hi=51):
+            f.insert(op.key)
+        assert f.longest_chain() >= 100 // 8
+        # Other pages untouched.
+        assert sorted(f.chain_lengths())[-2] == 0
+
+    def test_burst_scan_pays_for_the_chain(self):
+        f = OverflowChainFile(num_primary_pages=16, capacity=8)
+        f.bulk_load(range(0, 1280, 10))
+        for op in converging_inserts(80, lo=100, hi=101):
+            f.insert(op.key)
+        f.stats.reset()
+        result = list(f.range_scan(100, 110))
+        assert len(result) == 82  # 100, 110 and the 80 chained records
+        assert f.stats.reads > 10

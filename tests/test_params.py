@@ -1,0 +1,126 @@
+"""Unit tests for DensityParams and the exact g(v, r) predicates."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.params import DensityParams, ceil_log2, recommended_j
+
+
+class TestCeilLog2:
+    @pytest.mark.parametrize(
+        "m, expected",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1024, 10)],
+    )
+    def test_values(self, m, expected):
+        assert ceil_log2(m) == expected
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+
+class TestValidation:
+    def test_rejects_d_not_less_than_D(self):
+        with pytest.raises(ConfigurationError):
+            DensityParams(num_pages=8, d=10, D=10)
+
+    def test_rejects_tiny_file(self):
+        with pytest.raises(ConfigurationError):
+            DensityParams(num_pages=1, d=1, D=2)
+
+    def test_rejects_zero_d(self):
+        with pytest.raises(ConfigurationError):
+            DensityParams(num_pages=8, d=0, D=2)
+
+    def test_rejects_non_positive_j(self):
+        with pytest.raises(ConfigurationError):
+            DensityParams(num_pages=8, d=1, D=20, j=0)
+
+
+class TestDerivedQuantities:
+    def test_paper_example_geometry(self):
+        params = DensityParams(num_pages=8, d=9, D=18, j=3)
+        assert params.log_m == 3
+        assert params.slack == 9
+        assert params.max_records == 72
+        assert params.shift_budget == 3
+
+    def test_slack_condition(self):
+        # Example 5.2: D - d = 9 = 3 * log M, so (5.1) does NOT hold
+        # strictly; the paper uses it anyway as an illustration.
+        assert not DensityParams(8, 9, 18).satisfies_slack_condition
+        assert DensityParams(8, 9, 19).satisfies_slack_condition
+
+    def test_recommended_j_matches_formula(self):
+        # coefficient * logM^2 / slack, rounded up.
+        assert recommended_j(1024, 50, coefficient=9) == 18
+        assert recommended_j(8, 9, coefficient=9) == 9
+
+    def test_default_j_used_when_not_given(self):
+        params = DensityParams(num_pages=1024, d=8, D=58)
+        assert params.shift_budget == recommended_j(1024, 50)
+
+    def test_macro_block_factor_is_least_sufficient_k(self):
+        params = DensityParams(num_pages=64, d=8, D=12)  # slack 4, 3logM=18
+        factor = params.macro_block_factor
+        assert factor * params.slack > 3 * params.log_m
+        assert (factor - 1) * params.slack <= 3 * params.log_m
+
+
+class TestExactPredicates:
+    """Cross-check the integer predicates against the float formula."""
+
+    @pytest.fixture
+    def params(self):
+        return DensityParams(num_pages=8, d=9, D=18, j=3)
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    @pytest.mark.parametrize("thirds", [0, 1, 2, 3])
+    def test_agreement_with_float_formula(self, params, depth, thirds):
+        pages = 8 >> depth
+        g = params.g_value(depth, thirds)
+        for count in range(0, params.D * pages + 1):
+            p = count / pages
+            assert params.density_at_least(count, pages, depth, thirds) == (
+                p >= g - 1e-9
+            )
+            assert params.density_at_most(count, pages, depth, thirds) == (
+                p <= g + 1e-9
+            )
+
+    def test_paper_leaf_thresholds(self, params):
+        # Leaves (depth 3): g(2/3)=17, g(1/3)=16, g(0)=15, g(1)=18.
+        assert params.density_at_least(17, 1, 3, 2)
+        assert not params.density_at_least(16, 1, 3, 2)
+        assert params.density_at_most(16, 1, 3, 1)
+        assert not params.density_at_most(17, 1, 3, 1)
+        assert params.threshold_count(1, 3, 0) == 15
+        assert not params.density_exceeds(18, 1, 3, 3)
+        assert params.density_exceeds(19, 1, 3, 3)
+
+    def test_paper_depth1_thresholds(self, params):
+        # Depth-1 nodes over 4 pages: g(2/3)=11, g(1/3)=10, g(0)=9.
+        assert params.density_at_least(44, 4, 1, 2)
+        assert not params.density_at_least(43, 4, 1, 2)
+        assert params.density_at_most(40, 4, 1, 1)
+        assert not params.density_at_most(41, 4, 1, 1)
+        assert params.threshold_count(4, 1, 0) == 36
+
+    def test_threshold_count_is_exact_boundary(self, params):
+        for depth in range(4):
+            pages = 8 >> depth
+            threshold = params.threshold_count(pages, depth, 0)
+            assert params.density_at_least(threshold, pages, depth, 0)
+            if threshold > 0:
+                assert not params.density_at_least(
+                    threshold - 1, pages, depth, 0
+                )
+
+    def test_threshold_count_never_negative(self):
+        params = DensityParams(num_pages=1024, d=1, D=100)
+        assert params.threshold_count(1, 0, 0) == 0
+
+    def test_root_g1_equals_d(self, params):
+        # g(root, 1) = d: the root respects BALANCE iff N <= d*M.
+        assert params.density_at_most(72, 8, 0, 3)
+        assert params.density_exceeds(73, 8, 0, 3)

@@ -1,0 +1,87 @@
+"""Stateful property tests for the durable dense file.
+
+The machine drives a persistent file with random inserts/deletes,
+*reopens it from disk at arbitrary points*, and checks after every step
+that the on-disk state equals a plain dict model — i.e. that the
+write-through layer never lags, loses or reorders anything across
+restarts.
+"""
+
+import os
+import tempfile
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.persistent import PersistentDenseFile
+
+
+class PersistentFileMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        handle, self.path = tempfile.mkstemp(suffix=".dsf")
+        os.close(handle)
+        os.unlink(self.path)
+        self.dense = PersistentDenseFile.create(
+            self.path, num_pages=16, d=4, D=20
+        )
+        self.model = {}
+
+    def teardown(self):
+        self.dense.close()
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+    @rule(key=st.integers(0, 120), value=st.one_of(st.none(), st.text(max_size=8)))
+    def insert(self, key, value):
+        if key in self.model:
+            return
+        if len(self.model) >= self.dense.params.max_records:
+            return
+        self.dense.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=st.integers(0, 120))
+    def delete_if_present(self, key):
+        if key not in self.model:
+            return
+        self.dense.delete(key)
+        del self.model[key]
+
+    @rule(lo=st.integers(0, 120), span=st.integers(0, 30))
+    def delete_range(self, lo, span):
+        removed = self.dense.delete_range(lo, lo + span)
+        expected = [k for k in self.model if lo <= k <= lo + span]
+        assert removed == len(expected)
+        for key in expected:
+            del self.model[key]
+
+    @rule()
+    def reopen(self):
+        """Simulate a process restart."""
+        self.dense.close()
+        self.dense = PersistentDenseFile.open(self.path)
+
+    @invariant()
+    def disk_matches_model(self):
+        stored = [
+            (record.key, record.value)
+            for record in self.dense.range(-1, 10**9)
+        ]
+        assert stored == sorted(self.model.items())
+
+    @invariant()
+    def structural_invariants_hold(self):
+        self.dense.validate()
+
+
+PersistentFileMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestPersistentFileMachine = PersistentFileMachine.TestCase

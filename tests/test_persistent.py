@@ -1,0 +1,142 @@
+"""Tests for the durable dense sequential file."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, InvariantViolationError
+from repro.persistent import PersistentDenseFile
+from repro.storage.ondisk import HEADER, SLOT_HEADER
+from repro.workloads import converging_inserts, mixed_workload
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "dense.dsf")
+
+
+class TestLifecycle:
+    def test_create_insert_reopen_search(self, path):
+        with PersistentDenseFile.create(path, num_pages=64, d=8, D=40) as f:
+            f.insert(1, "one")
+            f.insert(2, "two")
+        with PersistentDenseFile.open(path) as f:
+            assert f.search(1).value == "one"
+            assert f.search(2).value == "two"
+            assert len(f) == 2
+
+    def test_geometry_survives_reopen(self, path):
+        PersistentDenseFile.create(path, num_pages=64, d=8, D=40, j=21).close()
+        with PersistentDenseFile.open(path) as f:
+            assert f.params.num_pages == 64
+            assert f.params.d == 8
+            assert f.params.D == 40
+            assert f.params.shift_budget == 21
+
+    def test_default_j_survives_as_default(self, path):
+        PersistentDenseFile.create(path, num_pages=64, d=8, D=40).close()
+        with PersistentDenseFile.open(path) as f:
+            from repro.core.params import recommended_j
+
+            assert f.params.shift_budget == recommended_j(64, 32)
+
+    def test_control1_files(self, path):
+        with PersistentDenseFile.create(
+            path, num_pages=64, d=8, D=40, algorithm="control1"
+        ) as f:
+            f.insert(5)
+        with PersistentDenseFile.open(path) as f:
+            assert f.engine.algorithm_name == "CONTROL 1"
+            assert 5 in f
+
+    def test_slack_condition_enforced(self, path):
+        with pytest.raises(ConfigurationError):
+            PersistentDenseFile.create(path, num_pages=64, d=8, D=12)
+
+    def test_unknown_algorithm_rejected(self, path):
+        with pytest.raises(ConfigurationError):
+            PersistentDenseFile.create(
+                path, num_pages=64, d=8, D=40, algorithm="btree"
+            )
+
+
+class TestDurability:
+    def test_full_workload_roundtrip(self, path):
+        with PersistentDenseFile.create(path, num_pages=64, d=8, D=40) as f:
+            for op in mixed_workload(400, seed=3):
+                if op.kind == "insert":
+                    f.insert(op.key, op.key * 2)
+                else:
+                    f.delete(op.key)
+            f.validate()
+            expected = [(r.key, r.value) for r in f.range(-1, 1 << 62)]
+            occupancies = f.occupancies()
+        with PersistentDenseFile.open(path) as f:
+            f.validate()
+            assert f.occupancies() == occupancies
+            assert [(r.key, r.value) for r in f.range(-1, 1 << 62)] == expected
+
+    def test_updates_continue_after_reopen(self, path):
+        with PersistentDenseFile.create(path, num_pages=64, d=8, D=40) as f:
+            for key in range(100):
+                f.insert(key)
+        with PersistentDenseFile.open(path) as f:
+            for key in range(100, 200):
+                f.insert(key)
+            for key in range(0, 100, 2):
+                f.delete(key)
+            f.validate()
+            assert len(f) == 150
+
+    def test_warning_flags_rebuilt_on_open(self, path):
+        """A file closed mid-surge reopens with Fact 5.1(b) satisfied."""
+        with PersistentDenseFile.create(
+            path, num_pages=64, d=8, D=40, j=1
+        ) as f:
+            for op in converging_inserts(300):
+                f.insert(op.key)
+            had_warnings = bool(f.engine.warning_nodes())
+        with PersistentDenseFile.open(path) as f:
+            f.validate()  # includes the Fact 5.1 checks
+            if had_warnings:
+                assert f.engine.warning_nodes()
+            for op in converging_inserts(100, lo=50, hi=51):
+                f.insert(op.key)
+            f.validate()
+
+    def test_update_in_place_is_durable(self, path):
+        with PersistentDenseFile.create(path, num_pages=64, d=8, D=40) as f:
+            f.insert(7, "old")
+            f.update(7, "new")
+        with PersistentDenseFile.open(path) as f:
+            assert f.search(7).value == "new"
+
+    def test_bulk_load_is_durable(self, path):
+        with PersistentDenseFile.create(path, num_pages=64, d=8, D=40) as f:
+            f.bulk_load(range(200))
+        with PersistentDenseFile.open(path) as f:
+            assert len(f) == 200
+            assert [r.key for r in f.scan(195, 10)] == [195, 196, 197, 198, 199]
+
+
+class TestIntegrity:
+    def test_validate_detects_disk_divergence(self, path):
+        f = PersistentDenseFile.create(path, num_pages=64, d=8, D=40)
+        f.insert(1)
+        # Sabotage the store behind the engine's back.
+        f._store.write_page(f.engine.pagefile.nonempty_pages()[0], [])
+        with pytest.raises(InvariantViolationError, match="diverge"):
+            f.validate()
+        f.close()
+
+    def test_checksums_detect_flipped_byte(self, path):
+        with PersistentDenseFile.create(path, num_pages=8, d=8, D=40) as f:
+            f.insert(1, "payload")
+            page = f.engine.pagefile.nonempty_pages()[0]
+            slot = f._store.slot_capacity
+        offset = HEADER.size + (page - 1) * slot + SLOT_HEADER.size + 1
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            handle.write(b"\xee")
+        from repro.storage.ondisk import DiskPagedStore
+
+        with DiskPagedStore.open(path) as store:
+            assert store.verify_all() == [page]

@@ -1,0 +1,107 @@
+"""Tests for the packed-memory-array baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.pma import PackedMemoryArray
+from repro.core.errors import FileFullError, RecordNotFoundError
+
+
+@pytest.fixture
+def pma():
+    return PackedMemoryArray(num_pages=16, capacity=8)
+
+
+class TestThresholds:
+    def test_tau_interpolates_leaf_to_root(self, pma):
+        assert pma._tau(0) == pytest.approx(1.0)
+        assert pma._tau(pma.height) == pytest.approx(0.5)
+        assert pma._tau(1) < pma._tau(0)
+
+    def test_rho_interpolates_leaf_to_root(self, pma):
+        assert pma._rho(0) == pytest.approx(0.10)
+        assert pma._rho(pma.height) == pytest.approx(0.25)
+
+    def test_window_alignment(self, pma):
+        assert pma._window(5, 0) == (5, 5)
+        assert pma._window(5, 1) == (5, 6)
+        assert pma._window(5, 2) == (5, 8)
+        assert pma._window(5, 4) == (1, 16)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PackedMemoryArray(num_pages=1, capacity=8)
+        with pytest.raises(ValueError):
+            PackedMemoryArray(num_pages=8, capacity=8, tau_root=1.5)
+        with pytest.raises(ValueError):
+            PackedMemoryArray(num_pages=8, capacity=8, rho_root=0.6)
+
+
+class TestUpdates:
+    def test_insert_search_roundtrip(self, pma):
+        pma.insert(5, "five")
+        assert pma.search(5).value == "five"
+        assert 5 in pma
+
+    def test_order_maintained_under_random_updates(self, pma):
+        rng = random.Random(13)
+        model = set()
+        for _ in range(400):
+            key = rng.randrange(500)
+            if key in model:
+                pma.delete(key)
+                model.discard(key)
+            else:
+                try:
+                    pma.insert(key)
+                except FileFullError:
+                    continue
+                model.add(key)
+        stored = [r.key for r in pma.pagefile.iter_all()]
+        assert stored == sorted(model)
+
+    def test_rebalance_spreads_hot_page(self, pma):
+        for key in range(20):
+            pma.insert(1000 + key)
+        assert pma.rebalances >= 1
+        assert max(pma.occupancies()) <= pma.capacity
+
+    def test_root_threshold_enforced(self):
+        pma = PackedMemoryArray(num_pages=4, capacity=4, tau_root=0.5)
+        for key in range(8):  # 0.5 * 16 slots
+            pma.insert(key)
+        with pytest.raises(FileFullError):
+            pma.insert(99)
+
+    def test_delete_missing_raises(self, pma):
+        with pytest.raises(RecordNotFoundError):
+            pma.delete(42)
+
+    def test_heavy_deletion_triggers_lower_threshold_rebalance(self, pma):
+        pma.bulk_load(range(0, 60))
+        before = pma.rebalances
+        for key in range(0, 55):
+            pma.delete(key)
+        assert pma.rebalances > before or max(pma.occupancies()) <= pma.capacity
+
+    def test_records_moved_total_tracks_rebalances(self, pma):
+        for key in range(30):
+            pma.insert(2000 + key)
+        if pma.rebalances:
+            assert pma.records_moved_total > 0
+
+
+class TestScans:
+    def test_range_scan(self, pma):
+        pma.bulk_load(range(0, 100, 5))
+        assert [r.key for r in pma.range_scan(10, 30)] == [10, 15, 20, 25, 30]
+
+    def test_scan_count(self, pma):
+        pma.bulk_load(range(10))
+        assert [r.key for r in pma.scan_count(4, 3)] == [4, 5, 6]
+
+    def test_bulk_load_respects_root_threshold(self):
+        pma = PackedMemoryArray(num_pages=4, capacity=4, tau_root=0.5)
+        with pytest.raises(FileFullError):
+            pma.bulk_load(range(9))

@@ -1,0 +1,48 @@
+"""Unit tests for the record model."""
+
+import pytest
+
+from repro.records import Record, ensure_record
+
+
+class TestRecord:
+    def test_key_and_value_fields(self):
+        record = Record(5, "payload")
+        assert record.key == 5
+        assert record.value == "payload"
+
+    def test_value_defaults_to_none(self):
+        assert Record(1).value is None
+
+    def test_records_are_immutable(self):
+        record = Record(1, "a")
+        with pytest.raises(AttributeError):
+            record.key = 2
+
+    def test_equality_is_structural(self):
+        assert Record(1, "a") == Record(1, "a")
+        assert Record(1, "a") != Record(1, "b")
+
+    def test_records_unpack_like_tuples(self):
+        key, value = Record(3, "x")
+        assert (key, value) == (3, "x")
+
+
+class TestEnsureRecord:
+    def test_passes_records_through(self):
+        record = Record(1, "a")
+        assert ensure_record(record) is record
+
+    def test_coerces_pairs(self):
+        assert ensure_record((2, "b")) == Record(2, "b")
+
+    def test_coerces_bare_keys(self):
+        assert ensure_record(7) == Record(7, None)
+
+    def test_coerces_string_keys(self):
+        assert ensure_record("key").key == "key"
+
+    def test_three_tuples_are_treated_as_bare_keys(self):
+        # Only 2-tuples are (key, value) pairs; anything else is a key.
+        triple = (1, 2, 3)
+        assert ensure_record(triple) == Record(triple, None)

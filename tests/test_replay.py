@@ -1,0 +1,126 @@
+"""Tests for workload trace serialization and CLI replay."""
+
+import io
+from fractions import Fraction
+
+import pytest
+
+from repro import Control2Engine, DensityParams
+from repro.workloads import (
+    Operation,
+    TraceFormatError,
+    converging_inserts,
+    dump_operations,
+    load_operations,
+    mixed_workload,
+    run_workload,
+)
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    return str(tmp_path / "ops.jsonl")
+
+
+class TestRoundtrip:
+    def test_mixed_workload_roundtrips(self, trace_path):
+        operations = mixed_workload(200, seed=3)
+        assert dump_operations(operations, trace_path) == 200
+        assert load_operations(trace_path) == operations
+
+    def test_fraction_keys_roundtrip_exactly(self, trace_path):
+        operations = converging_inserts(50)
+        dump_operations(operations, trace_path)
+        loaded = load_operations(trace_path)
+        assert loaded == operations
+        assert all(isinstance(op.key, Fraction) for op in loaded)
+
+    def test_values_and_containers_roundtrip(self, trace_path):
+        operations = [
+            Operation("insert", 1, "plain"),
+            Operation("insert", (2, "composite"), {"nested": [1, 2]}),
+            Operation("delete", 1),
+        ]
+        dump_operations(operations, trace_path)
+        assert load_operations(trace_path) == operations
+
+    def test_replayed_trace_gives_identical_state(self, trace_path):
+        operations = mixed_workload(300, seed=8)
+        dump_operations(operations, trace_path)
+        params = DensityParams(num_pages=64, d=8, D=40)
+        original = Control2Engine(params)
+        run_workload(original, operations)
+        replayed = Control2Engine(params)
+        run_workload(replayed, load_operations(trace_path))
+        assert replayed.occupancies() == original.occupancies()
+
+    def test_empty_trace(self, trace_path):
+        dump_operations([], trace_path)
+        assert load_operations(trace_path) == []
+
+    def test_blank_lines_skipped(self, trace_path):
+        with open(trace_path, "w") as handle:
+            handle.write('{"op": "insert", "key": 1}\n\n')
+        assert len(load_operations(trace_path)) == 1
+
+
+class TestErrors:
+    def test_bad_json_rejected(self, trace_path):
+        with open(trace_path, "w") as handle:
+            handle.write("not json\n")
+        with pytest.raises(TraceFormatError, match="1"):
+            load_operations(trace_path)
+
+    def test_unknown_op_rejected(self, trace_path):
+        with open(trace_path, "w") as handle:
+            handle.write('{"op": "upsert", "key": 1}\n')
+        with pytest.raises(TraceFormatError):
+            load_operations(trace_path)
+
+    def test_missing_key_rejected(self, trace_path):
+        with open(trace_path, "w") as handle:
+            handle.write('{"op": "insert"}\n')
+        with pytest.raises(TraceFormatError):
+            load_operations(trace_path)
+
+    def test_unknown_tag_rejected(self, trace_path):
+        with open(trace_path, "w") as handle:
+            handle.write('{"op": "insert", "key": {"$what": 1}}\n')
+        with pytest.raises(TraceFormatError):
+            load_operations(trace_path)
+
+    def test_unencodable_key_rejected(self, trace_path):
+        with pytest.raises(TraceFormatError):
+            dump_operations([Operation("insert", object())], trace_path)
+
+
+class TestCliReplay:
+    def test_replay_command(self, tmp_path):
+        from repro.cli import main
+
+        dense_path = str(tmp_path / "r.dsf")
+        trace_path = str(tmp_path / "t.jsonl")
+        dump_operations(mixed_workload(150, seed=4), trace_path)
+        out = io.StringIO()
+        assert main(
+            ["create", dense_path, "--pages", "64", "--low-density", "8",
+             "--capacity", "40"],
+            out=out,
+        ) == 0
+        code = main(["replay", dense_path, trace_path], out=out)
+        assert code == 0
+        assert "replayed 150 commands" in out.getvalue()
+        assert main(["verify", dense_path], out=out) == 0
+
+    def test_replay_missing_trace(self, tmp_path):
+        from repro.cli import main
+
+        dense_path = str(tmp_path / "r.dsf")
+        out = io.StringIO()
+        main(
+            ["create", dense_path, "--pages", "64", "--low-density", "8",
+             "--capacity", "40"],
+            out=out,
+        )
+        code = main(["replay", dense_path, str(tmp_path / "no.jsonl")], out=out)
+        assert code == 1

@@ -1,0 +1,73 @@
+"""Tests for the packed sequential file strawman."""
+
+import pytest
+
+from repro.baselines.sequential_file import PackedSequentialFile
+from repro.core.errors import FileFullError, RecordNotFoundError
+from repro.records import Record
+
+
+@pytest.fixture
+def packed():
+    f = PackedSequentialFile(num_pages=8, capacity=4)
+    f.bulk_load(range(0, 40, 2))  # 20 records = 5 full pages
+    return f
+
+
+class TestPacking:
+    def test_bulk_load_packs_prefix(self, packed):
+        assert packed.occupancies() == [4, 4, 4, 4, 4, 0, 0, 0]
+
+    def test_insert_keeps_file_packed(self, packed):
+        packed.insert(5)
+        assert packed.occupancies() == [4, 4, 4, 4, 4, 1, 0, 0]
+        keys = [r.key for r in packed.range_scan(-1, 100)]
+        assert keys == sorted(keys)
+
+    def test_delete_keeps_file_packed(self, packed):
+        packed.delete(0)
+        assert packed.occupancies() == [4, 4, 4, 4, 3, 0, 0, 0]
+
+    def test_middle_insert_shifts_the_tail(self, packed):
+        packed.stats.reset()
+        packed.insert(1)  # lands on page 1: pages 1..5 all rewritten
+        # Ripple touches every page from the insertion point to the end.
+        assert packed.stats.writes >= 5
+
+    def test_append_is_cheap(self, packed):
+        packed.stats.reset()
+        packed.insert(1000)
+        assert packed.stats.writes <= 3
+
+
+class TestSemantics:
+    def test_search(self, packed):
+        assert packed.search(10) == Record(10, None)
+        assert packed.search(11) is None
+        assert 10 in packed
+
+    def test_delete_missing_raises(self, packed):
+        with pytest.raises(RecordNotFoundError):
+            packed.delete(11)
+
+    def test_full_file_rejects_insert(self):
+        f = PackedSequentialFile(num_pages=2, capacity=2)
+        f.bulk_load(range(4))
+        with pytest.raises(FileFullError):
+            f.insert(99)
+
+    def test_scan_count(self, packed):
+        assert [r.key for r in packed.scan_count(9, 3)] == [10, 12, 14]
+
+    def test_many_updates_stay_ordered(self, packed):
+        for key in (5, 7, 9, 11, 13):
+            packed.insert(key)
+        for key in (0, 2, 4):
+            packed.delete(key)
+        keys = [r.key for r in packed.range_scan(-1, 1000)]
+        assert keys == sorted(keys)
+        assert len(keys) == len(packed)
+
+    def test_bulk_load_requires_empty(self, packed):
+        with pytest.raises(ValueError):
+            packed.bulk_load([1])

@@ -1,0 +1,83 @@
+"""Tests for the moment recorder and operation log."""
+
+import pytest
+
+from repro import Control2Engine, DensityParams, MomentRecorder
+from repro.core.trace import FLAG_STABLE_TYPES, Moment, OperationLog
+
+
+@pytest.fixture
+def engine():
+    return Control2Engine(DensityParams(num_pages=16, d=4, D=20, j=2))
+
+
+class TestMomentRecorder:
+    def test_records_only_requested_types(self, engine):
+        recorder = MomentRecorder(moment_types={"1"}).attach(engine)
+        engine.insert(1)
+        assert all(m.moment_type == "1" for m in recorder.moments)
+        assert len(recorder.moments) == 1
+
+    def test_default_types_are_flag_stable(self, engine):
+        recorder = MomentRecorder().attach(engine)
+        engine.insert(1)
+        assert recorder.moments
+        assert all(m.flag_stable for m in recorder.moments)
+        assert all(m.moment_type in FLAG_STABLE_TYPES for m in recorder.moments)
+
+    def test_moment_snapshot_content(self, engine):
+        recorder = MomentRecorder(moment_types={"3"}).attach(engine)
+        engine.insert(1)
+        moment = recorder.moments[0]
+        assert isinstance(moment, Moment)
+        assert sum(moment.occupancies) == 1
+        assert moment.command_index == 0
+
+    def test_destination_of_unknown_node_is_none(self, engine):
+        recorder = MomentRecorder(moment_types={"3"}).attach(engine)
+        engine.insert(1)
+        assert recorder.moments[0].destination_of(999) is None
+
+    def test_distinct_rows_collapse_duplicates(self, engine):
+        recorder = MomentRecorder().attach(engine)
+        engine.insert(1)
+        engine.insert(2)
+        rows = recorder.distinct_occupancy_rows()
+        assert len(rows) <= len(recorder.occupancy_rows())
+        for first, second in zip(rows, rows[1:]):
+            assert first != second
+
+    def test_clear(self, engine):
+        recorder = MomentRecorder().attach(engine)
+        engine.insert(1)
+        recorder.clear()
+        assert recorder.moments == []
+
+
+class TestOperationLog:
+    def test_empty_log_statistics(self):
+        log = OperationLog()
+        assert log.worst_case_accesses == 0
+        assert log.amortized_accesses == 0.0
+        assert log.worst_case_moved == 0
+        assert log.amortized_moved == 0.0
+
+    def test_append_and_aggregate(self):
+        log = OperationLog()
+        log.append(accesses=3, moved=1, cost=3.0, label="insert")
+        log.append(accesses=7, moved=5, cost=7.0, label="delete")
+        assert len(log) == 2
+        assert log.worst_case_accesses == 7
+        assert log.amortized_accesses == 5.0
+        assert log.worst_case_moved == 5
+        assert log.amortized_moved == 3.0
+        assert log.labels == ["insert", "delete"]
+
+    def test_engine_integration(self, engine):
+        log = engine.enable_operation_log()
+        engine.insert(1)
+        engine.insert(2)
+        engine.delete(1)
+        assert len(log) == 3
+        assert log.labels == ["insert", "insert", "delete"]
+        assert all(a > 0 for a in log.page_accesses)

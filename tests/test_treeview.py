@@ -1,0 +1,54 @@
+"""Tests for the calibrator ASCII renderer."""
+
+from repro import Control2Engine, DensityParams
+from repro.analysis import render_calibrator, render_figure_1b
+from repro.core.calibrator import CalibratorTree
+
+
+class TestRenderCalibrator:
+    def test_one_line_per_depth(self):
+        tree = CalibratorTree(8)
+        text = render_calibrator(tree)
+        lines = text.splitlines()
+        assert len(lines) == 4  # depths 0..3
+        assert lines[0].startswith("d0:")
+        assert lines[3].startswith("d3:")
+
+    def test_leaves_render_single_page_labels(self):
+        tree = CalibratorTree(4)
+        text = render_calibrator(tree, show_density=False)
+        assert "[1]" in text and "[4]" in text
+        assert "[1,2]" in text
+
+    def test_densities_shown(self):
+        tree = CalibratorTree(4)
+        tree.add(1, 6)
+        text = render_calibrator(tree)
+        assert "p=6.00" in text          # the leaf
+        assert "p=1.50" in text          # the root (6 records / 4 pages)
+
+    def test_warning_markers_with_engine(self):
+        params = DensityParams(num_pages=8, d=9, D=18, j=3)
+        engine = Control2Engine(params)
+        engine.load_occupancies([16, 1, 0, 1, 9, 9, 9, 16])
+        engine.insert_at_page(8, 10_000)
+        text = render_calibrator(engine.calibrator, engine=engine)
+        assert "!DEST=" in text
+
+    def test_width_centers_rows(self):
+        tree = CalibratorTree(2)
+        text = render_calibrator(tree, show_density=False, width=40)
+        first = text.splitlines()[0]
+        assert len(first) >= 40
+
+
+class TestFigure1b:
+    def test_reproduces_paper_densities(self):
+        text = render_figure_1b([3, 2, 1, 2])
+        assert "p=2.00" in text.splitlines()[0]  # root
+        assert "p=2.50" in text and "p=1.50" in text
+        assert "p=3.00" in text and "p=1.00" in text
+
+    def test_explicit_page_count_pads_with_empty_pages(self):
+        text = render_figure_1b([4], num_pages=4)
+        assert "p=1.00" in text.splitlines()[0]  # 4 records over 4 pages

@@ -1,0 +1,169 @@
+"""Tests for the workload generators and the driver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import Control2Engine, DensityParams
+from repro.workloads import (
+    DELETE,
+    INSERT,
+    Operation,
+    ZipfSampler,
+    ascending_inserts,
+    converging_inserts,
+    descending_inserts,
+    hotspot_inserts,
+    interleaved_point_inserts,
+    keys_of,
+    mixed_workload,
+    run_workload,
+    sawtooth_workload,
+    uniform_random_inserts,
+    zipf_region_inserts,
+)
+
+
+class TestOperation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Operation("upsert", 1)
+
+    def test_fields(self):
+        op = Operation(INSERT, 5, "v")
+        assert (op.kind, op.key, op.value) == (INSERT, 5, "v")
+
+
+class TestGenerators:
+    def test_uniform_is_deterministic_per_seed(self):
+        a = uniform_random_inserts(50, seed=1)
+        b = uniform_random_inserts(50, seed=1)
+        c = uniform_random_inserts(50, seed=2)
+        assert a == b
+        assert a != c
+
+    def test_uniform_keys_are_unique(self):
+        ops = uniform_random_inserts(1000, seed=3)
+        keys = list(keys_of(ops))
+        assert len(set(keys)) == len(keys)
+
+    def test_ascending_and_descending(self):
+        up = [op.key for op in ascending_inserts(5, start=10, gap=2)]
+        down = [op.key for op in descending_inserts(3, start=10)]
+        assert up == [10, 12, 14, 16, 18]
+        assert down == [10, 9, 8]
+
+    def test_converging_keys_strictly_decrease_toward_lo(self):
+        keys = [op.key for op in converging_inserts(60)]
+        assert all(isinstance(key, Fraction) for key in keys)
+        assert all(keys[i] > keys[i + 1] for i in range(len(keys) - 1))
+        assert all(Fraction(0) < key < Fraction(1) for key in keys)
+
+    def test_converging_from_below_increases(self):
+        keys = [op.key for op in converging_inserts(10, from_above=False)]
+        assert all(keys[i] < keys[i + 1] for i in range(len(keys) - 1))
+
+    def test_hotspot_mostly_in_window(self):
+        ops = hotspot_inserts(200, center=1000, width=10, seed=1)
+        hot = sum(1 for op in ops if 1000 <= op.key <= 1010)
+        assert hot >= 150
+
+    def test_mixed_deletes_only_live_keys(self):
+        ops = mixed_workload(300, seed=5)
+        live = set()
+        for op in ops:
+            if op.kind == INSERT:
+                assert op.key not in live
+                live.add(op.key)
+            else:
+                assert op.key in live
+                live.remove(op.key)
+
+    def test_sawtooth_alternates_phases(self):
+        ops = sawtooth_workload(200, period=10, seed=1)
+        kinds = [op.kind for op in ops[:20]]
+        assert kinds[:10] == [INSERT] * 10
+        assert DELETE in kinds[10:]
+
+    def test_interleaved_points_round_robin(self):
+        ops = interleaved_point_inserts(6, points=[0, 100])
+        regions = [0 if op.key < 50 else 100 for op in ops]
+        assert regions == [0, 100, 0, 100, 0, 100]
+
+    def test_interleaved_points_unique_keys(self):
+        ops = interleaved_point_inserts(100, points=[0, 100, 200], seed=1)
+        keys = [op.key for op in ops]
+        assert len(set(keys)) == len(keys)
+
+
+class TestZipf:
+    def test_sampler_bounds(self):
+        sampler = ZipfSampler(10, s=1.2, seed=1)
+        draws = [sampler.sample() for _ in range(500)]
+        assert all(0 <= draw < 10 for draw in draws)
+
+    def test_skew_prefers_low_ranks(self):
+        sampler = ZipfSampler(100, s=1.5, seed=2)
+        draws = [sampler.sample() for _ in range(2000)]
+        head = sum(1 for draw in draws if draw < 10)
+        assert head > len(draws) // 2
+
+    def test_zero_exponent_is_uniform_ish(self):
+        sampler = ZipfSampler(4, s=0.0, seed=3)
+        draws = [sampler.sample() for _ in range(4000)]
+        counts = [draws.count(rank) for rank in range(4)]
+        assert min(counts) > 700
+
+    def test_region_inserts_unique_and_executable(self):
+        ops = zipf_region_inserts(300, seed=6)
+        keys = [op.key for op in ops]
+        assert len(set(keys)) == len(keys)
+
+    def test_sampler_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, s=-1)
+
+
+class TestDriver:
+    def test_run_workload_logs_every_operation(self):
+        engine = Control2Engine(DensityParams(num_pages=64, d=8, D=40))
+        ops = uniform_random_inserts(100, seed=9)
+        result = run_workload(engine, ops)
+        assert len(result.log) == 100
+        assert result.final_size == 100
+        assert result.structure_name == "CONTROL 2"
+
+    def test_validation_cadence(self):
+        engine = Control2Engine(DensityParams(num_pages=64, d=8, D=40))
+        result = run_workload(
+            engine, uniform_random_inserts(100, seed=9), validate_every=30
+        )
+        # 3 periodic validations + 1 final.
+        assert result.validations == 4
+
+    def test_progress_callback(self):
+        engine = Control2Engine(DensityParams(num_pages=64, d=8, D=40))
+        seen = []
+        run_workload(
+            engine,
+            uniform_random_inserts(10, seed=9),
+            on_progress=seen.append,
+        )
+        assert seen == list(range(10))
+
+    def test_driver_works_on_structures_without_validate(self):
+        from repro.baselines.btree import BPlusTree
+
+        tree = BPlusTree()
+        result = run_workload(
+            tree, uniform_random_inserts(50, seed=9), validate_every=10
+        )
+        assert result.validations == 0
+        assert result.final_size == 50
+
+    def test_per_operation_costs_are_positive(self):
+        engine = Control2Engine(DensityParams(num_pages=64, d=8, D=40))
+        result = run_workload(engine, uniform_random_inserts(20, seed=9))
+        assert all(cost > 0 for cost in result.log.page_accesses)

@@ -1,0 +1,126 @@
+"""Generate docs/API.md from the package's docstrings.
+
+Usage:  python tools/gen_api_docs.py
+
+Walks every public module of :mod:`repro`, rendering module, class,
+method and function docstrings (first paragraph for members, full text
+for modules) into one markdown reference.  Re-run after changing public
+APIs; the test suite asserts the file is up to date.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import repro  # noqa: E402
+
+SKIP_MODULES = {"repro.__main__"}
+
+
+def iter_modules():
+    """All public repro modules, the package itself first."""
+    yield repro
+    names = sorted(
+        info.name
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+        if info.name not in SKIP_MODULES
+    )
+    for name in names:
+        yield importlib.import_module(name)
+
+
+def first_paragraph(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    return doc.split("\n\n")[0].replace("\n", " ").strip()
+
+
+def signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def render_function(name: str, obj, heading: str) -> list:
+    lines = [f"{heading} `{name}{signature_of(obj)}`", ""]
+    summary = first_paragraph(obj)
+    if summary:
+        lines += [summary, ""]
+    return lines
+
+
+def render_class(name: str, cls) -> list:
+    lines = [f"### class `{name}`", ""]
+    summary = first_paragraph(cls)
+    if summary:
+        lines += [summary, ""]
+    for member_name, member in sorted(vars(cls).items()):
+        if member_name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            doc = first_paragraph(member.fget) if member.fget else ""
+            lines += [f"- **`{member_name}`** *(property)* — {doc}"]
+        elif inspect.isfunction(member):
+            doc = first_paragraph(member)
+            lines += [
+                f"- **`{member_name}{signature_of(member)}`** — {doc}"
+            ]
+        elif isinstance(member, (classmethod, staticmethod)):
+            inner = member.__func__
+            doc = first_paragraph(inner)
+            kind = "classmethod" if isinstance(member, classmethod) else "staticmethod"
+            lines += [
+                f"- **`{member_name}{signature_of(inner)}`** *({kind})* — {doc}"
+            ]
+    lines.append("")
+    return lines
+
+
+def render_module(module) -> list:
+    lines = [f"## `{module.__name__}`", ""]
+    summary = first_paragraph(module)
+    if summary:
+        lines += [summary, ""]
+    for name, obj in sorted(vars(module).items()):
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue
+        if inspect.isclass(obj):
+            lines += render_class(name, obj)
+        elif inspect.isfunction(obj):
+            lines += render_function(name, obj, "### function")
+    return lines
+
+
+def generate() -> str:
+    lines = [
+        "# API reference",
+        "",
+        "Generated from docstrings by `tools/gen_api_docs.py`; do not edit",
+        "by hand (run the generator after changing public APIs).",
+        "",
+    ]
+    for module in iter_modules():
+        lines += render_module(module)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main() -> None:
+    """Write docs/API.md next to the repository root."""
+    target = os.path.join(
+        os.path.dirname(__file__), "..", "docs", "API.md"
+    )
+    with open(target, "w") as handle:
+        handle.write(generate())
+    print(f"wrote {os.path.normpath(target)}")
+
+
+if __name__ == "__main__":
+    main()

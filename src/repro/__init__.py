@@ -45,11 +45,16 @@ from .records import Record, ensure_record
 from .storage import (
     AccessStats,
     AccessTrace,
+    BufferedStore,
     CostModel,
     DISK_ARM_MODEL,
+    DiskStore,
+    MemoryStore,
     PAGE_ACCESS_MODEL,
     PageFile,
+    PageStore,
     SimulatedDisk,
+    make_store,
 )
 
 __version__ = "1.0.0"
@@ -58,6 +63,7 @@ __all__ = [
     "AccessStats",
     "AdaptiveControl2Engine",
     "AccessTrace",
+    "BufferedStore",
     "CalibratorTree",
     "ConfigurationError",
     "Control1Engine",
@@ -66,16 +72,19 @@ __all__ = [
     "DISK_ARM_MODEL",
     "DenseSequentialFile",
     "DensityParams",
+    "DiskStore",
     "DuplicateKeyError",
     "FileFullError",
     "InvariantViolationError",
     "JournaledDenseFile",
     "MacroBlockControl2Engine",
+    "MemoryStore",
     "Moment",
     "MomentRecorder",
     "OperationLog",
     "PAGE_ACCESS_MODEL",
     "PageFile",
+    "PageStore",
     "PersistentDenseFile",
     "Record",
     "RecordNotFoundError",
@@ -86,6 +95,7 @@ __all__ = [
     "ceil_log2",
     "ensure_record",
     "macro_block_factor",
+    "make_store",
     "macro_params",
     "recommended_j",
 ]

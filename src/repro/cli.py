@@ -19,6 +19,11 @@ Usage (also via ``python -m repro``):
     repro demo                      # replay the paper's Example 5.2
 
 All mutating commands run through the crash-atomic journaled facade.
+``create``, ``verify`` and ``info`` take ``--backend`` to pick the
+storage stack (``journaled`` default, plain write-through ``disk``, or
+``buffered`` for a live LRU cache of ``--cache-pages`` frames whose
+hit-rate counters ``info`` prints); ``demo`` accepts
+``--backend memory|buffered``.
 
 Keys given on the command line are parsed as int, then float, then kept
 as strings — one file should stick to one key type.
@@ -51,6 +56,27 @@ def _add_path(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("path", help="persistent dense file (.dsf)")
 
 
+def _cache_pages(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("a cache needs at least one frame")
+    return value
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=["journaled", "disk", "buffered"],
+        default="journaled",
+        help="storage stack: crash-atomic journal (default), plain "
+        "write-through disk, or a live LRU cache over disk",
+    )
+    parser.add_argument(
+        "--cache-pages", type=_cache_pages, default=None,
+        help="frame count for --backend buffered",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command tree for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -77,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     create.add_argument("--slot-bytes", type=int, default=0)
     create.add_argument("--force", action="store_true", help="overwrite")
+    _add_backend(create)
 
     put = commands.add_parser("put", help="insert one record")
     _add_path(put)
@@ -135,13 +162,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="geometry, fill and heatmap")
     _add_path(info)
+    _add_backend(info)
 
     verify = commands.add_parser(
         "verify", help="invariants + on-disk checksums"
     )
     _add_path(verify)
+    _add_backend(verify)
 
-    commands.add_parser("demo", help="replay the paper's Example 5.2")
+    demo = commands.add_parser("demo", help="replay the paper's Example 5.2")
+    demo.add_argument(
+        "--backend", choices=["memory", "buffered"], default="memory",
+        help="run the example on the pure simulator or through a live "
+        "LRU cache (prints its hit-rate counters)",
+    )
+    demo.add_argument("--cache-pages", type=_cache_pages, default=None)
     return parser
 
 
@@ -167,10 +202,22 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 1
 
 
+def _open_backend(args):
+    """Open an existing file through the stack ``--backend`` names."""
+    backend = getattr(args, "backend", "journaled")
+    if backend == "journaled":
+        return JournaledDenseFile.open(args.path)
+    cache = args.cache_pages if backend == "buffered" else None
+    if backend == "buffered" and cache is None:
+        from .storage.backend import DEFAULT_CACHE_PAGES
+
+        cache = DEFAULT_CACHE_PAGES
+    return PersistentDenseFile.open(args.path, cache_pages=cache)
+
+
 def _dispatch(args, out) -> int:
     if args.command == "create":
-        dense = JournaledDenseFile.create(
-            args.path,
+        common = dict(
             num_pages=args.pages,
             d=args.d,
             D=args.D,
@@ -179,36 +226,51 @@ def _dispatch(args, out) -> int:
             slot_capacity=args.slot_bytes,
             overwrite=args.force,
         )
+        if args.backend == "journaled":
+            dense = JournaledDenseFile.create(args.path, **common)
+        else:
+            cache = args.cache_pages if args.backend == "buffered" else None
+            if args.backend == "buffered" and cache is None:
+                from .storage.backend import DEFAULT_CACHE_PAGES
+
+                cache = DEFAULT_CACHE_PAGES
+            dense = PersistentDenseFile.create(
+                args.path, cache_pages=cache, **common
+            )
         print(
             f"created {args.path}: M={args.pages}, d={args.d}, D={args.D}, "
             f"J={dense.params.shift_budget}, cap {dense.params.max_records} "
-            f"records",
+            f"records ({args.backend} backend)",
             file=out,
         )
         dense.close()
         return 0
 
     if args.command == "demo":
-        return _demo(out)
+        return _demo(out, backend=args.backend, cache_pages=args.cache_pages)
 
     if args.command == "verify":
-        return _verify(args.path, out)
+        return _verify(args, out)
+
+    if args.command == "info":
+        with _open_backend(args) as dense:
+            return _dispatch_on_file(args, dense, out)
 
     with JournaledDenseFile.open(args.path) as dense:
         return _dispatch_on_file(args, dense, out)
 
 
-def _verify(path: str, out) -> int:
+def _verify(args, out) -> int:
     """Checksums first (works even when pages are unreadable), then the
-    structural invariants on a clean file."""
+    structural invariants through the requested storage stack."""
     from .storage.ondisk import DiskPagedStore
 
-    with DiskPagedStore.open(path) as store:
+    with DiskPagedStore.open(args.path) as store:
         corrupt = store.verify_all()
     if corrupt:
         print(f"CORRUPT pages: {corrupt}", file=out)
         return 3
-    with JournaledDenseFile.open(path) as dense:
+    with _open_backend(args) as dense:
         dense.validate()
     print(
         "ok: sequential order, (d,D)-density, BALANCE(d,D), counters, "
@@ -298,18 +360,37 @@ def _dispatch_on_file(args, dense, out) -> int:
         print(f"fill:      {fill_summary(occupancies, params.D)}", file=out)
         print(f"layout:    |{occupancy_bar(occupancies, params.D)}|", file=out)
         print(f"           {occupancy_legend(params.D)}", file=out)
+        stats = dense.store_stats()
+        print(f"backend:   {stats['backend']}", file=out)
+        if stats["backend"] == "buffered":
+            print(
+                f"cache:     {stats['capacity']} frames, "
+                f"{stats['hits']} hits / {stats['misses']} misses "
+                f"(hit rate {stats['hit_rate']:.3f}), "
+                f"{stats['evictions']} evictions",
+                file=out,
+            )
+            print(
+                f"physical:  {stats['physical_reads']} reads, "
+                f"{stats['physical_writes']} writes",
+                file=out,
+            )
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")
 
 
-def _demo(out) -> int:
+def _demo(out, backend: str = "memory", cache_pages: Optional[int] = None) -> int:
     from .core.control2 import Control2Engine
     from .core.params import DensityParams
     from .core.trace import MomentRecorder
+    from .storage.backend import BufferedStore, MemoryStore
 
     params = DensityParams(num_pages=8, d=9, D=18, j=3)
-    engine = Control2Engine(params)
+    store = None
+    if backend == "buffered":
+        store = BufferedStore(MemoryStore(8), capacity=cache_pages or 4)
+    engine = Control2Engine(params, store=store)
     engine.load_occupancies([16, 1, 0, 1, 9, 9, 9, 16], key_start=0, key_gap=10)
     recorder = MomentRecorder(moment_types={"3", "4c"}).attach(engine)
     print("Example 5.2 (M=8, d=9, D=18, J=3)", file=out)
@@ -320,6 +401,16 @@ def _demo(out) -> int:
         print(f"      t{index}: {list(moment.occupancies)}", file=out)
     engine.validate()
     print("matches Figure 4 of the paper; invariants hold", file=out)
+    if store is not None:
+        store.flush()
+        pool = store.pool_stats
+        print(
+            f"live cache ({pool.capacity} frames): {pool.hits} hits / "
+            f"{pool.misses} misses (hit rate {pool.hit_rate:.3f}), "
+            f"{pool.physical_reads} physical reads, "
+            f"{pool.physical_writes} physical writes",
+            file=out,
+        )
     return 0
 
 

@@ -43,8 +43,9 @@ class AdaptiveControl2Engine(Control2Engine):
         base_budget: int = 2,
         disk: Optional[SimulatedDisk] = None,
         model: CostModel = PAGE_ACCESS_MODEL,
+        store=None,
     ):
-        super().__init__(params, disk=disk, model=model)
+        super().__init__(params, disk=disk, model=model, store=store)
         if base_budget < 1:
             raise ConfigurationError("base_budget must be at least 1")
         self.base_budget = min(base_budget, params.shift_budget)

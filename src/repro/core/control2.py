@@ -38,8 +38,9 @@ class Control2Engine(BaseEngine):
         params: DensityParams,
         disk: Optional[SimulatedDisk] = None,
         model: CostModel = PAGE_ACCESS_MODEL,
+        store=None,
     ):
-        super().__init__(params, disk=disk, model=model)
+        super().__init__(params, disk=disk, model=model, store=store)
         #: DEST(v) for every node currently in a warning state.
         self.destinations: Dict[int, int] = {}
         #: SOURCE(v) as of the most recent SHIFT(v) (diagnostics only;

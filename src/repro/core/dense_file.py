@@ -12,11 +12,12 @@ from __future__ import annotations
 from typing import Iterator, List, Optional
 
 from ..records import Record
+from ..storage.backend import BACKENDS, PageStore, make_store
 from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
 from .control1 import Control1Engine
 from .control2 import Control2Engine
 from .errors import ConfigurationError
-from .macroblock import MacroBlockControl2Engine
+from .macroblock import MacroBlockControl2Engine, macro_params
 from .params import DensityParams
 
 ALGORITHMS = ("control1", "control2")
@@ -30,6 +31,11 @@ def build_engine(
     j: Optional[int] = None,
     model: CostModel = PAGE_ACCESS_MODEL,
     auto_macroblock: bool = True,
+    backend: str = "memory",
+    store: Optional[PageStore] = None,
+    path: Optional[str] = None,
+    cache_pages: Optional[int] = None,
+    overwrite: bool = False,
 ):
     """Construct the maintenance engine for the requested geometry.
 
@@ -38,22 +44,54 @@ def build_engine(
     Theorem 5.7 is selected automatically (disable with
     ``auto_macroblock=False`` to get a :class:`ConfigurationError`
     instead).
+
+    The physical layer is chosen by ``backend``
+    (``"memory" | "disk" | "buffered"``, built via
+    :func:`~repro.storage.backend.make_store` with ``path`` /
+    ``cache_pages`` / ``overwrite``), or passed ready-made as
+    ``store`` — every engine is backend-agnostic, so the logical page
+    accesses the paper bounds are identical on all of them.
     """
     if algorithm not in ALGORITHMS:
         raise ConfigurationError(
             f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}"
         )
     params = DensityParams(num_pages=num_pages, d=d, D=D, j=j)
-    if algorithm == "control1":
-        return Control1Engine(params, model=model)
-    if params.satisfies_slack_condition:
-        return Control2Engine(params, model=model)
-    if not auto_macroblock:
+    use_macro = algorithm == "control2" and not params.satisfies_slack_condition
+    if use_macro and not auto_macroblock:
         raise ConfigurationError(
             f"D - d = {D - d} <= 3*ceil(log2 M) = {3 * params.log_m}; "
             "enable auto_macroblock or widen the slack"
         )
-    return MacroBlockControl2Engine(num_pages, d, D, j=j, model=model)
+    if use_macro:
+        # The engine's pages are macro-blocks; size the store to match.
+        engine_params = macro_params(num_pages, d, D, j=j)
+    else:
+        engine_params = params
+    if store is None:
+        store = make_store(
+            backend,
+            engine_params.num_pages,
+            d=engine_params.d,
+            D=engine_params.D,
+            j=engine_params.j or 0,
+            path=path,
+            cache_pages=cache_pages,
+            overwrite=overwrite,
+            model=model,
+        )
+    elif store.num_pages != engine_params.num_pages:
+        raise ConfigurationError(
+            f"store has {store.num_pages} pages but the engine needs "
+            f"{engine_params.num_pages}"
+        )
+    if algorithm == "control1":
+        return Control1Engine(params, model=model, store=store)
+    if not use_macro:
+        return Control2Engine(params, model=model, store=store)
+    return MacroBlockControl2Engine(
+        num_pages, d, D, j=j, model=model, store=store
+    )
 
 
 class DenseSequentialFile:
@@ -76,6 +114,16 @@ class DenseSequentialFile:
         recommended default.
     model:
         Access-cost model charged by the simulated disk.
+    backend:
+        Physical layer spec: ``"memory"`` (default, pure simulation),
+        ``"disk"`` (write-through to a checksummed OS file at ``path``)
+        or ``"buffered"`` (a live write-back LRU cache of
+        ``cache_pages`` frames over disk when ``path`` is given, over
+        memory otherwise).  The logical access counts the paper bounds
+        are identical on every backend.
+    store:
+        A ready-made :class:`~repro.storage.backend.PageStore`
+        (overrides ``backend``).
 
     Examples
     --------
@@ -96,6 +144,11 @@ class DenseSequentialFile:
         j: Optional[int] = None,
         model: CostModel = PAGE_ACCESS_MODEL,
         auto_macroblock: bool = True,
+        backend: str = "memory",
+        store: Optional[PageStore] = None,
+        path: Optional[str] = None,
+        cache_pages: Optional[int] = None,
+        overwrite: bool = False,
     ):
         self.engine = build_engine(
             num_pages,
@@ -105,6 +158,11 @@ class DenseSequentialFile:
             j=j,
             model=model,
             auto_macroblock=auto_macroblock,
+            backend=backend,
+            store=store,
+            path=path,
+            cache_pages=cache_pages,
+            overwrite=overwrite,
         )
         self.algorithm = algorithm
 
@@ -236,6 +294,30 @@ class DenseSequentialFile:
     def stats(self):
         """Access counters of the simulated disk."""
         return self.engine.stats
+
+    @property
+    def store(self) -> PageStore:
+        """The physical backend under this file's pages."""
+        return self.engine.store
+
+    def store_stats(self) -> dict:
+        """Physical-layer counters of the backend (hits/misses for
+        ``"buffered"``, write-through counts for ``"disk"``)."""
+        return self.engine.store.stats()
+
+    def flush(self) -> int:
+        """Push buffered pages down to the backing medium (no-op in memory)."""
+        return self.engine.store.flush()
+
+    def close(self) -> None:
+        """Flush and release the backend's resources (no-op in memory)."""
+        self.engine.store.close()
+
+    def __enter__(self) -> "DenseSequentialFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def occupancies(self) -> List[int]:
         """Records per page (macro-block granularity in macro mode)."""

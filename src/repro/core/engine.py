@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional
 
 from ..records import Record, ensure_record
+from ..storage.backend import PageStore
 from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
 from ..storage.disk import SimulatedDisk
 from ..storage.pagefile import PageFile
@@ -23,7 +24,14 @@ from .trace import OperationLog
 
 
 class BaseEngine:
-    """Common state and step 1 for dense-file maintenance algorithms."""
+    """Common state and step 1 for dense-file maintenance algorithms.
+
+    ``disk`` meters *logical* page accesses (the quantity the paper's
+    theorems bound); ``store`` decides where pages physically live — any
+    :class:`~repro.storage.backend.PageStore` backend.  The two are
+    independent: every engine produces identical logical costs on every
+    backend.
+    """
 
     #: Subclasses override with their paper name ("CONTROL 1" / "CONTROL 2").
     algorithm_name = "abstract"
@@ -33,17 +41,23 @@ class BaseEngine:
         params: DensityParams,
         disk: Optional[SimulatedDisk] = None,
         model: CostModel = PAGE_ACCESS_MODEL,
+        store: Optional[PageStore] = None,
     ):
         self.params = params
         if disk is None:
             disk = SimulatedDisk(params.num_pages, model)
         self.disk = disk
-        self.pagefile = PageFile(params.num_pages, disk=disk)
+        self.pagefile = PageFile(params.num_pages, disk=disk, store=store)
         self.calibrator = CalibratorTree(params.num_pages)
         self.size = 0
         self.commands_executed = 0
         self.records_moved_total = 0
         self.operation_log: Optional[OperationLog] = None
+
+    @property
+    def store(self) -> PageStore:
+        """The physical backend under this engine's page file."""
+        return self.pagefile.store
 
     # ------------------------------------------------------------------
     # hooks implemented by the concrete algorithms
@@ -117,6 +131,24 @@ class BaseEngine:
         if self.size > self.params.max_records:
             raise FileFullError("occupancies exceed the cap N = d*M")
         return records
+
+    def restore_from_store(self) -> int:
+        """Adopt the backend's materialized pages as this engine's state.
+
+        The recovery path of the durable backends: a freshly constructed
+        engine whose :class:`~repro.storage.backend.PageStore` already
+        holds records (loaded from disk) rebuilds the in-core directory,
+        the calibrator's rank counters and ``size`` from them, free of
+        logical charges — restoring a file is not a command.  Returns
+        the number of records found.
+        """
+        if self.size:
+            raise ValueError("restore_from_store requires a fresh engine")
+        total = self.pagefile.rebuild_directory()
+        for page in self.pagefile.nonempty_pages():
+            self.calibrator.add(page, self.pagefile.page_len(page))
+        self.size = total
+        return total
 
     # ------------------------------------------------------------------
     # step 1 plumbing
@@ -248,11 +280,7 @@ class BaseEngine:
             ]
             if not victims:
                 continue
-            for key in victims:
-                self.pagefile._pages[page].remove(key)
-            self.pagefile.disk.write(page)
-            self.pagefile._directory_update(page)
-            self.pagefile._persist(page)
+            self.pagefile.remove_keys(page, victims)
             self.calibrator.add(page, -len(victims))
             touched.append(page)
             removed += len(victims)

@@ -71,6 +71,7 @@ class MacroBlockControl2Engine(Control2Engine):
         D: int,
         j: Optional[int] = None,
         model: CostModel = PAGE_ACCESS_MODEL,
+        store=None,
     ):
         params = macro_params(num_pages, d, D, j=j)
         factor = macro_block_factor(num_pages, d, D)
@@ -82,7 +83,7 @@ class MacroBlockControl2Engine(Control2Engine):
             contiguous_window=model.contiguous_window,
         )
         disk = SimulatedDisk(params.num_pages, scaled)
-        super().__init__(params, disk=disk)
+        super().__init__(params, disk=disk, store=store)
         self.physical_pages = num_pages
         self.physical_d = d
         self.physical_D = D

@@ -1,16 +1,21 @@
 """A durable dense sequential file backed by a real OS file.
 
-:class:`PersistentDenseFile` couples a CONTROL 2 (or CONTROL 1) engine
-to the slotted on-disk store of :mod:`repro.storage.ondisk`: every page
-mutation writes through to disk, and :meth:`open` rebuilds the complete
-engine state — page contents, in-core directory, calibrator rank
-counters, and the WARNING flags the paper's Fact 5.1 requires — from the
-file alone.
+:class:`PersistentDenseFile` is a thin convenience wrapper over
+:class:`~repro.core.dense_file.DenseSequentialFile` running on the
+``"disk"`` storage backend (a
+:class:`~repro.storage.backend.DiskStore`, optionally decorated with a
+live :class:`~repro.storage.backend.BufferedStore` cache): every page
+mutation flows through the same ``PageStore`` seam every other engine
+uses, and :meth:`open` rebuilds the complete engine state — page
+contents, in-core directory, calibrator rank counters, and the WARNING
+flags the paper's Fact 5.1 requires — from the file alone.
 
-This is deliberately a *write-through* design: the dense-file algorithms
-already bound how many pages one command touches (that is the entire
-point of the paper), so writing each touched page immediately costs the
-same ``O(log^2 M / (D - d))`` I/Os the cost model meters.
+This is deliberately a *write-through* design by default: the
+dense-file algorithms already bound how many pages one command touches
+(that is the entire point of the paper), so writing each touched page
+immediately costs the same ``O(log^2 M / (D - d))`` I/Os the cost model
+meters.  Pass ``cache_pages`` to interpose a write-back LRU cache
+instead (fewer physical writes, weaker durability between flushes).
 
 Example
 -------
@@ -27,12 +32,13 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
-from .core.control1 import Control1Engine
 from .core.control2 import Control2Engine
+from .core.dense_file import DenseSequentialFile
 from .core.errors import ConfigurationError, RecordNotFoundError
 from .core.params import DensityParams
 from .records import Record
-from .storage.ondisk import DiskPagedStore, StorageError, attach_store, load_into
+from .storage.backend import BufferedStore, DiskStore
+from .storage.ondisk import DiskPagedStore, StorageError
 
 _ALGORITHM_CODES = {"control2": 0, "control1": 1}
 _ALGORITHM_NAMES = {code: name for name, code in _ALGORITHM_CODES.items()}
@@ -41,10 +47,9 @@ _ALGORITHM_NAMES = {code: name for name, code in _ALGORITHM_CODES.items()}
 class PersistentDenseFile:
     """Durable ``(d, D)``-dense sequential file with CONTROL 2 updates."""
 
-    def __init__(self, store: DiskPagedStore, engine):
-        self._store = store
-        self.engine = engine
-        attach_store(engine.pagefile, store)
+    def __init__(self, dense: DenseSequentialFile):
+        self.dense = dense
+        self.engine = dense.engine
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -61,6 +66,8 @@ class PersistentDenseFile:
         algorithm: str = "control2",
         slot_capacity: int = 0,
         overwrite: bool = False,
+        cache_pages: Optional[int] = None,
+        write_through: bool = True,
     ) -> "PersistentDenseFile":
         """Create a new file at ``path`` with the given geometry."""
         if algorithm not in _ALGORITHM_CODES:
@@ -73,7 +80,7 @@ class PersistentDenseFile:
             )
         # Encode the algorithm in the (otherwise unused) high bits of J.
         stored_j = (params.j or 0) | (_ALGORITHM_CODES[algorithm] << 24)
-        store = DiskPagedStore.create(
+        store = DiskStore.create(
             path,
             num_pages=num_pages,
             d=d,
@@ -81,13 +88,15 @@ class PersistentDenseFile:
             j=stored_j,
             slot_capacity=slot_capacity,
             overwrite=overwrite,
+            write_through=write_through,
         )
-        engine_cls = Control2Engine if algorithm == "control2" else Control1Engine
-        engine = engine_cls(params)
-        return cls(store, engine)
+        return cls(cls._mount(store, params, algorithm, cache_pages))
 
     @classmethod
-    def open(cls, path: str) -> "PersistentDenseFile":
+    def open(
+        cls, path: str, cache_pages: Optional[int] = None,
+        write_through: bool = True,
+    ) -> "PersistentDenseFile":
         """Open an existing file, rebuilding all in-core state.
 
         Refuses to open a file with a pending transaction journal: that
@@ -101,26 +110,44 @@ class PersistentDenseFile:
                 f"{path} has a pending transaction journal; open it with "
                 "JournaledDenseFile.open() so recovery can run"
             )
-        store = DiskPagedStore.open(path)
-        algorithm = _ALGORITHM_NAMES.get(store.j >> 24)
+        store = DiskStore.open(path, write_through=write_through)
+        algorithm = _ALGORITHM_NAMES.get(store.raw.j >> 24)
         if algorithm is None:
             store.close()
             raise StorageError(f"{path}: unknown algorithm code")
-        explicit_j = store.j & 0xFFFFFF
+        explicit_j = store.raw.j & 0xFFFFFF
         params = DensityParams(
             num_pages=store.num_pages,
-            d=store.d,
-            D=store.D,
+            d=store.raw.d,
+            D=store.raw.D,
             j=explicit_j or None,
         )
-        engine_cls = Control2Engine if algorithm == "control2" else Control1Engine
-        engine = engine_cls(params)
-        engine.size = load_into(engine.pagefile, store)
-        for page in engine.pagefile.nonempty_pages():
-            engine.calibrator.add(page, engine.pagefile.page_len(page))
-        if isinstance(engine, Control2Engine):
-            cls._rebuild_warning_flags(engine)
-        return cls(store, engine)
+        dense = cls._mount(store, params, algorithm, cache_pages)
+        dense.engine.restore_from_store()
+        if isinstance(dense.engine, Control2Engine):
+            cls._rebuild_warning_flags(dense.engine)
+        return cls(dense)
+
+    @staticmethod
+    def _mount(
+        store: DiskStore,
+        params: DensityParams,
+        algorithm: str,
+        cache_pages: Optional[int],
+    ) -> DenseSequentialFile:
+        """Wrap the store (cached if asked) in a backend-agnostic facade."""
+        backend = store if cache_pages is None else BufferedStore(
+            store, capacity=cache_pages
+        )
+        return DenseSequentialFile(
+            params.num_pages,
+            params.d,
+            params.D,
+            algorithm=algorithm,
+            j=params.j,
+            auto_macroblock=False,
+            store=backend,
+        )
 
     @staticmethod
     def _rebuild_warning_flags(engine: Control2Engine) -> None:
@@ -139,21 +166,47 @@ class PersistentDenseFile:
             if engine._density_at_least(node, 2):
                 engine._activate(node)
 
+    # ------------------------------------------------------------------
+    # the storage stack (facade -> optional cache -> disk -> OS file)
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self):
+        """The top of the storage stack (cache when ``cache_pages`` set)."""
+        return self.engine.store
+
+    @property
+    def _disk_store(self) -> DiskStore:
+        """The :class:`DiskStore` layer (under the cache, if any)."""
+        store = self.engine.store
+        if isinstance(store, BufferedStore):
+            store = store.inner
+        return store
+
+    @property
+    def _raw(self) -> DiskPagedStore:
+        """The slotted OS-file layer at the bottom of the stack."""
+        return self._disk_store.raw
+
+    def store_stats(self) -> dict:
+        """Physical-layer counters (cache hit rates when cached)."""
+        return self.engine.store.stats()
+
     def close(self) -> None:
-        """Flush and close the backing store."""
-        self._store.close()
+        """Flush every layer and close the backing store."""
+        self.engine.store.close()
 
     def flush(self) -> None:
-        """fsync the backing file."""
-        self._store.flush()
+        """Write back any cached pages and fsync the backing file."""
+        self.engine.store.flush()
 
     @property
     def closed(self) -> bool:
-        return self._store.closed
+        return self.engine.store.closed
 
     @property
     def path(self) -> str:
-        return self._store.path
+        return self._raw.path
 
     def __enter__(self) -> "PersistentDenseFile":
         return self
@@ -239,11 +292,17 @@ class PersistentDenseFile:
         return self.engine.stats
 
     def validate(self) -> None:
-        """In-core invariants plus on-disk/in-core agreement."""
+        """In-core invariants plus on-disk/in-core agreement.
+
+        A cached stack is flushed first so the comparison is against the
+        pages the OS file would show after a clean shutdown.
+        """
         self.engine.validate()
+        self.engine.store.flush()
+        raw = self._raw
         for page in range(1, self.params.num_pages + 1):
-            stored = self._store.read_page(page)
-            live = self.engine.pagefile._pages[page].records()
+            stored = raw.read_page(page)
+            live = self.engine.pagefile.page(page).records()
             if stored != live:
                 from .core.errors import InvariantViolationError
 
@@ -253,7 +312,7 @@ class PersistentDenseFile:
 
     def verify_checksums(self) -> List[int]:
         """Checksum every on-disk page; return corrupt page numbers."""
-        return self._store.verify_all()
+        return self._raw.verify_all()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -267,10 +326,13 @@ class JournaledDenseFile(PersistentDenseFile):
 
     :class:`PersistentDenseFile` writes each page through as it mutates,
     which is durable but not atomic: a crash between the two page writes
-    of one SHIFT could lose the records in flight.  This variant makes
-    every *public mutating call* a transaction:
+    of one SHIFT could lose the records in flight.  This variant runs
+    its :class:`~repro.storage.backend.DiskStore` in write-back mode
+    (``write_through=False``), so every *public mutating call* becomes a
+    transaction:
 
-    1. the command runs in memory, collecting the dirty page set;
+    1. the command runs in memory, the store collecting the dirty page
+       set;
     2. the new page images plus a checksummed commit marker are fsynced
        to a side journal (``<path>.journal``);
     3. only then are the pages applied to the main file and the journal
@@ -287,17 +349,15 @@ class JournaledDenseFile(PersistentDenseFile):
     reopen from disk.
     """
 
-    def __init__(self, store: DiskPagedStore, engine, injector=None):
-        # Deliberately skip PersistentDenseFile.__init__: journaled mode
-        # buffers dirty pages instead of writing through per mutation.
+    def __init__(self, dense: DenseSequentialFile, injector=None):
         from .storage.wal import TransactionJournal
 
-        self._store = store
-        self.engine = engine
-        self._dirty = set()
-        engine.pagefile._persist = self._dirty.add
+        super().__init__(dense)
+        store = self._disk_store
+        # Journaled mode buffers dirty pages instead of writing through.
+        store.write_through = False
         self.journal = TransactionJournal(store.path + ".journal", injector)
-        store.fault_injector = injector
+        store.raw.fault_injector = injector
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -326,8 +386,9 @@ class JournaledDenseFile(PersistentDenseFile):
             algorithm=algorithm,
             slot_capacity=slot_capacity,
             overwrite=overwrite,
+            write_through=False,
         )
-        return cls(plain._store, plain.engine, injector=injector)
+        return cls(plain.dense, injector=injector)
 
     @classmethod
     def open(cls, path: str, injector=None) -> "JournaledDenseFile":
@@ -343,28 +404,34 @@ class JournaledDenseFile(PersistentDenseFile):
             store.flush()
             store.close()
         journal.clear()
-        plain = PersistentDenseFile.open(path)
-        return cls(plain._store, plain.engine, injector=injector)
+        plain = PersistentDenseFile.open(path, write_through=False)
+        return cls(plain.dense, injector=injector)
 
     # ------------------------------------------------------------------
     # transactions
     # ------------------------------------------------------------------
+
+    @property
+    def _dirty(self) -> set:
+        """Pages touched since the last commit (lives in the store)."""
+        return self._disk_store.dirty
 
     def _commit(self) -> None:
         if not self._dirty:
             return
         from .storage.codec import encode_page
 
+        store = self._disk_store
         payloads = {
-            page: encode_page(self.engine.pagefile._pages[page].records())
-            for page in self._dirty
+            page: encode_page(self.engine.pagefile.page(page).records())
+            for page in sorted(store.dirty)
         }
         self.journal.write_transaction(payloads)
         for page, payload in payloads.items():
-            self._store.write_page_payload(page, payload)
-        self._store.flush()
+            store.raw.write_page_payload(page, payload)
+        store.raw.flush()
         self.journal.clear()
-        self._dirty.clear()
+        store.dirty.clear()
 
     def _transactional(self, operation):
         result = operation()
@@ -407,7 +474,7 @@ class JournaledDenseFile(PersistentDenseFile):
 
     def close(self) -> None:
         """Commit any buffered transaction, then close the store."""
-        if self._dirty and not self._store.closed:
+        if self._dirty and not self.closed:
             self._commit()
         super().close()
 

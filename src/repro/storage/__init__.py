@@ -5,6 +5,17 @@ repository.  It implements the paper's cost model (page accesses) plus a
 parametric disk-arm model used by the stream-retrieval benchmarks.
 """
 
+from .backend import (
+    BACKENDS,
+    BufferedStore,
+    DEFAULT_CACHE_PAGES,
+    DiskStore,
+    MemoryStore,
+    PageStore,
+    StoreStats,
+    make_store,
+)
+from .bufferpool import BufferPool, PoolStats, replay
 from .codec import CodecError, decode_page, encode_page
 from .cost import AccessStats, CostModel, DISK_ARM_MODEL, PAGE_ACCESS_MODEL
 from .disk import SimulatedDisk
@@ -13,8 +24,6 @@ from .ondisk import (
     DiskPagedStore,
     PageOverflowError,
     StorageError,
-    attach_store,
-    load_into,
 )
 from .page import Page
 from .pagefile import PageFile
@@ -24,21 +33,30 @@ __all__ = [
     "AccessEvent",
     "AccessStats",
     "AccessTrace",
+    "BACKENDS",
+    "BufferPool",
+    "BufferedStore",
     "CodecError",
     "CorruptPageError",
     "CostModel",
+    "DEFAULT_CACHE_PAGES",
     "DISK_ARM_MODEL",
     "DiskPagedStore",
+    "DiskStore",
+    "MemoryStore",
     "PAGE_ACCESS_MODEL",
     "Page",
     "PageFile",
     "PageOverflowError",
+    "PageStore",
+    "PoolStats",
     "READ",
     "SimulatedDisk",
     "StorageError",
+    "StoreStats",
     "WRITE",
-    "attach_store",
     "decode_page",
     "encode_page",
-    "load_into",
+    "make_store",
+    "replay",
 ]

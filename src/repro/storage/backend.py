@@ -1,0 +1,479 @@
+"""Storage backends: the ``PageStore`` protocol and its three implementations.
+
+Every sequential-file structure in this package runs on a
+:class:`~repro.storage.pagefile.PageFile`, which owns the *logical* cost
+accounting (the paper's page-access bound).  Where the pages physically
+live — and what each touch physically costs — is this module's job.  A
+:class:`PageStore` materializes pages; the three conforming backends
+are:
+
+:class:`MemoryStore`
+    Pages live in Python lists, zero-copy.  This is the pure simulator
+    the benchmarks run on.
+:class:`DiskStore`
+    Pages live in the slotted, checksummed OS file of
+    :class:`~repro.storage.ondisk.DiskPagedStore` and are either
+    written through on every mutation (the durable default) or
+    collected in a dirty set for the journaled facade to commit.
+:class:`BufferedStore`
+    A live write-back LRU cache *decorating* any other backend: page
+    gets and puts flow through a :class:`~repro.storage.bufferpool.BufferPool`
+    whose faults and write-backs are forwarded to the wrapped store and
+    metered through a :class:`~repro.storage.disk.SimulatedDisk`, so
+    hit rates and effective physical I/O are measured in the hot path
+    rather than replayed from a trace after the fact.
+
+The contract is intentionally small — ``get_page`` / ``put_page`` /
+``move_records`` / ``flush`` / ``stats`` plus the uncharged ``peek`` for
+in-core bookkeeping — so caching, durability and metering compose as
+decorations instead of parallel code paths.
+
+Access discipline (what makes cross-backend parity exact):
+
+* ``peek(n)`` models the *in-core* calibrator data the paper keeps in
+  memory: directory maintenance, rank counters and invariant checks use
+  it, and it never touches the cache or the physical meters.
+* ``get_page(n)`` is one logical read of a page; ``put_page(n)``
+  declares that the page handed out by ``get_page``/``peek`` was
+  mutated and is one logical write.  ``PageFile`` pairs every
+  ``SimulatedDisk`` charge with exactly one such store touch, in the
+  same order — which is why a live :class:`BufferedStore` and a
+  :func:`~repro.storage.bufferpool.replay` of the recorded access trace
+  agree counter for counter (benchmark EXP-A7 asserts this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..records import Record
+from .bufferpool import BufferPool
+from .cost import CostModel, PAGE_ACCESS_MODEL
+from .disk import SimulatedDisk
+from .page import Page
+from .tracing import READ, WRITE
+
+#: Default frame count for :class:`BufferedStore` when none is given.
+DEFAULT_CACHE_PAGES = 16
+
+BACKENDS = ("memory", "disk", "buffered")
+
+
+@dataclass
+class StoreStats:
+    """Uniform physical-layer counters kept by every backend."""
+
+    gets: int = 0
+    puts: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+
+
+def move_between(
+    source_page: Page, dest_page: Page, source: int, dest: int, count: int
+) -> List[Record]:
+    """Move up to ``count`` records between two materialized pages.
+
+    Moves the records *nearest to the destination* in key order: when
+    ``dest < source`` the lowest-keyed records of the source move and
+    are appended above the destination's keys; otherwise the
+    highest-keyed records move below the destination's keys.  Shared by
+    every backend so SHIFT semantics cannot drift between them.
+    """
+    if dest < source:
+        moved = source_page.take_lowest(count)
+        dest_page.extend_high(moved)
+    else:
+        moved = source_page.take_highest(count)
+        dest_page.extend_low(moved)
+    return moved
+
+
+class PageStore:
+    """Abstract physical layer under a :class:`~repro.storage.pagefile.PageFile`.
+
+    Concrete backends must implement :meth:`peek`, :meth:`get_page` and
+    :meth:`put_page`; the batch operations and lifecycle methods have
+    sensible defaults expressed in terms of those three.
+    """
+
+    #: Short backend identifier surfaced by :meth:`stats` and the CLI.
+    name = "abstract"
+    num_pages = 0
+
+    # -- the protocol ---------------------------------------------------
+
+    def peek(self, page_number: int) -> Page:
+        """Uncharged access for in-core bookkeeping (never metered)."""
+        raise NotImplementedError
+
+    def get_page(self, page_number: int) -> Page:
+        """One logical read: materialize the page for inspection/mutation."""
+        raise NotImplementedError
+
+    def put_page(self, page_number: int) -> None:
+        """One logical write: the page from :meth:`get_page` was mutated."""
+        raise NotImplementedError
+
+    def move_records(self, source: int, dest: int, count: int) -> List[Record]:
+        """Move up to ``count`` records from ``source`` to ``dest``.
+
+        The default reads the source, mutates both pages and writes
+        destination then source — one source read plus two writes, the
+        cost the paper charges a SHIFT step.
+        """
+        source_page = self.get_page(source)
+        dest_page = self.peek(dest)
+        moved = move_between(source_page, dest_page, source, dest, count)
+        self.put_page(dest)
+        self.put_page(source)
+        return moved
+
+    def flush(self) -> int:
+        """Push buffered state down to the backing medium; returns pages written."""
+        return 0
+
+    def stats(self) -> Dict[str, object]:
+        """Physical-layer counters as a flat, printable dictionary."""
+        raise NotImplementedError
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and release any backing resources (idempotent)."""
+        self.flush()
+
+    @property
+    def closed(self) -> bool:
+        return False
+
+    def __enter__(self) -> "PageStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MemoryStore(PageStore):
+    """Zero-copy in-memory backend: the behaviour the simulator always had."""
+
+    name = "memory"
+
+    def __init__(self, num_pages: int):
+        if num_pages < 1:
+            raise ValueError("a page store needs at least one page")
+        self.num_pages = num_pages
+        self._pages: List[Page] = [Page() for _ in range(num_pages + 1)]
+        self._stats = StoreStats()
+
+    def peek(self, page_number: int) -> Page:
+        return self._pages[page_number]
+
+    def get_page(self, page_number: int) -> Page:
+        self._stats.gets += 1
+        return self._pages[page_number]
+
+    def put_page(self, page_number: int) -> None:
+        self._stats.puts += 1
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "backend": self.name,
+            "gets": self._stats.gets,
+            "puts": self._stats.puts,
+        }
+
+
+class DiskStore(PageStore):
+    """Durable backend over the slotted, checksummed on-disk page store.
+
+    Pages stay materialized in memory (they are the authoritative
+    copies the engine mutates) and every :meth:`put_page` re-serializes
+    the touched page into its file slot — the write-through discipline
+    the dense-file algorithms make affordable by bounding how many
+    pages one command touches.  With ``write_through=False`` the store
+    instead collects touched pages in :attr:`dirty` for a transactional
+    caller (the journaled facade) to commit as one atomic batch.
+    """
+
+    name = "disk"
+
+    def __init__(self, raw, write_through: bool = True):
+        from .ondisk import DiskPagedStore  # cycle guard
+
+        if not isinstance(raw, DiskPagedStore):
+            raise TypeError("DiskStore wraps a DiskPagedStore")
+        self.raw = raw
+        self.num_pages = raw.num_pages
+        self.write_through = write_through
+        #: Pages touched since the last flush (write-back mode only).
+        self.dirty: set = set()
+        self._pages: List[Page] = [Page() for _ in range(self.num_pages + 1)]
+        self._stats = StoreStats()
+
+    # -- lifecycle ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        num_pages: int,
+        d: int,
+        D: int,
+        j: int = 0,
+        slot_capacity: int = 0,
+        overwrite: bool = False,
+        write_through: bool = True,
+    ) -> "DiskStore":
+        """Create a fresh on-disk file with empty pages."""
+        from .ondisk import DiskPagedStore
+
+        raw = DiskPagedStore.create(
+            path,
+            num_pages=num_pages,
+            d=d,
+            D=D,
+            j=j,
+            slot_capacity=slot_capacity,
+            overwrite=overwrite,
+        )
+        return cls(raw, write_through=write_through)
+
+    @classmethod
+    def open(cls, path: str, write_through: bool = True) -> "DiskStore":
+        """Open an existing file and materialize every stored page."""
+        from .ondisk import DiskPagedStore
+
+        raw = DiskPagedStore.open(path)
+        store = cls(raw, write_through=write_through)
+        store.load()
+        return store
+
+    def load(self) -> int:
+        """(Re)materialize pages from disk; returns the record count.
+
+        Recovery work, charged to the physical read counter but never to
+        any engine's logical meter: restoring a file is not a command.
+        """
+        total = 0
+        for page_number in range(1, self.num_pages + 1):
+            records = self.raw.read_page(page_number)
+            self._stats.physical_reads += 1
+            page = self._pages[page_number]
+            page.clear()
+            page.extend_high(records)
+            total += len(records)
+        return total
+
+    def close(self) -> None:
+        if not self.raw.closed:
+            self.flush()
+            self.raw.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.raw.closed
+
+    @property
+    def path(self) -> str:
+        return self.raw.path
+
+    # -- the protocol ---------------------------------------------------
+
+    def peek(self, page_number: int) -> Page:
+        return self._pages[page_number]
+
+    def get_page(self, page_number: int) -> Page:
+        self._stats.gets += 1
+        return self._pages[page_number]
+
+    def put_page(self, page_number: int) -> None:
+        self._stats.puts += 1
+        if self.write_through:
+            self.raw.write_page(
+                page_number, self._pages[page_number].records()
+            )
+            self._stats.physical_writes += 1
+        else:
+            self.dirty.add(page_number)
+
+    def flush(self) -> int:
+        """Write back dirty pages (write-back mode), then fsync."""
+        written = 0
+        for page_number in sorted(self.dirty):
+            self.raw.write_page(
+                page_number, self._pages[page_number].records()
+            )
+            self._stats.physical_writes += 1
+            written += 1
+        self.dirty.clear()
+        self.raw.flush()
+        return written
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "backend": self.name,
+            "path": self.raw.path,
+            "gets": self._stats.gets,
+            "puts": self._stats.puts,
+            "physical_reads": self._stats.physical_reads,
+            "physical_writes": self._stats.physical_writes,
+        }
+
+
+class BufferedStore(PageStore):
+    """A live write-back LRU cache wrapped around any other backend.
+
+    Every logical touch flows through a
+    :class:`~repro.storage.bufferpool.BufferPool`: hits cost nothing
+    physical; a miss faults the page in (one physical read, possibly one
+    write-back of a dirty victim); ``flush`` pushes every dirty frame
+    down to the wrapped store.  Physical traffic is additionally charged
+    to a :class:`~repro.storage.disk.SimulatedDisk` so the arm-aware
+    cost model prices the cache's residual I/O.
+
+    This is the :class:`~repro.storage.bufferpool.BufferPool` promoted
+    from trace-replay simulator to the hot path: the same class keeps
+    the frame bookkeeping, so live counters and replayed counters agree
+    exactly on identical access sequences.
+    """
+
+    name = "buffered"
+
+    def __init__(
+        self,
+        inner: PageStore,
+        capacity: int = DEFAULT_CACHE_PAGES,
+        model: CostModel = PAGE_ACCESS_MODEL,
+        physical_disk: Optional[SimulatedDisk] = None,
+    ):
+        self.inner = inner
+        self.num_pages = inner.num_pages
+        self.physical = (
+            physical_disk
+            if physical_disk is not None
+            else SimulatedDisk(inner.num_pages, model)
+        )
+        self.pool = BufferPool(
+            capacity, on_fault=self._fault, on_writeback=self._writeback
+        )
+
+    # -- pool plumbing --------------------------------------------------
+
+    def _fault(self, page_number: int) -> None:
+        self.inner.get_page(page_number)
+        self.physical.read(page_number)
+
+    def _writeback(self, page_number: int) -> None:
+        self.inner.put_page(page_number)
+        self.physical.write(page_number)
+
+    # -- the protocol ---------------------------------------------------
+
+    def peek(self, page_number: int) -> Page:
+        return self.inner.peek(page_number)
+
+    def get_page(self, page_number: int) -> Page:
+        self.pool.access(READ, page_number)
+        return self.inner.peek(page_number)
+
+    def put_page(self, page_number: int) -> None:
+        self.pool.access(WRITE, page_number)
+
+    def move_records(self, source: int, dest: int, count: int) -> List[Record]:
+        # Same touch sequence the logical meter records (read source,
+        # write dest, write source), intercepted so the inner store only
+        # sees traffic on faults and write-backs.
+        self.pool.access(READ, source)
+        moved = move_between(
+            self.inner.peek(source), self.inner.peek(dest), source, dest, count
+        )
+        self.pool.access(WRITE, dest)
+        self.pool.access(WRITE, source)
+        return moved
+
+    def flush(self) -> int:
+        written = self.pool.flush()
+        self.inner.flush()
+        return written
+
+    def close(self) -> None:
+        if not self.closed:
+            self.flush()
+            self.inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+    @property
+    def pool_stats(self):
+        """The live :class:`~repro.storage.bufferpool.PoolStats` counters."""
+        return self.pool.stats
+
+    def stats(self) -> Dict[str, object]:
+        pool = self.pool.stats
+        return {
+            "backend": self.name,
+            "capacity": pool.capacity,
+            "hits": pool.hits,
+            "misses": pool.misses,
+            "hit_rate": pool.hit_rate,
+            "evictions": pool.evictions,
+            "physical_reads": pool.physical_reads,
+            "physical_writes": pool.physical_writes,
+            "physical_cost": self.physical.stats.cost,
+            "inner": self.inner.stats(),
+        }
+
+
+def make_store(
+    backend: str,
+    num_pages: int,
+    d: int = 0,
+    D: int = 0,
+    j: int = 0,
+    path: Optional[str] = None,
+    cache_pages: Optional[int] = None,
+    slot_capacity: int = 0,
+    overwrite: bool = False,
+    model: CostModel = PAGE_ACCESS_MODEL,
+) -> PageStore:
+    """Build a backend from a ``"memory" | "disk" | "buffered"`` spec.
+
+    ``"buffered"`` wraps a :class:`DiskStore` when ``path`` is given and
+    a :class:`MemoryStore` otherwise; ``cache_pages`` sizes its frame
+    pool.  ``"disk"`` requires ``path`` and creates a fresh file (pass
+    ``overwrite=True`` to clobber); opening an existing file goes
+    through :meth:`DiskStore.open` or the persistent facade.
+    """
+    from ..core.errors import ConfigurationError
+
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; pick one of {BACKENDS}"
+        )
+    if backend == "memory":
+        return MemoryStore(num_pages)
+    if backend == "disk" or path is not None:
+        if path is None:
+            raise ConfigurationError(
+                "the disk backend needs a path for its backing file"
+            )
+        inner: PageStore = DiskStore.create(
+            path,
+            num_pages=num_pages,
+            d=d,
+            D=D,
+            j=j,
+            slot_capacity=slot_capacity,
+            overwrite=overwrite,
+        )
+    else:
+        inner = MemoryStore(num_pages)
+    if backend == "disk":
+        return inner
+    return BufferedStore(
+        inner, capacity=cache_pages or DEFAULT_CACHE_PAGES, model=model
+    )

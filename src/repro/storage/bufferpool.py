@@ -1,23 +1,31 @@
-"""An LRU buffer-pool simulator for access-trace replay.
+"""A write-back LRU buffer pool: live cache core and trace-replay simulator.
 
 Willard remarks that CONTROL 2 "can be programmed to access consecutive
 pages in one fell swoop" — its page touches cluster, so even a small
-buffer pool absorbs most of them.  This module quantifies that: record
-an :class:`~repro.storage.tracing.AccessTrace` while running any
-structure, then replay it through :class:`BufferPool` instances of
-different capacities to get hit rates and the effective physical I/O a
-cached system would perform.
+buffer pool absorbs most of them.  :class:`BufferPool` quantifies that
+two ways with one implementation:
+
+* **Replay**: record an :class:`~repro.storage.tracing.AccessTrace`
+  while running any structure, then :func:`replay` it through pools of
+  different capacities to get hit rates and the effective physical I/O
+  a cached system would perform.
+* **Live**: :class:`~repro.storage.backend.BufferedStore` puts the same
+  pool in the hot path, forwarding faults and write-backs to a wrapped
+  backend through the ``on_fault`` / ``on_writeback`` hooks.
 
 The pool is a classic write-back LRU: a read miss faults the page in
 (one physical read, possibly one write-back of a dirty victim); a write
 marks the cached frame dirty; ``flush`` writes every dirty frame.
+Because the live store and the replay share this class, their counters
+agree exactly on identical access sequences (benchmark EXP-A7 asserts
+it).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable, Optional
 
 from .tracing import AccessEvent, READ, WRITE
 
@@ -64,14 +72,28 @@ POOL_STATS_HEADERS = [
 
 
 class BufferPool:
-    """Write-back LRU pool over page numbers."""
+    """Write-back LRU pool over page numbers.
 
-    def __init__(self, capacity: int):
+    ``on_fault(page)`` fires when a miss faults ``page`` in (one
+    physical read) and ``on_writeback(page)`` when a dirty frame is
+    written back (eviction or flush).  Both default to ``None`` — pure
+    simulation for trace replay; a live caching store wires them to the
+    backend it decorates.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        on_fault: Optional[Callable[[int], None]] = None,
+        on_writeback: Optional[Callable[[int], None]] = None,
+    ):
         if capacity < 1:
             raise ValueError("a buffer pool needs at least one frame")
         self.capacity = capacity
         self._frames: "OrderedDict[int, bool]" = OrderedDict()  # page -> dirty
         self.stats = PoolStats(capacity=capacity)
+        self.on_fault = on_fault
+        self.on_writeback = on_writeback
 
     def access(self, kind: str, page: int) -> bool:
         """Apply one logical access; returns True on a cache hit."""
@@ -83,17 +105,17 @@ class BufferPool:
             return True
         self.stats.misses += 1
         if len(frames) >= self.capacity:
-            _, victim_dirty = frames.popitem(last=False)
+            victim, victim_dirty = frames.popitem(last=False)
             self.stats.evictions += 1
             if victim_dirty:
                 self.stats.physical_writes += 1
-        if kind == READ:
-            self.stats.physical_reads += 1
-            frames[page] = False
-        else:
-            # A write miss faults the page in, then dirties it.
-            self.stats.physical_reads += 1
-            frames[page] = True
+                if self.on_writeback is not None:
+                    self.on_writeback(victim)
+        # Both read and write misses fault the page in first.
+        self.stats.physical_reads += 1
+        if self.on_fault is not None:
+            self.on_fault(page)
+        frames[page] = kind == WRITE
         return False
 
     def flush(self) -> int:
@@ -102,6 +124,8 @@ class BufferPool:
         for page, dirty in self._frames.items():
             if dirty:
                 written += 1
+                if self.on_writeback is not None:
+                    self.on_writeback(page)
         self.stats.physical_writes += written
         for page in list(self._frames):
             self._frames[page] = False

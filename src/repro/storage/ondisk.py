@@ -1,10 +1,12 @@
 """A real on-disk backing store for dense sequential files.
 
-The simulator's :class:`~repro.storage.pagefile.PageFile` keeps pages in
-memory and *meters* hypothetical disk accesses.  This module adds the
-real thing: a single OS file laid out as a fixed header followed by
-``M`` variable-length page slots in a slotted region, written through on
-every page mutation and re-opened later with full state recovery.
+The simulator's :class:`~repro.storage.pagefile.PageFile` meters
+hypothetical disk accesses.  This module adds the real thing: a single
+OS file laid out as a fixed header followed by ``M`` variable-length
+page slots in a slotted region.  :class:`DiskPagedStore` is pure
+physical I/O (seek, frame, checksum, read, write); the
+:class:`~repro.storage.backend.DiskStore` backend mounts it under any
+engine through the ``PageStore`` protocol.
 
 File layout (all integers little-endian):
 
@@ -222,40 +224,3 @@ class DiskPagedStore:
             except (CorruptPageError, Exception):
                 corrupt.append(page_number)
         return corrupt
-
-
-def attach_store(pagefile, store: DiskPagedStore) -> None:
-    """Route ``pagefile``'s persistence hook into ``store``.
-
-    The :class:`~repro.storage.pagefile.PageFile` base funnels every
-    page mutation through its ``_persist`` hook; this function points
-    that hook at the store, so each mutation re-serializes and
-    writes-through the touched page.  The page file's geometry must
-    match the store's.
-    """
-    if pagefile.num_pages != store.num_pages:
-        raise StorageError(
-            f"page file has {pagefile.num_pages} pages but the store has "
-            f"{store.num_pages}"
-        )
-
-    def persist(page_number: int) -> None:
-        store.write_page(page_number, pagefile._pages[page_number].records())
-
-    pagefile._persist = persist
-
-
-def load_into(pagefile, store: DiskPagedStore) -> int:
-    """Populate an empty ``pagefile`` from the store; returns record count.
-
-    Uses ``load_page`` so the in-core directory is rebuilt as a side
-    effect.  Attach the store *after* loading to avoid redundant
-    write-backs.
-    """
-    total = 0
-    for page_number in range(1, store.num_pages + 1):
-        records = store.read_page(page_number)
-        if records:
-            pagefile.load_page(page_number, records)
-            total += len(records)
-    return total

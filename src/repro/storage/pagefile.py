@@ -1,11 +1,22 @@
 """``M`` consecutive pages of simulated auxiliary memory holding records.
 
-:class:`PageFile` is the physical layer of every sequential-file
-structure in this package.  It owns the pages (numbered 1..M as in the
-paper), keeps records in global key order across pages, charges every
-physical touch to a :class:`~repro.storage.disk.SimulatedDisk`, and
-maintains a small in-memory directory (which pages are non-empty and
-their minimum keys) standing in for the in-core part of the calibrator.
+:class:`PageFile` is the *logical* physical layer of every sequential-
+file structure in this package.  It numbers pages 1..M as in the paper,
+keeps records in global key order across pages, charges every logical
+touch to a :class:`~repro.storage.disk.SimulatedDisk`, and maintains a
+small in-memory directory (which pages are non-empty and their minimum
+keys) standing in for the in-core part of the calibrator.
+
+Where the pages physically live is delegated to a
+:class:`~repro.storage.backend.PageStore` backend: in memory
+(:class:`~repro.storage.backend.MemoryStore`, the default), written
+through to a checksummed OS file
+(:class:`~repro.storage.backend.DiskStore`), or behind a live LRU cache
+(:class:`~repro.storage.backend.BufferedStore`).  The engines above are
+backend-agnostic: the logical cost accounting — the quantity the
+paper's theorems bound — is identical for every backend, because each
+``SimulatedDisk`` charge below is paired with exactly one store touch
+in the same order.
 
 Cost accounting conventions
 ---------------------------
@@ -28,6 +39,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from ..core.errors import RecordNotFoundError
 from ..records import Record
+from .backend import MemoryStore, PageStore
 from .cost import CostModel, PAGE_ACCESS_MODEL
 from .disk import SimulatedDisk
 from .page import Page
@@ -41,6 +53,7 @@ class PageFile:
         num_pages: int,
         disk: Optional[SimulatedDisk] = None,
         model: CostModel = PAGE_ACCESS_MODEL,
+        store: Optional[PageStore] = None,
     ):
         if num_pages < 1:
             raise ValueError("a page file needs at least one page")
@@ -48,7 +61,12 @@ class PageFile:
         self.disk = disk if disk is not None else SimulatedDisk(num_pages, model)
         if self.disk.num_pages < num_pages:
             raise ValueError("disk is smaller than the requested page file")
-        self._pages: List[Page] = [Page() for _ in range(num_pages + 1)]
+        self.store = store if store is not None else MemoryStore(num_pages)
+        if self.store.num_pages != num_pages:
+            raise ValueError(
+                f"store has {self.store.num_pages} pages but the page file "
+                f"needs {num_pages}"
+            )
         # Sorted list of non-empty page numbers; mins[i] matches it 1:1.
         self._nonempty: List[int] = []
         self._mins: List = []
@@ -57,9 +75,13 @@ class PageFile:
     # in-memory directory maintenance
     # ------------------------------------------------------------------
 
+    def page(self, page_number: int) -> Page:
+        """Uncharged view of one page (in-core bookkeeping and checkers)."""
+        return self.store.peek(page_number)
+
     def _directory_update(self, page_number: int) -> None:
         """Re-sync the non-empty directory entry for one page."""
-        page = self._pages[page_number]
+        page = self.store.peek(page_number)
         index = bisect.bisect_left(self._nonempty, page_number)
         present = (
             index < len(self._nonempty) and self._nonempty[index] == page_number
@@ -75,13 +97,23 @@ class PageFile:
                 self._nonempty.insert(index, page_number)
                 self._mins.insert(index, page.min_key)
 
+    def rebuild_directory(self) -> int:
+        """Re-sync the whole directory with the store's contents.
 
-    # ------------------------------------------------------------------
-    # persistence hook (no-op here; overridden by PersistentPageFile)
-    # ------------------------------------------------------------------
-
-    def _persist(self, page_number: int) -> None:
-        """Write-through hook invoked after each page mutation."""
+        Recovery path (uncharged): a durable backend materialized its
+        pages from disk and the in-core directory must catch up.
+        Returns the total number of records found.
+        """
+        self._nonempty = []
+        self._mins = []
+        total = 0
+        for page_number in range(1, self.num_pages + 1):
+            page = self.store.peek(page_number)
+            if not page.is_empty:
+                self._nonempty.append(page_number)
+                self._mins.append(page.min_key)
+                total += len(page)
+        return total
 
     # ------------------------------------------------------------------
     # free (in-core) queries
@@ -89,15 +121,15 @@ class PageFile:
 
     def page_len(self, page_number: int) -> int:
         """Number of records on ``page_number`` (free: calibrator data)."""
-        return len(self._pages[page_number])
+        return len(self.store.peek(page_number))
 
     def is_empty_page(self, page_number: int) -> bool:
         """Whether ``page_number`` holds no records (free query)."""
-        return self._pages[page_number].is_empty
+        return self.store.peek(page_number).is_empty
 
     def total_records(self) -> int:
         """Total records across all pages (free query)."""
-        return sum(len(self._pages[p]) for p in self._nonempty)
+        return sum(len(self.store.peek(p)) for p in self._nonempty)
 
     def nonempty_pages(self) -> List[int]:
         """Sorted list of non-empty page numbers (copy)."""
@@ -105,7 +137,9 @@ class PageFile:
 
     def occupancies(self) -> List[int]:
         """Record counts for pages 1..M, as a list of length M."""
-        return [len(self._pages[p]) for p in range(1, self.num_pages + 1)]
+        return [
+            len(self.store.peek(p)) for p in range(1, self.num_pages + 1)
+        ]
 
     def next_nonempty_right(self, page_number: int) -> Optional[int]:
         """Smallest non-empty page strictly greater than ``page_number``."""
@@ -128,7 +162,7 @@ class PageFile:
     def read_page(self, page_number: int) -> List[Record]:
         """Charge one read and return a copy of the page's records."""
         self.disk.read(page_number)
-        return self._pages[page_number].records()
+        return self.store.get_page(page_number).records()
 
     def locate(self, key) -> Optional[int]:
         """Find the page owning ``key`` for an update command.
@@ -149,6 +183,7 @@ class PageFile:
         page = self.locate_in_core(key)
         if page is not None:
             self.disk.read(page)
+            self.store.get_page(page)
         return page
 
     def locate_in_core(self, key) -> Optional[int]:
@@ -170,7 +205,7 @@ class PageFile:
     def get(self, page_number: int, key) -> Optional[Record]:
         """Charge one read; return the record with ``key`` or ``None``."""
         self.disk.read(page_number)
-        return self._pages[page_number].get(key)
+        return self.store.get_page(page_number).get(key)
 
     def min_record(self) -> Optional[Record]:
         """Smallest-keyed record (one read), or ``None`` when empty."""
@@ -178,7 +213,7 @@ class PageFile:
             return None
         page_number = self._nonempty[0]
         self.disk.read(page_number)
-        return self._pages[page_number].records()[0]
+        return self.store.get_page(page_number).records()[0]
 
     def max_record(self) -> Optional[Record]:
         """Largest-keyed record (one read), or ``None`` when empty."""
@@ -186,7 +221,7 @@ class PageFile:
             return None
         page_number = self._nonempty[-1]
         self.disk.read(page_number)
-        return self._pages[page_number].records()[-1]
+        return self.store.get_page(page_number).records()[-1]
 
     def successor(self, key) -> Optional[Record]:
         """Smallest record with key strictly greater than ``key``.
@@ -200,7 +235,7 @@ class PageFile:
         while index < len(self._nonempty):
             page_number = self._nonempty[index]
             self.disk.read(page_number)
-            for record in self._pages[page_number]:
+            for record in self.store.get_page(page_number):
                 if record.key > key:
                     return record
             index += 1
@@ -218,7 +253,9 @@ class PageFile:
         while index >= 0:
             page_number = self._nonempty[index]
             self.disk.read(page_number)
-            for record in reversed(self._pages[page_number].records()):
+            for record in reversed(
+                self.store.get_page(page_number).records()
+            ):
                 if record.key < key:
                     return record
             index -= 1
@@ -227,26 +264,43 @@ class PageFile:
     def insert_record(self, page_number: int, record: Record) -> None:
         """Insert ``record`` into ``page_number`` (one read + one write)."""
         self.disk.read(page_number)
-        self._pages[page_number].insert(record)
+        self.store.get_page(page_number).insert(record)
         self.disk.write(page_number)
+        self.store.put_page(page_number)
         self._directory_update(page_number)
-        self._persist(page_number)
 
     def remove_record(self, page_number: int, key) -> Record:
         """Remove ``key`` from ``page_number`` (one read + one write)."""
         self.disk.read(page_number)
-        record = self._pages[page_number].remove(key)
+        record = self.store.get_page(page_number).remove(key)
         self.disk.write(page_number)
+        self.store.put_page(page_number)
         self._directory_update(page_number)
-        self._persist(page_number)
         return record
+
+    def remove_keys(self, page_number: int, keys) -> int:
+        """Remove several keys from one already-read page (one write).
+
+        Bulk-deletion helper: the caller has just paid the read via
+        :meth:`read_page`, so only the single write-back is charged
+        here.  Returns the number of records removed.
+        """
+        page = self.store.peek(page_number)
+        removed = 0
+        for key in keys:
+            page.remove(key)
+            removed += 1
+        self.disk.write(page_number)
+        self.store.put_page(page_number)
+        self._directory_update(page_number)
+        return removed
 
     def replace_record(self, page_number: int, record: Record) -> Record:
         """Replace the record with ``record.key`` in place."""
         self.disk.read(page_number)
-        old = self._pages[page_number].replace(record)
+        old = self.store.get_page(page_number).replace(record)
         self.disk.write(page_number)
-        self._persist(page_number)
+        self.store.put_page(page_number)
         return old
 
     def move_records(self, source: int, dest: int, count: int) -> int:
@@ -266,21 +320,12 @@ class PageFile:
             raise ValueError("source and dest must differ")
         if count <= 0:
             return 0
-        source_page = self._pages[source]
-        dest_page = self._pages[dest]
         self.disk.read(source)
-        if dest < source:
-            moved = source_page.take_lowest(count)
-            dest_page.extend_high(moved)
-        else:
-            moved = source_page.take_highest(count)
-            dest_page.extend_low(moved)
         self.disk.write(dest)
         self.disk.write(source)
+        moved = self.store.move_records(source, dest, count)
         self._directory_update(source)
         self._directory_update(dest)
-        self._persist(source)
-        self._persist(dest)
         return len(moved)
 
     def redistribute(self, lo_page: int, hi_page: int) -> int:
@@ -298,7 +343,7 @@ class PageFile:
         gathered: List[Record] = []
         for page_number in range(lo_page, hi_page + 1):
             self.disk.read(page_number)
-            gathered.extend(self._pages[page_number].clear())
+            gathered.extend(self.store.get_page(page_number).clear())
         span = hi_page - lo_page + 1
         base, surplus = divmod(len(gathered), span)
         cursor = 0
@@ -307,21 +352,20 @@ class PageFile:
             take = base + (1 if offset < surplus else 0)
             chunk = gathered[cursor : cursor + take]
             cursor += take
-            page = self._pages[page_number]
-            page.extend_high(chunk)
+            self.store.peek(page_number).extend_high(chunk)
             self.disk.write(page_number)
+            self.store.put_page(page_number)
             self._directory_update(page_number)
-            self._persist(page_number)
         return span
 
     def load_page(self, page_number: int, records: List[Record]) -> None:
         """Overwrite one page's contents (bulk loading; one write)."""
-        page = self._pages[page_number]
+        page = self.store.peek(page_number)
         page.clear()
         page.extend_high(sorted(records, key=lambda record: record.key))
         self.disk.write(page_number)
+        self.store.put_page(page_number)
         self._directory_update(page_number)
-        self._persist(page_number)
 
     # ------------------------------------------------------------------
     # scans
@@ -342,7 +386,7 @@ class PageFile:
             if self._mins[index] > hi_key:
                 return
             self.disk.read(page_number)
-            for record in self._pages[page_number]:
+            for record in self.store.get_page(page_number):
                 if record.key < lo_key:
                     continue
                 if record.key > hi_key:
@@ -360,7 +404,7 @@ class PageFile:
         while index < len(self._nonempty) and len(result) < count:
             page_number = self._nonempty[index]
             self.disk.read(page_number)
-            for record in self._pages[page_number]:
+            for record in self.store.get_page(page_number):
                 if record.key >= start_key:
                     result.append(record)
                     if len(result) == count:
@@ -372,12 +416,12 @@ class PageFile:
         """Yield every record in key order, charging reads per page."""
         for page_number in list(self._nonempty):
             self.disk.read(page_number)
-            for record in self._pages[page_number]:
+            for record in self.store.get_page(page_number):
                 yield record
 
     def snapshot(self) -> List[Tuple[int, List[Record]]]:
         """Uncharged dump of (page, records) for tests and checkers."""
         return [
-            (page_number, self._pages[page_number].records())
+            (page_number, self.store.peek(page_number).records())
             for page_number in self._nonempty
         ]

@@ -155,7 +155,7 @@ class TestInfoVerify:
 
         with PersistentDenseFile.open(created) as dense:
             page = dense.engine.pagefile.nonempty_pages()[0]
-            slot = dense._store.slot_capacity
+            slot = dense._raw.slot_capacity
         offset = HEADER.size + (page - 1) * slot + SLOT_HEADER.size + 1
         with open(created, "r+b") as handle:
             handle.seek(offset)

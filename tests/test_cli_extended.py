@@ -74,7 +74,7 @@ class TestCrashSafetyOfCli:
 
         with JournaledDenseFile.open(created) as dense:
             page = dense.engine.pagefile.nonempty_pages()[0]
-            victims = dense.engine.pagefile._pages[page].records()
+            victims = dense.engine.pagefile.page(page).records()
             dense.journal.write_transaction({page: encode_page([])})
         # The journal says "that page is now empty" and is committed;
         # the next CLI command must replay it before serving.

@@ -173,7 +173,7 @@ class TestCrashPointSweep:
             except SimulatedCrash:
                 pass
             injector.disarm()
-            dense._store.close()
+            dense._raw.close()
 
             reopened = JournaledDenseFile.open(path)
             state = contents(reopened)

@@ -5,6 +5,7 @@ import os
 import pytest
 
 from repro.records import Record
+from repro.storage.backend import DiskStore
 from repro.storage.ondisk import (
     CorruptPageError,
     DiskPagedStore,
@@ -12,8 +13,6 @@ from repro.storage.ondisk import (
     PageOverflowError,
     SLOT_HEADER,
     StorageError,
-    attach_store,
-    load_into,
 )
 from repro.storage.pagefile import PageFile
 
@@ -123,41 +122,41 @@ class TestPageIO:
 
 
 class TestPageFileIntegration:
-    def test_attach_store_mirrors_mutations(self, path):
-        store = DiskPagedStore.create(path, num_pages=8, d=4, D=16)
-        pagefile = PageFile(8)
-        attach_store(pagefile, store)
+    def test_disk_store_mirrors_mutations(self, path):
+        store = DiskStore.create(path, num_pages=8, d=4, D=16)
+        pagefile = PageFile(8, store=store)
         pagefile.insert_record(3, Record(30))
         pagefile.insert_record(3, Record(31))
         pagefile.insert_record(5, Record(50))
         pagefile.move_records(5, 4, 1)
-        assert [r.key for r in store.read_page(3)] == [30, 31]
-        assert [r.key for r in store.read_page(4)] == [50]
-        assert store.read_page(5) == []
+        assert [r.key for r in store.raw.read_page(3)] == [30, 31]
+        assert [r.key for r in store.raw.read_page(4)] == [50]
+        assert store.raw.read_page(5) == []
         store.close()
 
-    def test_attach_rejects_geometry_mismatch(self, path):
-        store = DiskPagedStore.create(path, num_pages=8, d=4, D=16)
-        with pytest.raises(StorageError):
-            attach_store(PageFile(4), store)
+    def test_pagefile_rejects_geometry_mismatch(self, path):
+        store = DiskStore.create(path, num_pages=8, d=4, D=16)
+        with pytest.raises(ValueError):
+            PageFile(4, store=store)
         store.close()
 
-    def test_load_into_rebuilds_directory(self, path):
-        store = DiskPagedStore.create(path, num_pages=8, d=4, D=16)
-        store.write_page(2, [Record(20), Record(21)])
-        store.write_page(6, [Record(60)])
-        pagefile = PageFile(8)
-        total = load_into(pagefile, store)
+    def test_reopen_rebuilds_directory(self, path):
+        raw = DiskPagedStore.create(path, num_pages=8, d=4, D=16)
+        raw.write_page(2, [Record(20), Record(21)])
+        raw.write_page(6, [Record(60)])
+        raw.close()
+        store = DiskStore.open(path)
+        pagefile = PageFile(8, store=store)
+        total = pagefile.rebuild_directory()
         assert total == 3
         assert pagefile.nonempty_pages() == [2, 6]
         assert pagefile.locate(21) == 2
         store.close()
 
     def test_redistribute_is_persisted(self, path):
-        store = DiskPagedStore.create(path, num_pages=4, d=4, D=16)
-        pagefile = PageFile(4)
-        attach_store(pagefile, store)
+        store = DiskStore.create(path, num_pages=4, d=4, D=16)
+        pagefile = PageFile(4, store=store)
         pagefile.load_page(1, [Record(k) for k in range(8)])
         pagefile.redistribute(1, 4)
-        assert [len(store.read_page(p)) for p in range(1, 5)] == [2, 2, 2, 2]
+        assert [len(store.raw.read_page(p)) for p in range(1, 5)] == [2, 2, 2, 2]
         store.close()

@@ -122,7 +122,7 @@ class TestIntegrity:
         f = PersistentDenseFile.create(path, num_pages=64, d=8, D=40)
         f.insert(1)
         # Sabotage the store behind the engine's back.
-        f._store.write_page(f.engine.pagefile.nonempty_pages()[0], [])
+        f._raw.write_page(f.engine.pagefile.nonempty_pages()[0], [])
         with pytest.raises(InvariantViolationError, match="diverge"):
             f.validate()
         f.close()
@@ -131,7 +131,7 @@ class TestIntegrity:
         with PersistentDenseFile.create(path, num_pages=8, d=8, D=40) as f:
             f.insert(1, "payload")
             page = f.engine.pagefile.nonempty_pages()[0]
-            slot = f._store.slot_capacity
+            slot = f._raw.slot_capacity
         offset = HEADER.size + (page - 1) * slot + SLOT_HEADER.size + 1
         with open(path, "r+b") as handle:
             handle.seek(offset)

@@ -144,7 +144,7 @@ def fuzz_crash_once(seed: int, verbose: bool = False):
             crashed = True
         injector.disarm()
         if crashed:
-            dense._store.close()
+            dense._raw.close()
             dense = JournaledDenseFile.open(path, injector=injector)
             state = snapshot()
             assert state in (before, prospective), f"seed={seed} step={step}"

@@ -32,8 +32,10 @@ from .core import (
     Moment,
     MomentRecorder,
     OperationLog,
+    ReadOnlyError,
     RecordNotFoundError,
     ReproError,
+    TransientIOError,
     build_engine,
     ceil_log2,
     macro_block_factor,
@@ -45,16 +47,23 @@ from .records import Record, ensure_record
 from .storage import (
     AccessStats,
     AccessTrace,
+    BackoffPolicy,
     BufferedStore,
     CostModel,
     DISK_ARM_MODEL,
     DiskStore,
+    FaultPlan,
+    FaultyStore,
     MemoryStore,
     PAGE_ACCESS_MODEL,
     PageFile,
     PageStore,
+    RetryingStore,
+    ScrubReport,
     SimulatedDisk,
+    fault_tolerant_stack,
     make_store,
+    scrub,
 )
 
 __version__ = "1.0.0"
@@ -63,6 +72,7 @@ __all__ = [
     "AccessStats",
     "AdaptiveControl2Engine",
     "AccessTrace",
+    "BackoffPolicy",
     "BufferedStore",
     "CalibratorTree",
     "ConfigurationError",
@@ -74,6 +84,8 @@ __all__ = [
     "DensityParams",
     "DiskStore",
     "DuplicateKeyError",
+    "FaultPlan",
+    "FaultyStore",
     "FileFullError",
     "InvariantViolationError",
     "JournaledDenseFile",
@@ -86,16 +98,22 @@ __all__ = [
     "PageFile",
     "PageStore",
     "PersistentDenseFile",
+    "ReadOnlyError",
     "Record",
     "RecordNotFoundError",
     "ReproError",
+    "RetryingStore",
+    "ScrubReport",
     "SimulatedDisk",
     "ThreadSafeDenseFile",
+    "TransientIOError",
     "build_engine",
     "ceil_log2",
     "ensure_record",
+    "fault_tolerant_stack",
     "macro_block_factor",
     "make_store",
     "macro_params",
     "recommended_j",
+    "scrub",
 ]

@@ -16,6 +16,7 @@ Usage (also via ``python -m repro``):
     repro compact orders.dsf
     repro info    orders.dsf
     repro verify  orders.dsf
+    repro scrub   orders.dsf        # repair / quarantine corrupt pages
     repro demo                      # replay the paper's Example 5.2
 
 All mutating commands run through the crash-atomic journaled facade.
@@ -170,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_path(verify)
     _add_backend(verify)
 
+    scrub = commands.add_parser(
+        "scrub",
+        help="checksum every page, repair from the journal, quarantine "
+        "the rest (exit 0 healthy, 3 degraded)",
+    )
+    _add_path(scrub)
+
     demo = commands.add_parser("demo", help="replay the paper's Example 5.2")
     demo.add_argument(
         "--backend", choices=["memory", "buffered"], default="memory",
@@ -252,9 +260,22 @@ def _dispatch(args, out) -> int:
     if args.command == "verify":
         return _verify(args, out)
 
+    if args.command == "scrub":
+        return _scrub(args, out)
+
     if args.command == "info":
-        with _open_backend(args) as dense:
-            return _dispatch_on_file(args, dense, out)
+        from .storage.ondisk import CorruptPageError
+
+        try:
+            with _open_backend(args) as dense:
+                return _dispatch_on_file(args, dense, out)
+        except CorruptPageError:
+            # Fall back to the degraded read-only view so the operator
+            # can still see geometry, fill and the quarantine set.
+            with PersistentDenseFile.open(
+                args.path, on_corruption="degrade"
+            ) as dense:
+                return _dispatch_on_file(args, dense, out)
 
     with JournaledDenseFile.open(args.path) as dense:
         return _dispatch_on_file(args, dense, out)
@@ -264,11 +285,27 @@ def _verify(args, out) -> int:
     """Checksums first (works even when pages are unreadable), then the
     structural invariants through the requested storage stack."""
     from .storage.ondisk import DiskPagedStore
+    from .storage.wal import TransactionJournal
 
     with DiskPagedStore.open(args.path) as store:
         corrupt = store.verify_all()
     if corrupt:
         print(f"CORRUPT pages: {corrupt}", file=out)
+        committed = TransactionJournal(args.path + ".journal").read_committed()
+        journaled = sorted(set(corrupt) & set(committed or ()))
+        if journaled:
+            print(
+                f"repairable from the journal: {journaled} — run "
+                "`repro scrub`",
+                file=out,
+            )
+        unrepairable = sorted(set(corrupt) - set(committed or ()))
+        if unrepairable:
+            print(
+                f"no journaled image for: {unrepairable} — `repro scrub` "
+                "will quarantine them (file becomes read-only)",
+                file=out,
+            )
         return 3
     with _open_backend(args) as dense:
         dense.validate()
@@ -278,6 +315,15 @@ def _verify(args, out) -> int:
         file=out,
     )
     return 0
+
+
+def _scrub(args, out) -> int:
+    """Run the detect/repair/quarantine/verify ladder and report it."""
+    from .storage.scrub import scrub
+
+    report = scrub(args.path)
+    print(report.summary(), file=out)
+    return 0 if report.healthy else 3
 
 
 def _dispatch_on_file(args, dense, out) -> int:
@@ -362,6 +408,13 @@ def _dispatch_on_file(args, dense, out) -> int:
         print(f"           {occupancy_legend(params.D)}", file=out)
         stats = dense.store_stats()
         print(f"backend:   {stats['backend']}", file=out)
+        if getattr(dense, "read_only", False):
+            print(
+                f"state:     DEGRADED (read-only); quarantined pages "
+                f"{list(dense.quarantined)} — run `repro scrub` or "
+                "restore from backup",
+                file=out,
+            )
         if stats["backend"] == "buffered":
             print(
                 f"cache:     {stats['capacity']} frames, "

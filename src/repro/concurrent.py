@@ -129,13 +129,34 @@ class ThreadSafeDenseFile:
             return len(self._inner)
 
     # ------------------------------------------------------------------
-    # maintenance
+    # maintenance and lifecycle
     # ------------------------------------------------------------------
 
     def validate(self) -> None:
         """Assert the structural invariants (serialized)."""
         with self._lock:
             self._inner.validate()
+
+    def flush(self):
+        """Flush the wrapped file's storage stack (serialized)."""
+        with self._lock:
+            return self._inner.flush()
+
+    def close(self) -> None:
+        """Flush and close the wrapped file (serialized)."""
+        with self._lock:
+            self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._inner.closed
+
+    def __enter__(self) -> "ThreadSafeDenseFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def params(self):

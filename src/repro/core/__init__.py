@@ -10,8 +10,10 @@ from .errors import (
     DuplicateKeyError,
     FileFullError,
     InvariantViolationError,
+    ReadOnlyError,
     RecordNotFoundError,
     ReproError,
+    TransientIOError,
 )
 from .macroblock import (
     MacroBlockControl2Engine,
@@ -36,8 +38,10 @@ __all__ = [
     "Moment",
     "MomentRecorder",
     "OperationLog",
+    "ReadOnlyError",
     "RecordNotFoundError",
     "ReproError",
+    "TransientIOError",
     "build_engine",
     "ceil_log2",
     "macro_block_factor",

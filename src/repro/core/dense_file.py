@@ -313,6 +313,11 @@ class DenseSequentialFile:
         """Flush and release the backend's resources (no-op in memory)."""
         self.engine.store.close()
 
+    @property
+    def closed(self) -> bool:
+        """Whether the backing store has been closed."""
+        return self.engine.store.closed
+
     def __enter__(self) -> "DenseSequentialFile":
         return self
 

@@ -48,3 +48,25 @@ class InvariantViolationError(ReproError, AssertionError):
     ``(d, D)``-density, ``BALANCE(d, D)``, or calibrator-counter
     consistency) and the offending node or page.
     """
+
+
+class TransientIOError(ReproError, OSError):
+    """A physical-layer operation failed but is safe to retry.
+
+    Injected by :class:`~repro.storage.faults.FaultyStore` (standing in
+    for the flaky reads and timeouts of real hardware) *before* the
+    wrapped store is touched, so retrying the same operation is always
+    idempotent.  :class:`~repro.storage.faults.RetryingStore` absorbs a
+    bounded number of these per operation.
+    """
+
+
+class ReadOnlyError(ReproError, PermissionError):
+    """A mutation was attempted on a file in read-only degraded mode.
+
+    A :class:`~repro.persistent.PersistentDenseFile` degrades to
+    read-only when it is opened over quarantined (unrepairable) pages:
+    intact key ranges stay scannable, but updates are refused until
+    ``repro scrub`` repairs the file or the operator restores it from a
+    backup.  The message lists the quarantined pages.
+    """

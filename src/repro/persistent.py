@@ -34,7 +34,11 @@ from typing import Iterator, List, Optional
 
 from .core.control2 import Control2Engine
 from .core.dense_file import DenseSequentialFile
-from .core.errors import ConfigurationError, RecordNotFoundError
+from .core.errors import (
+    ConfigurationError,
+    ReadOnlyError,
+    RecordNotFoundError,
+)
 from .core.params import DensityParams
 from .records import Record
 from .storage.backend import BufferedStore, DiskStore
@@ -50,6 +54,13 @@ class PersistentDenseFile:
     def __init__(self, dense: DenseSequentialFile):
         self.dense = dense
         self.engine = dense.engine
+        #: Read-only degraded mode: set when the file was opened over
+        #: quarantined (unrepairable) pages.  Mutations raise
+        #: :class:`~repro.core.errors.ReadOnlyError`; intact ranges stay
+        #: scannable.
+        self.read_only = False
+        #: Quarantined page numbers (empty on a healthy file).
+        self.quarantined: tuple = ()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -96,21 +107,40 @@ class PersistentDenseFile:
     def open(
         cls, path: str, cache_pages: Optional[int] = None,
         write_through: bool = True,
+        on_corruption: str = "raise",
     ) -> "PersistentDenseFile":
         """Open an existing file, rebuilding all in-core state.
 
         Refuses to open a file with a pending transaction journal: that
         file was last written by :class:`JournaledDenseFile`, whose
         :meth:`JournaledDenseFile.open` performs the required recovery.
+
+        ``on_corruption`` picks the policy for pages whose slot fails
+        its CRC: ``"raise"`` (default) aborts with
+        :class:`~repro.storage.ondisk.CorruptPageError`; ``"degrade"``
+        quarantines them (treated as empty) and returns the file in
+        **read-only degraded mode** — queries and scans over intact
+        ranges work, every mutation raises
+        :class:`~repro.core.errors.ReadOnlyError` until ``repro scrub``
+        repairs the file.
         """
         import os
 
+        if on_corruption not in ("raise", "degrade"):
+            raise ConfigurationError(
+                f"on_corruption must be 'raise' or 'degrade', "
+                f"not {on_corruption!r}"
+            )
         if os.path.exists(path + ".journal"):
             raise StorageError(
                 f"{path} has a pending transaction journal; open it with "
                 "JournaledDenseFile.open() so recovery can run"
             )
-        store = DiskStore.open(path, write_through=write_through)
+        store = DiskStore.open(
+            path,
+            write_through=write_through,
+            tolerate_corruption=on_corruption == "degrade",
+        )
         algorithm = _ALGORITHM_NAMES.get(store.raw.j >> 24)
         if algorithm is None:
             store.close()
@@ -126,7 +156,10 @@ class PersistentDenseFile:
         dense.engine.restore_from_store()
         if isinstance(dense.engine, Control2Engine):
             cls._rebuild_warning_flags(dense.engine)
-        return cls(dense)
+        opened = cls(dense)
+        if store.quarantined:
+            opened._degrade(store.quarantined)
+        return opened
 
     @staticmethod
     def _mount(
@@ -192,6 +225,23 @@ class PersistentDenseFile:
         """Physical-layer counters (cache hit rates when cached)."""
         return self.engine.store.stats()
 
+    # ------------------------------------------------------------------
+    # read-only degradation
+    # ------------------------------------------------------------------
+
+    def _degrade(self, quarantined) -> None:
+        """Flip into read-only degraded mode over ``quarantined`` pages."""
+        self.read_only = True
+        self.quarantined = tuple(sorted(quarantined))
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyError(
+                f"{self.path} is in read-only degraded mode (quarantined "
+                f"pages {list(self.quarantined)}); run `repro scrub` or "
+                "restore from backup before writing"
+            )
+
     def close(self) -> None:
         """Flush every layer and close the backing store."""
         self.engine.store.close()
@@ -220,14 +270,17 @@ class PersistentDenseFile:
 
     def insert(self, key, value=None) -> None:
         """Insert a record (written through to disk)."""
+        self._check_writable()
         self.engine.insert(key, value)
 
     def delete(self, key) -> Record:
         """Delete and return the record with ``key``."""
+        self._check_writable()
         return self.engine.delete(key)
 
     def update(self, key, value) -> Record:
         """Replace the value stored under an existing ``key`` in place."""
+        self._check_writable()
         page = self.engine.pagefile.locate(key)
         if page is None:
             raise RecordNotFoundError(key)
@@ -235,10 +288,12 @@ class PersistentDenseFile:
 
     def insert_many(self, items) -> int:
         """Insert an iterable of records/keys in a key-ordered sweep."""
+        self._check_writable()
         return self.engine.insert_many(items)
 
     def delete_range(self, lo_key, hi_key) -> int:
         """Bulk-delete every record with ``lo_key <= key <= hi_key``."""
+        self._check_writable()
         return self.engine.delete_range(lo_key, hi_key)
 
     def rank(self, key) -> int:
@@ -255,6 +310,7 @@ class PersistentDenseFile:
 
     def compact(self) -> int:
         """Uniformly redistribute all records; returns pages rewritten."""
+        self._check_writable()
         return self.engine.compact()
 
     def search(self, key) -> Optional[Record]:
@@ -277,6 +333,7 @@ class PersistentDenseFile:
 
     def bulk_load(self, records) -> None:
         """Uniformly load records into an empty file (durable)."""
+        self._check_writable()
         self.engine.bulk_load(records)
 
     def occupancies(self) -> List[int]:
@@ -295,17 +352,24 @@ class PersistentDenseFile:
         """In-core invariants plus on-disk/in-core agreement.
 
         A cached stack is flushed first so the comparison is against the
-        pages the OS file would show after a clean shutdown.
+        pages the OS file would show after a clean shutdown.  In
+        read-only degraded mode the strict structural invariants may be
+        legitimately broken by the data loss, so only the intact pages
+        are checked for on-disk/in-core agreement (and nothing is
+        flushed — a degraded file is never written).
         """
-        self.engine.validate()
-        self.engine.store.flush()
+        from .core.errors import InvariantViolationError
+
+        if not self.read_only:
+            self.engine.validate()
+            self.engine.store.flush()
         raw = self._raw
         for page in range(1, self.params.num_pages + 1):
+            if page in self.quarantined:
+                continue
             stored = raw.read_page(page)
             live = self.engine.pagefile.page(page).records()
             if stored != live:
-                from .core.errors import InvariantViolationError
-
                 raise InvariantViolationError(
                     f"page {page}: on-disk contents diverge from memory"
                 )
@@ -434,6 +498,7 @@ class JournaledDenseFile(PersistentDenseFile):
         store.dirty.clear()
 
     def _transactional(self, operation):
+        self._check_writable()
         result = operation()
         self._commit()
         return result

@@ -19,6 +19,15 @@ from .bufferpool import BufferPool, PoolStats, replay
 from .codec import CodecError, decode_page, encode_page
 from .cost import AccessStats, CostModel, DISK_ARM_MODEL, PAGE_ACCESS_MODEL
 from .disk import SimulatedDisk
+from .faults import (
+    BackoffPolicy,
+    FaultInjector,
+    FaultPlan,
+    FaultyStore,
+    RetryingStore,
+    SimulatedCrash,
+    fault_tolerant_stack,
+)
 from .ondisk import (
     CorruptPageError,
     DiskPagedStore,
@@ -27,6 +36,7 @@ from .ondisk import (
 )
 from .page import Page
 from .pagefile import PageFile
+from .scrub import ScrubReport, scrub
 from .tracing import AccessEvent, AccessTrace, READ, WRITE
 
 __all__ = [
@@ -34,6 +44,7 @@ __all__ = [
     "AccessStats",
     "AccessTrace",
     "BACKENDS",
+    "BackoffPolicy",
     "BufferPool",
     "BufferedStore",
     "CodecError",
@@ -43,6 +54,9 @@ __all__ = [
     "DISK_ARM_MODEL",
     "DiskPagedStore",
     "DiskStore",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyStore",
     "MemoryStore",
     "PAGE_ACCESS_MODEL",
     "Page",
@@ -51,12 +65,17 @@ __all__ = [
     "PageStore",
     "PoolStats",
     "READ",
+    "RetryingStore",
+    "ScrubReport",
+    "SimulatedCrash",
     "SimulatedDisk",
     "StorageError",
     "StoreStats",
     "WRITE",
     "decode_page",
     "encode_page",
+    "fault_tolerant_stack",
     "make_store",
     "replay",
+    "scrub",
 ]

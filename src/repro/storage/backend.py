@@ -209,6 +209,9 @@ class DiskStore(PageStore):
         self.write_through = write_through
         #: Pages touched since the last flush (write-back mode only).
         self.dirty: set = set()
+        #: Pages whose slot failed its CRC during a tolerant
+        #: :meth:`load` — treated as empty in core and never rewritten.
+        self.quarantined: set = set()
         self._pages: List[Page] = [Page() for _ in range(self.num_pages + 1)]
         self._stats = StoreStats()
 
@@ -241,27 +244,49 @@ class DiskStore(PageStore):
         return cls(raw, write_through=write_through)
 
     @classmethod
-    def open(cls, path: str, write_through: bool = True) -> "DiskStore":
-        """Open an existing file and materialize every stored page."""
+    def open(
+        cls,
+        path: str,
+        write_through: bool = True,
+        tolerate_corruption: bool = False,
+    ) -> "DiskStore":
+        """Open an existing file and materialize every stored page.
+
+        With ``tolerate_corruption`` a page whose slot fails its CRC is
+        *quarantined* (left empty in core, recorded in
+        :attr:`quarantined`) instead of aborting the open — the degraded
+        read-only path of :class:`~repro.persistent.PersistentDenseFile`.
+        """
         from .ondisk import DiskPagedStore
 
         raw = DiskPagedStore.open(path)
         store = cls(raw, write_through=write_through)
-        store.load()
+        store.load(tolerate_corruption=tolerate_corruption)
         return store
 
-    def load(self) -> int:
+    def load(self, tolerate_corruption: bool = False) -> int:
         """(Re)materialize pages from disk; returns the record count.
 
         Recovery work, charged to the physical read counter but never to
         any engine's logical meter: restoring a file is not a command.
+        Corrupt slots raise :class:`~repro.storage.ondisk.CorruptPageError`
+        unless ``tolerate_corruption`` quarantines them instead.
         """
+        from .ondisk import CorruptPageError
+
         total = 0
+        self.quarantined = set()
         for page_number in range(1, self.num_pages + 1):
-            records = self.raw.read_page(page_number)
             self._stats.physical_reads += 1
             page = self._pages[page_number]
             page.clear()
+            try:
+                records = self.raw.read_page(page_number)
+            except CorruptPageError:
+                if not tolerate_corruption:
+                    raise
+                self.quarantined.add(page_number)
+                continue
             page.extend_high(records)
             total += len(records)
         return total
@@ -319,6 +344,7 @@ class DiskStore(PageStore):
             "puts": self._stats.puts,
             "physical_reads": self._stats.physical_reads,
             "physical_writes": self._stats.physical_writes,
+            "quarantined": sorted(self.quarantined),
         }
 
 

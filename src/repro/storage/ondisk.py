@@ -74,8 +74,10 @@ class DiskPagedStore:
         self.D = D
         self.j = j
         self.slot_capacity = slot_capacity
-        #: Optional :class:`~repro.storage.wal.FaultInjector` consulted
-        #: before every physical page write (crash-consistency tests).
+        #: Optional :class:`~repro.storage.faults.FaultInjector` (or full
+        #: :class:`~repro.storage.faults.FaultPlan`) consulted before and
+        #: during every physical page write: ``check()`` may crash,
+        #: ``filter_frame()`` may tear or bit-flip the frame.
         self.fault_injector = None
 
     # ------------------------------------------------------------------
@@ -174,24 +176,40 @@ class DiskPagedStore:
             )
         file_object.write(frame + b"\x00" * (slot_capacity - len(frame)))
 
-    def write_page(self, page_number: int, records: List[Record]) -> None:
-        """Serialize and write-through one page."""
+    def _write_slot(self, page_number: int, payload: bytes) -> None:
+        """Frame, (possibly) corrupt, and write one slot image.
+
+        The fault hook is consulted twice: ``check()`` may raise a
+        simulated crash *before* anything is written, and
+        ``filter_frame()`` may hand back a torn or bit-flipped frame —
+        always after the CRC was computed over the intended payload, so
+        any corruption is caught by the next read's checksum.
+        """
         if self.closed:
             raise StorageError("store is closed")
-        if self.fault_injector is not None:
-            self.fault_injector.check()
-        payload = encode_page(records)
+        hook = self.fault_injector
+        if hook is not None:
+            hook.check()
+        frame = SLOT_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        if len(frame) > self.slot_capacity:
+            raise PageOverflowError(
+                f"page payload of {len(payload)} bytes exceeds the "
+                f"{self.slot_capacity}-byte slot"
+            )
+        if hook is not None:
+            filter_frame = getattr(hook, "filter_frame", None)
+            if filter_frame is not None:
+                frame = filter_frame(page_number, frame)
         self._file.seek(self._slot_offset(page_number))
-        self._write_slot_raw(self._file, payload, self.slot_capacity)
+        self._file.write(frame + b"\x00" * (self.slot_capacity - len(frame)))
+
+    def write_page(self, page_number: int, records: List[Record]) -> None:
+        """Serialize and write-through one page."""
+        self._write_slot(page_number, encode_page(records))
 
     def write_page_payload(self, page_number: int, payload: bytes) -> None:
         """Write an already-encoded page image (journal redo path)."""
-        if self.closed:
-            raise StorageError("store is closed")
-        if self.fault_injector is not None:
-            self.fault_injector.check()
-        self._file.seek(self._slot_offset(page_number))
-        self._write_slot_raw(self._file, payload, self.slot_capacity)
+        self._write_slot(page_number, payload)
 
     def read_page(self, page_number: int) -> List[Record]:
         """Read and verify one page; raises :class:`CorruptPageError`."""

@@ -18,9 +18,11 @@ never touched by that transaction, so it still holds the consistent
 pre-command state.  Either way the reopened file shows exactly the
 state before or after each command, never in between.
 
-:class:`FaultInjector` lets the test suite crash the process at *every*
-physical write of a command and assert that recovery lands on one of
-the two legal states.
+:class:`~repro.storage.faults.FaultInjector` (historically defined
+here, now part of the unified fault layer in
+:mod:`repro.storage.faults` and re-exported for compatibility) lets the
+test suite crash the process at *every* physical write of a command and
+assert that recovery lands on one of the two legal states.
 """
 
 from __future__ import annotations
@@ -30,41 +32,12 @@ import struct
 import zlib
 from typing import Dict, Optional
 
-from ..core.errors import ReproError
+from .faults import FaultInjector, SimulatedCrash  # noqa: F401  (compat)
 
 JOURNAL_MAGIC = b"DSJ1"
 ENTRY = struct.Struct("<III")  # page, payload length, crc32
 COMMIT = struct.Struct("<4sII")  # marker, entry count, crc of entry crcs
 COMMIT_MARKER = b"CMT1"
-
-
-class SimulatedCrash(ReproError):
-    """Raised by a :class:`FaultInjector` in place of a power failure."""
-
-
-class FaultInjector:
-    """Counts down physical writes and 'crashes' when exhausted."""
-
-    def __init__(self):
-        self.countdown: Optional[int] = None
-        self.crashes = 0
-
-    def arm(self, writes_before_crash: int) -> None:
-        """Crash on the (n+1)-th physical write from now."""
-        self.countdown = writes_before_crash
-
-    def disarm(self) -> None:
-        """Stop injecting faults."""
-        self.countdown = None
-
-    def check(self) -> None:
-        """Called by stores/journals before each physical write."""
-        if self.countdown is None:
-            return
-        if self.countdown <= 0:
-            self.crashes += 1
-            raise SimulatedCrash("injected crash before a physical write")
-        self.countdown -= 1
 
 
 class TransactionJournal:

@@ -132,3 +132,60 @@ class TestThreadedWrites:
         # Every original key below 4000 is gone; the inserted stripes are in.
         assert shared.count_range(0, 3999) == 0
         assert shared.count_range(10_000, 14_999) == 4 * 49
+
+
+class TestLifecyclePassThrough:
+    def test_flush_close_and_context_manager(self, tmp_path):
+        from repro import PersistentDenseFile
+
+        path = str(tmp_path / "shared.dsf")
+        with ThreadSafeDenseFile(
+            PersistentDenseFile.create(path, num_pages=32, d=8, D=40)
+        ) as shared:
+            shared.insert_many(range(50))
+            shared.flush()
+            assert not shared.closed
+            # The flushed state is already durable before close.
+            from repro.storage.ondisk import DiskPagedStore
+
+            # (peek at the OS file through a second handle)
+            with DiskPagedStore.open(path) as raw:
+                stored = sum(
+                    len(raw.read_page(p)) for p in range(1, 33)
+                )
+            assert stored == 50
+        assert shared.closed
+        with PersistentDenseFile.open(path) as reopened:
+            assert len(reopened) == 50
+
+    def test_flush_close_on_memory_file(self, shared):
+        shared.insert_many(range(10))
+        shared.flush()  # no-op on the memory backend
+        shared.close()  # idem: a memory store holds no OS resources
+        assert not shared.closed  # memory backends never report closed
+        assert len(shared) == 10
+
+    def test_concurrent_flushes_are_serialized(self, tmp_path):
+        from repro import PersistentDenseFile
+
+        path = str(tmp_path / "flushy.dsf")
+        shared = ThreadSafeDenseFile(
+            PersistentDenseFile.create(
+                path, num_pages=64, d=8, D=40, cache_pages=4,
+                write_through=False,
+            )
+        )
+
+        def writer(base):
+            for offset in range(40):
+                shared.insert(base * 1000 + offset)
+                if offset % 10 == 0:
+                    shared.flush()
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(writer, range(4)))
+        shared.validate()
+        assert len(shared) == 160
+        shared.close()
+        with PersistentDenseFile.open(path) as reopened:
+            assert len(reopened) == 160

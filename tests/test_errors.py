@@ -1,0 +1,130 @@
+"""Coverage for the exception hierarchy in ``repro.core.errors``.
+
+Every library exception must be catchable both as :class:`ReproError`
+(one ``except`` clause for the whole package) and as its stdlib mixin,
+so callers using idiomatic ``except KeyError`` / ``except OSError``
+code keep working.  The tests raise each error through a real code
+path where one exists.
+"""
+
+import pytest
+
+from repro import DenseSequentialFile
+from repro.core.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    FileFullError,
+    InvariantViolationError,
+    ReadOnlyError,
+    RecordNotFoundError,
+    ReproError,
+    TransientIOError,
+)
+
+#: (exception class, stdlib base it must mix in).
+HIERARCHY = [
+    (ConfigurationError, ValueError),
+    (DuplicateKeyError, KeyError),
+    (RecordNotFoundError, KeyError),
+    (InvariantViolationError, AssertionError),
+    (FileFullError, Exception),
+    (TransientIOError, OSError),
+    (ReadOnlyError, PermissionError),
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc, mixin", HIERARCHY)
+    def test_is_repro_error_and_stdlib_mixin(self, exc, mixin):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, mixin)
+
+    @pytest.mark.parametrize("exc, mixin", HIERARCHY)
+    def test_catchable_both_ways(self, exc, mixin):
+        with pytest.raises(ReproError):
+            raise exc("boom")
+        with pytest.raises(mixin):
+            raise exc("boom")
+
+    @pytest.mark.parametrize("exc, _", HIERARCHY)
+    def test_message_round_trips(self, exc, _):
+        # OSError subclasses special-case multi-arg construction; the
+        # single-message form every raise site uses must stay intact.
+        error = exc("what went wrong")
+        assert "what went wrong" in str(error)
+
+    def test_read_only_is_also_an_os_error(self):
+        # PermissionError sits under OSError, so generic I/O handlers
+        # see degraded-mode refusals too.
+        assert issubclass(ReadOnlyError, OSError)
+
+    def test_storage_errors_join_the_family(self):
+        from repro.storage.faults import SimulatedCrash
+        from repro.storage.ondisk import (
+            CorruptPageError,
+            PageOverflowError,
+            StorageError,
+        )
+
+        for exc in (
+            StorageError,
+            CorruptPageError,
+            PageOverflowError,
+            SimulatedCrash,
+        ):
+            assert issubclass(exc, ReproError)
+
+
+class TestRaisedFromRealPaths:
+    def test_configuration_error(self):
+        with pytest.raises(ValueError):
+            DenseSequentialFile(num_pages=16, d=10, D=4)
+
+    def test_duplicate_key(self):
+        f = DenseSequentialFile(num_pages=16, d=4, D=24)
+        f.insert(1)
+        with pytest.raises(KeyError):
+            f.insert(1)
+
+    def test_record_not_found(self):
+        f = DenseSequentialFile(num_pages=16, d=4, D=24)
+        with pytest.raises(KeyError):
+            f.delete(42)
+
+    def test_file_full(self):
+        f = DenseSequentialFile(num_pages=16, d=4, D=24)
+        f.insert_many(range(16 * 4))
+        with pytest.raises(ReproError):
+            f.insert(10_000)
+
+    def test_transient_io_error_from_fault_plan(self):
+        from repro.storage.backend import MemoryStore
+        from repro.storage.faults import FaultPlan, FaultyStore
+
+        store = FaultyStore(
+            MemoryStore(4), FaultPlan(seed=1, transient_rate=1.0)
+        )
+        with pytest.raises(OSError):
+            store.get_page(1)
+        with pytest.raises(ReproError):
+            store.put_page(1)
+
+    def test_read_only_error_from_degraded_file(self, tmp_path):
+        from repro import PersistentDenseFile
+
+        path = str(tmp_path / "ro.dsf")
+        with PersistentDenseFile.create(
+            path, num_pages=32, d=8, D=40
+        ) as f:
+            f.insert_many(range(100))
+            target = f.engine.pagefile.nonempty_pages()[0]
+            offset = f._raw._slot_offset(target)
+        with open(path, "r+b") as handle:
+            handle.seek(offset + 10)
+            handle.write(b"\xde\xad")
+        degraded = PersistentDenseFile.open(path, on_corruption="degrade")
+        with pytest.raises(PermissionError):
+            degraded.insert(10_000)
+        with pytest.raises(ReproError):
+            degraded.delete(0)
+        degraded.close()

@@ -1,8 +1,9 @@
-"""Differential / crash-injection fuzzer for the dense-file engines.
+"""Differential / crash-injection / fault-injection fuzzer.
 
 Usage:
     python tools/fuzz.py --mode engines --iterations 200
     python tools/fuzz.py --mode crash --seconds 30
+    python tools/fuzz.py --mode faults --iterations 50
 
 Modes
 -----
@@ -17,6 +18,14 @@ Modes
     and injects a crash at a random physical write, then reopens and
     checks atomicity (the state must be the pre- or post-command state)
     and all invariants.
+
+``faults``
+    Each iteration builds a random backend stack (memory, disk, or
+    buffered over disk) behind ``RetryingStore(FaultyStore(...))`` with
+    a seeded transient-fault rate, checks every transient is absorbed
+    with zero give-ups and the file matches the model, then (on durable
+    backends) corrupts a page slot on disk and checks the scrub /
+    degraded-read-only ladder.
 
 On failure the tool prints the reproducing seed; re-run with
 ``--seed N --verbose`` to replay it.
@@ -41,7 +50,23 @@ from repro import (  # noqa: E402
     JournaledDenseFile,
     MacroBlockControl2Engine,
 )
-from repro.core.errors import ConfigurationError, FileFullError  # noqa: E402
+from repro import DenseSequentialFile, PersistentDenseFile  # noqa: E402
+from repro.core.errors import (  # noqa: E402
+    ConfigurationError,
+    FileFullError,
+    ReadOnlyError,
+)
+from repro.storage.backend import (  # noqa: E402
+    BufferedStore,
+    DiskStore,
+    MemoryStore,
+)
+from repro.storage.faults import (  # noqa: E402
+    BackoffPolicy,
+    FaultPlan,
+    fault_tolerant_stack,
+)
+from repro.storage.scrub import scrub  # noqa: E402
 from repro.storage.wal import FaultInjector, SimulatedCrash  # noqa: E402
 
 
@@ -159,17 +184,103 @@ def fuzz_crash_once(seed: int, verbose: bool = False):
     dense.close()
 
 
+def fuzz_faults_once(seed: int, verbose: bool = False):
+    """One fault-absorption + scrub-ladder iteration; raises on failure."""
+    rng = random.Random(seed)
+    num_pages, d, cap = 16, 4, 24
+    backend = rng.choice(["memory", "disk", "buffered"])
+    directory = tempfile.mkdtemp(prefix="repro-faultfuzz-")
+    path = os.path.join(directory, "f.dsf")
+    if backend == "memory":
+        inner = MemoryStore(num_pages)
+    else:
+        disk = DiskStore.create(path, num_pages=num_pages, d=d, D=cap)
+        inner = disk if backend == "disk" else BufferedStore(disk, capacity=4)
+    rate = rng.choice([0.0, 0.02, 0.1, 0.25])
+    plan = FaultPlan(seed=seed, transient_rate=rate)
+    stack = fault_tolerant_stack(
+        inner, plan, BackoffPolicy(max_attempts=40)
+    )
+    dense = DenseSequentialFile(num_pages, d, cap, store=stack)
+    model = set()
+    if verbose:
+        print(f"seed={seed}: faults on {backend}, transient_rate={rate}")
+    for _ in range(rng.randint(20, 80)):
+        roll = rng.random()
+        key = rng.randrange(400)
+        if roll < 0.6 and len(model) < num_pages * d and key not in model:
+            dense.insert(key)
+            model.add(key)
+        elif roll < 0.85 and model:
+            victim = rng.choice(sorted(model))
+            dense.delete(victim)
+            model.remove(victim)
+        elif roll < 0.95:
+            lo = rng.randrange(400)
+            assert len(list(dense.range(lo, lo + 50))) == len(
+                [k for k in model if lo <= k <= lo + 50]
+            ), f"seed={seed}: scan under faults diverged"
+    stored = [record.key for record in dense.engine.pagefile.iter_all()]
+    assert stored == sorted(model), f"seed={seed}: contents diverged"
+    dense.validate()
+    # Every injected transient was absorbed; none leaked or gave up.
+    assert stack.giveups == 0, f"seed={seed}: retry policy gave up"
+    assert stack.retries == plan.transients_injected, (
+        f"seed={seed}: {plan.transients_injected} transients but "
+        f"{stack.retries} retries"
+    )
+    dense.close()
+
+    if backend == "memory":
+        return
+    # Corruption leg: clobber one slot's length field (guaranteed CRC
+    # failure), then walk the scrub / degraded ladder.
+    victim_page = rng.randrange(1, num_pages + 1)
+    header_size = 32  # ondisk.HEADER.size
+    slot = disk.raw.slot_capacity
+    with open(path, "r+b") as handle:
+        handle.seek(header_size + (victim_page - 1) * slot)
+        handle.write(b"\xff\xff\xff\xff")
+    report = scrub(path)
+    assert report.degraded and report.quarantined == (victim_page,), (
+        f"seed={seed}: scrub missed the corrupted page"
+    )
+    degraded = PersistentDenseFile.open(path, on_corruption="degrade")
+    assert degraded.read_only
+    assert degraded.quarantined == (victim_page,)
+    surviving = [record.key for record in degraded.range(-1, 10**9)]
+    assert set(surviving) <= model, f"seed={seed}: degraded scan invented keys"
+    try:
+        degraded.insert(10**6)
+        raise AssertionError(f"seed={seed}: degraded file accepted a write")
+    except ReadOnlyError:
+        pass
+    degraded.validate()
+    degraded.close()
+    if verbose:
+        print(f"  seed={seed}: quarantined page {victim_page}, "
+              f"{len(model) - len(surviving)} records lost, "
+              f"{len(surviving)} scannable")
+
+
+FUZZERS = {
+    "engines": fuzz_engines_once,
+    "crash": fuzz_crash_once,
+    "faults": fuzz_faults_once,
+}
+
+
 def main() -> int:
     """Run the requested fuzz campaign; returns a process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--mode", choices=["engines", "crash"], default="engines")
+    parser.add_argument("--mode", choices=sorted(FUZZERS), default="engines")
     parser.add_argument("--iterations", type=int, default=0)
     parser.add_argument("--seconds", type=float, default=10.0)
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args()
 
-    single = fuzz_engines_once if args.mode == "engines" else fuzz_crash_once
+    single = FUZZERS[args.mode]
     if args.seed is not None:
         single(args.seed, verbose=True)
         print(f"seed {args.seed}: ok")

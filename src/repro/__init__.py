@@ -16,7 +16,12 @@ Quickstart
 10
 """
 
-from .concurrent import ThreadSafeDenseFile
+from .concurrent import (
+    AdmissionGate,
+    Deadline,
+    FairRWLock,
+    ThreadSafeDenseFile,
+)
 from .core import (
     AdaptiveControl2Engine,
     CalibratorTree,
@@ -32,6 +37,8 @@ from .core import (
     Moment,
     MomentRecorder,
     OperationLog,
+    OperationTimeout,
+    OverloadError,
     ReadOnlyError,
     RecordNotFoundError,
     ReproError,
@@ -72,6 +79,7 @@ __all__ = [
     "AccessStats",
     "AdaptiveControl2Engine",
     "AccessTrace",
+    "AdmissionGate",
     "BackoffPolicy",
     "BufferedStore",
     "CalibratorTree",
@@ -80,10 +88,12 @@ __all__ = [
     "Control2Engine",
     "CostModel",
     "DISK_ARM_MODEL",
+    "Deadline",
     "DenseSequentialFile",
     "DensityParams",
     "DiskStore",
     "DuplicateKeyError",
+    "FairRWLock",
     "FaultPlan",
     "FaultyStore",
     "FileFullError",
@@ -94,6 +104,8 @@ __all__ = [
     "Moment",
     "MomentRecorder",
     "OperationLog",
+    "OperationTimeout",
+    "OverloadError",
     "PAGE_ACCESS_MODEL",
     "PageFile",
     "PageStore",

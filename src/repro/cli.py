@@ -17,6 +17,7 @@ Usage (also via ``python -m repro``):
     repro info    orders.dsf
     repro verify  orders.dsf
     repro scrub   orders.dsf        # repair / quarantine corrupt pages
+    repro stress  --threads 8 --ops 400 --seed 7   # concurrency torture
     repro demo                      # replay the paper's Example 5.2
 
 All mutating commands run through the crash-atomic journaled facade.
@@ -178,6 +179,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_path(scrub)
 
+    stress = commands.add_parser(
+        "stress",
+        help="deterministic concurrency torture run (linearizability "
+        "vs. a sequential oracle; exit 0 clean, 1 violation)",
+    )
+    stress.add_argument("--threads", type=int, default=4)
+    stress.add_argument(
+        "--ops", type=int, default=200,
+        help="total operations across all threads",
+    )
+    stress.add_argument("--seed", type=int, default=0)
+    stress.add_argument(
+        "--batch", type=int, default=4,
+        help="max operations raced in one batch",
+    )
+    stress.add_argument(
+        "--stack", choices=["memory", "disk", "buffered", "faulty"],
+        default="memory",
+    )
+    stress.add_argument(
+        "--fault-rate", type=float, default=0.05,
+        help="transient-fault rate for --stack faulty",
+    )
+    stress.add_argument(
+        "--self-test", action="store_true",
+        help="also run the harness's negative controls (seeded race, "
+        "lock-order deadlock) and require they are detected",
+    )
+
     demo = commands.add_parser("demo", help="replay the paper's Example 5.2")
     demo.add_argument(
         "--backend", choices=["memory", "buffered"], default="memory",
@@ -254,6 +284,9 @@ def _dispatch(args, out) -> int:
         dense.close()
         return 0
 
+    if args.command == "stress":
+        return _stress(args, out)
+
     if args.command == "demo":
         return _demo(out, backend=args.backend, cache_pages=args.cache_pages)
 
@@ -315,6 +348,37 @@ def _verify(args, out) -> int:
         file=out,
     )
     return 0
+
+
+def _stress(args, out) -> int:
+    """One seeded torture run (optionally plus the self-test controls)."""
+    import os
+    import tempfile
+
+    from .concurrent.harness import StressConfig, run_stress, self_test
+
+    if args.self_test:
+        report = self_test(seed=args.seed)
+        print(report.summary(), file=out)
+        return 0 if report.ok else 1
+    path = None
+    if args.stack in ("disk", "buffered"):
+        path = os.path.join(
+            tempfile.mkdtemp(prefix="repro-stress-"), "stress.dsf"
+        )
+    report = run_stress(
+        StressConfig(
+            threads=args.threads,
+            total_ops=args.ops,
+            seed=args.seed,
+            max_batch=args.batch,
+            stack=args.stack,
+            transient_rate=args.fault_rate,
+            path=path,
+        )
+    )
+    print(report.summary(), file=out)
+    return 0 if report.ok else 1
 
 
 def _scrub(args, out) -> int:

@@ -1,0 +1,367 @@
+"""The hardened concurrent front-end over any dense-file facade.
+
+:class:`ThreadSafeDenseFile` replaces the old single-RLock wrapper with
+a three-layer pipeline, while keeping its exact API surface (plus
+optional ``timeout=`` / ``deadline=`` keyword-only arguments on every
+operation):
+
+1. **Admission** (optional): a bounded
+   :class:`~repro.concurrent.admission.AdmissionGate` in front of the
+   lock.  When the in-flight cap and wait queue are full, operations
+   fail fast with :class:`~repro.core.errors.OverloadError`; in
+   ``shed_load`` mode writes are rejected as soon as they would queue,
+   while reads keep being served.
+2. **Fair reader-writer lock**: queries share the file, mutations are
+   single-writer, and waiters are served in arrival order
+   (:class:`~repro.concurrent.rwlock.FairRWLock`).  Every acquisition
+   honours the operation's deadline, so no call blocks unboundedly —
+   the concurrency layer keeps the paper's worst-case spirit.
+3. **Deadline-aware storage retries**: any
+   :class:`~repro.storage.faults.RetryingStore` in the wrapped file's
+   stack is given the operation's remaining budget for the duration of
+   the call, so transient-fault backoff stops (with
+   :class:`~repro.core.errors.OperationTimeout`) when the budget is
+   spent instead of burning time the caller no longer has.
+
+Concurrent readers are only enabled on storage stacks whose read path
+is free of shared mutable state (a :class:`~repro.storage.backend.MemoryStore`
+base, possibly decorated with fault-injection/retry layers).  Disk and
+buffered stacks mutate shared state on reads (a single file handle's
+seek position, LRU recency lists), so reads there are serialized like
+writes — the deadline and admission machinery applies identically.
+Force the choice with ``shared_reads=True/False``.  Under concurrent
+readers the file's access-counter statistics may undercount slightly
+(unsynchronized increments); the structure itself is never touched by
+a reader.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, List, Optional
+
+from ..records import Record
+from ..storage.backend import MemoryStore
+from ..storage.faults import FaultyStore, RetryingStore
+from .admission import READ, WRITE, AdmissionGate
+from .deadline import Deadline
+from .rwlock import FairRWLock
+
+
+def find_retrying_stores(store) -> List[RetryingStore]:
+    """Every :class:`RetryingStore` layer in a decorator stack."""
+    found: List[RetryingStore] = []
+    while store is not None:
+        if isinstance(store, RetryingStore):
+            found.append(store)
+        store = getattr(store, "inner", None)
+    return found
+
+
+def reads_are_shareable(store) -> bool:
+    """Whether a store stack's read path touches no shared mutable state.
+
+    True only for a :class:`~repro.storage.backend.MemoryStore` base
+    under pass-through decorators (fault injection, retries).  Disk
+    stacks share a seekable file handle and buffered stacks reorder an
+    LRU list on every read, so their reads must be serialized.
+    """
+    while store is not None:
+        if isinstance(store, MemoryStore):
+            return True
+        if isinstance(store, (FaultyStore, RetryingStore)):
+            store = store.inner
+            continue
+        return False
+    return False
+
+
+class ThreadSafeDenseFile:
+    """Serialize writers, share readers, bound waiting — over any facade.
+
+    Wraps a :class:`~repro.core.dense_file.DenseSequentialFile`, a
+    :class:`~repro.persistent.PersistentDenseFile` or a
+    :class:`~repro.persistent.JournaledDenseFile`.  Drop-in compatible
+    with the old coarse-lock wrapper; all hardening knobs are optional.
+
+    Parameters
+    ----------
+    inner:
+        The dense-file facade to protect.
+    max_in_flight, max_queued, shed_load:
+        Enable the admission gate: at most ``max_in_flight`` operations
+        run/hold the lock at once, at most ``max_queued`` more wait;
+        beyond that :class:`~repro.core.errors.OverloadError` is raised
+        immediately.  ``shed_load`` rejects writes as soon as they
+        would queue while reads keep being admitted.  With the default
+        ``max_in_flight=None`` (and ``shed_load=False``) no gate is
+        installed.
+    default_timeout:
+        Budget (seconds) applied to operations that pass neither
+        ``timeout=`` nor ``deadline=``; ``None`` means wait forever.
+    shared_reads:
+        Force readers shared (``True``) or serialized (``False``);
+        ``None`` auto-detects from the storage stack.
+    bypass_lock:
+        **Testing only.**  Skips admission and locking entirely so the
+        torture harness's negative control can prove it detects the
+        resulting races.  Never set this in real use.
+    """
+
+    def __init__(
+        self,
+        inner,
+        max_in_flight: Optional[int] = None,
+        max_queued: int = 64,
+        shed_load: bool = False,
+        default_timeout: Optional[float] = None,
+        shared_reads: Optional[bool] = None,
+        bypass_lock: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._inner = inner
+        self._clock = clock
+        self._lock = FairRWLock(clock=clock)
+        self._gate: Optional[AdmissionGate] = None
+        if max_in_flight is not None or shed_load:
+            self._gate = AdmissionGate(
+                max_in_flight=max_in_flight if max_in_flight is not None else 64,
+                max_queued=max_queued,
+                shed_load=shed_load,
+                clock=clock,
+            )
+        self.default_timeout = default_timeout
+        self._bypass_lock = bypass_lock
+        store = getattr(inner, "store", None)
+        self._retrying = find_retrying_stores(store)
+        if shared_reads is None:
+            shared_reads = reads_are_shareable(store)
+        self._shared_reads = shared_reads
+
+    # ------------------------------------------------------------------
+    # the pipeline
+    # ------------------------------------------------------------------
+
+    def _budget(self, timeout, deadline) -> Deadline:
+        return Deadline.resolve(
+            timeout, deadline, self.default_timeout, self._clock
+        )
+
+    @contextmanager
+    def _store_deadline(self, budget: Deadline):
+        """Hand the remaining budget to deadline-aware retry layers."""
+        if not self._retrying or budget.expires_at is None:
+            yield
+            return
+        for layer in self._retrying:
+            layer.set_deadline(budget)
+        try:
+            yield
+        finally:
+            for layer in self._retrying:
+                layer.set_deadline(None)
+
+    @contextmanager
+    def _guarded(self, kind: str, timeout, deadline):
+        """Admission -> lock -> storage-deadline, all budget-aware."""
+        budget = self._budget(timeout, deadline)
+        if self._bypass_lock:
+            with self._store_deadline(budget):
+                yield
+            return
+        admission = (
+            self._gate.enter(kind, budget)
+            if self._gate is not None
+            else None
+        )
+        try:
+            exclusive = kind == WRITE or not self._shared_reads
+            handle = (
+                self._lock.write_locked(budget)
+                if exclusive
+                else self._lock.read_locked(budget)
+            )
+            with handle:
+                budget.check("operation admitted and locked, but")
+                with self._store_deadline(budget):
+                    yield
+        finally:
+            if admission is not None:
+                admission.__exit__(None, None, None)
+
+    # ------------------------------------------------------------------
+    # updates (single-writer)
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value=None, *, timeout=None, deadline=None) -> None:
+        """Insert a record (single-writer, deadline-aware)."""
+        with self._guarded(WRITE, timeout, deadline):
+            self._inner.insert(key, value)
+
+    def delete(self, key, *, timeout=None, deadline=None) -> Record:
+        """Delete and return the record with ``key`` (single-writer)."""
+        with self._guarded(WRITE, timeout, deadline):
+            return self._inner.delete(key)
+
+    def update(self, key, value, *, timeout=None, deadline=None) -> Record:
+        """Replace the value under ``key`` in place (single-writer)."""
+        with self._guarded(WRITE, timeout, deadline):
+            return self._inner.update(key, value)
+
+    def insert_many(self, items, *, timeout=None, deadline=None) -> int:
+        """Insert a batch atomically with respect to other threads."""
+        with self._guarded(WRITE, timeout, deadline):
+            return self._inner.insert_many(items)
+
+    def delete_range(self, lo_key, hi_key, *, timeout=None, deadline=None) -> int:
+        """Bulk-delete a key range atomically w.r.t. other threads."""
+        with self._guarded(WRITE, timeout, deadline):
+            return self._inner.delete_range(lo_key, hi_key)
+
+    def compact(self, *, timeout=None, deadline=None) -> int:
+        """Uniformly redistribute all records (single-writer)."""
+        with self._guarded(WRITE, timeout, deadline):
+            return self._inner.compact()
+
+    # ------------------------------------------------------------------
+    # queries (shared readers; scans materialize under the lock)
+    # ------------------------------------------------------------------
+
+    def search(self, key, *, timeout=None, deadline=None) -> Optional[Record]:
+        """Return the record with ``key`` or ``None`` (shared read)."""
+        with self._guarded(READ, timeout, deadline):
+            return self._inner.search(key)
+
+    def range(self, lo_key, hi_key, *, timeout=None, deadline=None) -> List[Record]:
+        """Records with ``lo_key <= key <= hi_key`` as a snapshot list."""
+        with self._guarded(READ, timeout, deadline):
+            return list(self._inner.range(lo_key, hi_key))
+
+    def scan(self, start_key, count: int, *, timeout=None, deadline=None) -> List[Record]:
+        """Up to ``count`` records from ``start_key`` (snapshot)."""
+        with self._guarded(READ, timeout, deadline):
+            return self._inner.scan(start_key, count)
+
+    def rank(self, key, *, timeout=None, deadline=None) -> int:
+        """Records with key strictly below ``key`` (shared read)."""
+        with self._guarded(READ, timeout, deadline):
+            return self._inner.rank(key)
+
+    def count_range(self, lo_key, hi_key, *, timeout=None, deadline=None) -> int:
+        """Records with ``lo_key <= key <= hi_key`` (shared read)."""
+        with self._guarded(READ, timeout, deadline):
+            return self._inner.count_range(lo_key, hi_key)
+
+    def select(self, index: int, *, timeout=None, deadline=None) -> Record:
+        """The record of 0-based rank ``index`` (shared read)."""
+        with self._guarded(READ, timeout, deadline):
+            return self._inner.select(index)
+
+    def min(self, *, timeout=None, deadline=None) -> Optional[Record]:
+        """Smallest-keyed record (shared read)."""
+        with self._guarded(READ, timeout, deadline):
+            return self._inner.min()
+
+    def max(self, *, timeout=None, deadline=None) -> Optional[Record]:
+        """Largest-keyed record (shared read)."""
+        with self._guarded(READ, timeout, deadline):
+            return self._inner.max()
+
+    def successor(self, key, *, timeout=None, deadline=None) -> Optional[Record]:
+        """Smallest record with key > ``key`` (shared read)."""
+        with self._guarded(READ, timeout, deadline):
+            return self._inner.successor(key)
+
+    def predecessor(self, key, *, timeout=None, deadline=None) -> Optional[Record]:
+        """Largest record with key < ``key`` (shared read)."""
+        with self._guarded(READ, timeout, deadline):
+            return self._inner.predecessor(key)
+
+    def __contains__(self, key) -> bool:
+        with self._guarded(READ, None, None):
+            return key in self._inner
+
+    def __len__(self) -> int:
+        with self._guarded(READ, None, None):
+            return len(self._inner)
+
+    # ------------------------------------------------------------------
+    # maintenance and lifecycle
+    # ------------------------------------------------------------------
+
+    def validate(self, *, timeout=None, deadline=None) -> None:
+        """Assert the structural invariants (exclusive: may flush)."""
+        with self._guarded(WRITE, timeout, deadline):
+            self._inner.validate()
+
+    def flush(self, *, timeout=None, deadline=None):
+        """Flush the wrapped file's storage stack (single-writer)."""
+        with self._guarded(WRITE, timeout, deadline):
+            return self._inner.flush()
+
+    def close(self, *, timeout=None, deadline=None) -> None:
+        """Flush and close the wrapped file (single-writer)."""
+        with self._guarded(WRITE, timeout, deadline):
+            self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._guarded(READ, None, None):
+            return self._inner.closed
+
+    def __enter__(self) -> "ThreadSafeDenseFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # introspection (under the read lock: never observed mid-mutation)
+    # ------------------------------------------------------------------
+
+    @property
+    def params(self):
+        """The wrapped file's density parameters (read-locked)."""
+        with self._guarded(READ, None, None):
+            return self._inner.params
+
+    @property
+    def stats(self):
+        """The wrapped file's access counters (read-locked)."""
+        with self._guarded(READ, None, None):
+            return self._inner.stats
+
+    @property
+    def inner(self):
+        """The wrapped facade (callers must hold no expectations of
+        thread safety when touching it directly)."""
+        return self._inner
+
+    @property
+    def lock(self) -> FairRWLock:
+        """The reader-writer lock (exposed for tests and monitoring)."""
+        return self._lock
+
+    @property
+    def gate(self) -> Optional[AdmissionGate]:
+        """The admission gate, or ``None`` when unbounded."""
+        return self._gate
+
+    @property
+    def shared_reads(self) -> bool:
+        """Whether queries run concurrently on this stack."""
+        return self._shared_reads
+
+    def concurrency_stats(self) -> dict:
+        """Lock, admission and retry-absorption counters in one dict."""
+        report = {
+            "shared_reads": self._shared_reads,
+            "lock": self._lock.stats(),
+            "admission": self._gate.stats() if self._gate else None,
+        }
+        if self._retrying:
+            report["retries"] = [
+                layer.counters() for layer in self._retrying
+            ]
+        return report

@@ -10,6 +10,8 @@ from .errors import (
     DuplicateKeyError,
     FileFullError,
     InvariantViolationError,
+    OperationTimeout,
+    OverloadError,
     ReadOnlyError,
     RecordNotFoundError,
     ReproError,
@@ -38,6 +40,8 @@ __all__ = [
     "Moment",
     "MomentRecorder",
     "OperationLog",
+    "OperationTimeout",
+    "OverloadError",
     "ReadOnlyError",
     "RecordNotFoundError",
     "ReproError",

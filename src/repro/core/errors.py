@@ -61,6 +61,39 @@ class TransientIOError(ReproError, OSError):
     """
 
 
+class OperationTimeout(ReproError, TimeoutError):
+    """An operation's deadline expired before the work completed.
+
+    Raised by the concurrent front-end
+    (:class:`~repro.concurrent.ThreadSafeDenseFile`) when a
+    ``deadline=`` / ``timeout=`` budget runs out — whether the time was
+    spent waiting for the reader-writer lock, queueing at the admission
+    gate, or burning retry backoff inside a deadline-aware
+    :class:`~repro.storage.faults.RetryingStore`.  The operation has
+    either not started or (for storage retries) failed without side
+    effects, so it is safe to resubmit with a fresh budget.
+    """
+
+
+class OverloadError(ReproError):
+    """The admission gate refused an operation because the system is full.
+
+    Raised *immediately* (fail fast, no queueing) when the bounded
+    in-flight gate of :class:`~repro.concurrent.AdmissionGate` has both
+    saturated its concurrency cap and filled its wait queue — or, in
+    ``shed_load`` mode, as soon as a write would have to queue at all.
+    Carries the observed pressure so clients and load balancers can
+    back off intelligently.
+    """
+
+    def __init__(self, message: str, queue_depth: int = 0, in_flight: int = 0):
+        super().__init__(message)
+        #: Number of operations waiting at the gate when this was raised.
+        self.queue_depth = queue_depth
+        #: Number of operations admitted and still running.
+        self.in_flight = in_flight
+
+
 class ReadOnlyError(ReproError, PermissionError):
     """A mutation was attempted on a file in read-only degraded mode.
 

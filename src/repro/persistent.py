@@ -48,6 +48,13 @@ _ALGORITHM_CODES = {"control2": 0, "control1": 1}
 _ALGORITHM_NAMES = {code: name for name, code in _ALGORITHM_CODES.items()}
 
 
+def _wrap_threadsafe(opened):
+    """Wrap a freshly created/opened file in the concurrency front-end."""
+    from .concurrent import ThreadSafeDenseFile
+
+    return ThreadSafeDenseFile(opened)
+
+
 class PersistentDenseFile:
     """Durable ``(d, D)``-dense sequential file with CONTROL 2 updates."""
 
@@ -79,8 +86,15 @@ class PersistentDenseFile:
         overwrite: bool = False,
         cache_pages: Optional[int] = None,
         write_through: bool = True,
+        threadsafe: bool = False,
     ) -> "PersistentDenseFile":
-        """Create a new file at ``path`` with the given geometry."""
+        """Create a new file at ``path`` with the given geometry.
+
+        With ``threadsafe=True`` the file comes back wrapped in a
+        :class:`~repro.concurrent.ThreadSafeDenseFile` (fair
+        reader-writer locking plus per-operation deadlines), ready to
+        be shared between threads.
+        """
         if algorithm not in _ALGORITHM_CODES:
             raise ConfigurationError(f"unknown algorithm {algorithm!r}")
         params = DensityParams(num_pages=num_pages, d=d, D=D, j=j)
@@ -101,13 +115,15 @@ class PersistentDenseFile:
             overwrite=overwrite,
             write_through=write_through,
         )
-        return cls(cls._mount(store, params, algorithm, cache_pages))
+        created = cls(cls._mount(store, params, algorithm, cache_pages))
+        return _wrap_threadsafe(created) if threadsafe else created
 
     @classmethod
     def open(
         cls, path: str, cache_pages: Optional[int] = None,
         write_through: bool = True,
         on_corruption: str = "raise",
+        threadsafe: bool = False,
     ) -> "PersistentDenseFile":
         """Open an existing file, rebuilding all in-core state.
 
@@ -123,6 +139,9 @@ class PersistentDenseFile:
         ranges work, every mutation raises
         :class:`~repro.core.errors.ReadOnlyError` until ``repro scrub``
         repairs the file.
+
+        ``threadsafe=True`` wraps the opened file in a
+        :class:`~repro.concurrent.ThreadSafeDenseFile`.
         """
         import os
 
@@ -159,7 +178,7 @@ class PersistentDenseFile:
         opened = cls(dense)
         if store.quarantined:
             opened._degrade(store.quarantined)
-        return opened
+        return _wrap_threadsafe(opened) if threadsafe else opened
 
     @staticmethod
     def _mount(
@@ -439,8 +458,13 @@ class JournaledDenseFile(PersistentDenseFile):
         slot_capacity: int = 0,
         overwrite: bool = False,
         injector=None,
+        threadsafe: bool = False,
     ) -> "JournaledDenseFile":
-        """Create a new crash-atomic file at ``path``."""
+        """Create a new crash-atomic file at ``path``.
+
+        ``threadsafe=True`` wraps the file in a
+        :class:`~repro.concurrent.ThreadSafeDenseFile`.
+        """
         plain = PersistentDenseFile.create(
             path,
             num_pages=num_pages,
@@ -452,11 +476,18 @@ class JournaledDenseFile(PersistentDenseFile):
             overwrite=overwrite,
             write_through=False,
         )
-        return cls(plain.dense, injector=injector)
+        created = cls(plain.dense, injector=injector)
+        return _wrap_threadsafe(created) if threadsafe else created
 
     @classmethod
-    def open(cls, path: str, injector=None) -> "JournaledDenseFile":
-        """Open with journal recovery, rebuilding all in-core state."""
+    def open(
+        cls, path: str, injector=None, threadsafe: bool = False
+    ) -> "JournaledDenseFile":
+        """Open with journal recovery, rebuilding all in-core state.
+
+        ``threadsafe=True`` wraps the file in a
+        :class:`~repro.concurrent.ThreadSafeDenseFile`.
+        """
         from .storage.wal import TransactionJournal
 
         journal = TransactionJournal(path + ".journal")
@@ -469,7 +500,8 @@ class JournaledDenseFile(PersistentDenseFile):
             store.close()
         journal.clear()
         plain = PersistentDenseFile.open(path, write_through=False)
-        return cls(plain.dense, injector=injector)
+        opened = cls(plain.dense, injector=injector)
+        return _wrap_threadsafe(opened) if threadsafe else opened
 
     # ------------------------------------------------------------------
     # transactions

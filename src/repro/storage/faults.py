@@ -50,11 +50,12 @@ layer can stay installed in production stacks.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..core.errors import ReproError, TransientIOError
+from ..core.errors import OperationTimeout, ReproError, TransientIOError
 from ..records import Record
 from .backend import DiskStore, PageStore
 from .page import Page
@@ -349,6 +350,16 @@ class RetryingStore(PageStore):
     own get/put, so retries happen at single-operation granularity — a
     transient in the middle of a SHIFT never replays the record moves
     that already happened.
+
+    **Deadline awareness.**  The concurrent front-end hands each
+    operation's remaining time budget to this layer via
+    :meth:`set_deadline` (stored per thread, since readers may run
+    concurrently).  The retry loop then stops — raising
+    :class:`~repro.core.errors.OperationTimeout` with the transient
+    chained — as soon as the budget is spent or the next backoff delay
+    would overrun it, instead of burning wall-clock the caller no
+    longer has.  A faulted operation has no side effects, so giving up
+    mid-retry leaves the store exactly as it was.
     """
 
     name = "retrying"
@@ -363,9 +374,26 @@ class RetryingStore(PageStore):
         self.policy = policy if policy is not None else BackoffPolicy()
         self.num_pages = inner.num_pages
         self._sleep = sleep
+        self._local = threading.local()
         self.retries = 0
         self.giveups = 0
+        self.deadline_giveups = 0
         self.backoff_total = 0.0
+
+    # -- deadline plumbing ----------------------------------------------
+
+    def set_deadline(self, deadline) -> None:
+        """Install the calling thread's retry budget (``None`` clears it).
+
+        ``deadline`` is duck-typed: anything with ``remaining() -> float``
+        works (normally a :class:`~repro.concurrent.deadline.Deadline`).
+        """
+        self._local.deadline = deadline
+
+    @property
+    def deadline(self):
+        """The calling thread's active retry budget, if any."""
+        return getattr(self._local, "deadline", None)
 
     # -- retry engine ---------------------------------------------------
 
@@ -374,13 +402,22 @@ class RetryingStore(PageStore):
         while True:
             try:
                 return operation()
-            except TransientIOError:
+            except TransientIOError as fault:
                 attempt += 1
                 if attempt >= self.policy.max_attempts:
                     self.giveups += 1
                     raise
-                self.retries += 1
                 delay = self.policy.delay(attempt - 1)
+                budget = self.deadline
+                if budget is not None:
+                    remaining = budget.remaining()
+                    if remaining <= 0.0 or delay >= remaining:
+                        self.deadline_giveups += 1
+                        raise OperationTimeout(
+                            f"retry budget spent after {attempt} attempt(s): "
+                            f"{fault}"
+                        ) from fault
+                self.retries += 1
                 self.backoff_total += delay
                 if delay > 0.0:
                     self._sleep(delay)
@@ -406,15 +443,37 @@ class RetryingStore(PageStore):
     def closed(self) -> bool:
         return self.inner.closed
 
-    def stats(self) -> Dict[str, object]:
+    def counters(self) -> Dict[str, object]:
+        """Just this layer's absorption counters (no inner stats).
+
+        The stress harness and ``scrub`` report these per run: how many
+        transients were absorbed (``retries``), how many exhausted the
+        policy (``giveups``), how many stopped early because the
+        operation's deadline ran out (``deadline_giveups``), and the
+        accumulated backoff time.
+        """
         return {
-            "backend": self.name,
-            "max_attempts": self.policy.max_attempts,
             "retries": self.retries,
             "giveups": self.giveups,
+            "deadline_giveups": self.deadline_giveups,
             "backoff_total": self.backoff_total,
-            "inner": self.inner.stats(),
         }
+
+    def reset_counters(self) -> None:
+        """Zero the absorption counters (for per-run reporting)."""
+        self.retries = 0
+        self.giveups = 0
+        self.deadline_giveups = 0
+        self.backoff_total = 0.0
+
+    def stats(self) -> Dict[str, object]:
+        report: Dict[str, object] = {
+            "backend": self.name,
+            "max_attempts": self.policy.max_attempts,
+        }
+        report.update(self.counters())
+        report["inner"] = self.inner.stats()
+        return report
 
 
 def fault_tolerant_stack(

@@ -1,6 +1,6 @@
 """Workload generation and execution for the evaluation harness."""
 
-from .driver import RunResult, run_workload
+from .driver import RunResult, run_workload, split_workload
 from .generators import (
     DELETE,
     INSERT,
@@ -36,6 +36,7 @@ __all__ = [
     "mixed_workload",
     "run_workload",
     "sawtooth_workload",
+    "split_workload",
     "uniform_random_inserts",
     "zipf_region_inserts",
 ]

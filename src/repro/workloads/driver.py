@@ -8,11 +8,36 @@ costs are extracted from the structure's ``stats`` accumulator.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from ..core.trace import OperationLog
 from .generators import DELETE, INSERT, Operation
+
+
+def split_workload(
+    operations: Sequence[Operation], workers: int
+) -> List[List[Operation]]:
+    """Partition one operation stream into per-worker executable streams.
+
+    Operations are routed by a stable hash of their key, so *every
+    operation on a given key lands in the same worker* in its original
+    relative order.  A sequence that was executable as a whole (deletes
+    only target keys previously inserted) therefore splits into streams
+    that are each executable on a shared structure regardless of how the
+    scheduler interleaves the workers — which is exactly what the
+    concurrency torture harness needs.  The hash is ``zlib.crc32`` of
+    the key's ``repr``, not Python's randomized ``hash``, so the split
+    is reproducible across processes and runs.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    streams: List[List[Operation]] = [[] for _ in range(workers)]
+    for operation in operations:
+        slot = zlib.crc32(repr(operation.key).encode()) % workers
+        streams[slot].append(operation)
+    return streams
 
 
 @dataclass

@@ -8,7 +8,14 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro import DenseSequentialFile
-from repro.concurrent import ThreadSafeDenseFile
+from repro.concurrent import Deadline, ThreadSafeDenseFile
+from repro.core.errors import OperationTimeout, OverloadError
+from repro.storage import (
+    BackoffPolicy,
+    FaultPlan,
+    MemoryStore,
+    fault_tolerant_stack,
+)
 
 
 @pytest.fixture
@@ -132,6 +139,213 @@ class TestThreadedWrites:
         # Every original key below 4000 is gone; the inserted stripes are in.
         assert shared.count_range(0, 3999) == 0
         assert shared.count_range(10_000, 14_999) == 4 * 49
+
+
+class TestReaderWriterSemantics:
+    def test_memory_stack_auto_enables_shared_reads(self, shared):
+        assert shared.shared_reads is True
+
+    def test_readers_share_while_writers_wait(self, shared):
+        shared.insert(1)
+        shared.lock.acquire_read()
+        try:
+            # A second reader enters alongside the held read lock...
+            assert shared.search(1).key == 1
+            # ...while a writer is excluded until the reader leaves.
+            with pytest.raises(OperationTimeout):
+                shared.insert(2, timeout=0.05)
+        finally:
+            shared.lock.release_read()
+        shared.insert(2)
+        assert len(shared) == 2
+
+    def test_disk_backed_reads_are_serialized(self, tmp_path):
+        from repro import PersistentDenseFile
+
+        path = str(tmp_path / "serial.dsf")
+        shared = ThreadSafeDenseFile(
+            PersistentDenseFile.create(path, num_pages=32, d=8, D=40)
+        )
+        # A shared seekable file handle means reads must not overlap.
+        assert shared.shared_reads is False
+        shared.close()
+
+    def test_shared_reads_override(self):
+        inner = DenseSequentialFile(num_pages=64, d=8, D=40)
+        assert ThreadSafeDenseFile(inner, shared_reads=False).shared_reads is False
+
+
+class TestDeadlines:
+    def test_timeout_while_writer_holds_the_lock(self, shared):
+        shared.insert(1)
+        shared.lock.acquire_write()
+        try:
+            with pytest.raises(OperationTimeout):
+                shared.search(1, timeout=0.05)
+            with pytest.raises(OperationTimeout):
+                shared.insert(2, timeout=0.05)
+        finally:
+            shared.lock.release_write()
+        # The timed-out waiters left the queue; the file still works.
+        assert shared.search(1).key == 1
+        shared.insert(2)
+        assert shared.lock.stats()["timeouts"] == 2
+
+    def test_timeout_and_deadline_are_mutually_exclusive(self, shared):
+        with pytest.raises(ValueError):
+            shared.search(1, timeout=1.0, deadline=Deadline.unbounded())
+
+    def test_one_deadline_spans_several_calls(self, shared):
+        shared.insert_many(range(100))
+        budget = Deadline.after(30.0)
+        assert shared.count_range(0, 99, deadline=budget) == 100
+        assert shared.rank(50, deadline=budget) == 50
+
+    def test_default_timeout_covers_locked_properties(self):
+        """The stats/params properties take the read lock (and therefore
+        honour the default budget) instead of peeking at a moving file."""
+        inner = DenseSequentialFile(num_pages=64, d=8, D=40)
+        shared = ThreadSafeDenseFile(inner, default_timeout=0.05)
+        shared.lock.acquire_write()
+        try:
+            with pytest.raises(OperationTimeout):
+                shared.stats
+            with pytest.raises(OperationTimeout):
+                shared.params
+        finally:
+            shared.lock.release_write()
+        assert shared.params.num_pages == 64
+        assert shared.stats is inner.stats
+
+
+class TestOverload:
+    def test_saturated_gate_sheds_writes_and_serves_reads(self):
+        inner = DenseSequentialFile(num_pages=64, d=8, D=40)
+        shared = ThreadSafeDenseFile(inner, max_in_flight=1, shed_load=True)
+        shared.insert(1)
+        # Saturate the only in-flight slot.
+        slot = shared.gate.enter("read")
+        try:
+            # Writes are rejected immediately — no queueing, no timeout.
+            start = time.monotonic()
+            with pytest.raises(OverloadError) as info:
+                shared.insert(2, timeout=5.0)
+            assert time.monotonic() - start < 1.0
+            assert info.value.in_flight == 1
+            # A read queues and completes once the slot frees, well
+            # within its deadline.
+            releaser = threading.Timer(
+                0.05, lambda: slot.__exit__(None, None, None)
+            )
+            releaser.start()
+            try:
+                assert shared.search(1, timeout=5.0).key == 1
+            finally:
+                releaser.join()
+        finally:
+            pass
+        stats = shared.gate.stats()
+        assert stats["shed_writes"] == 1
+        assert stats["rejected"] == 1
+        # The shed write never reached the file.
+        assert len(shared) == 1
+
+    def test_full_wait_queue_rejects_everything(self):
+        inner = DenseSequentialFile(num_pages=64, d=8, D=40)
+        shared = ThreadSafeDenseFile(inner, max_in_flight=1, max_queued=0)
+        slot = shared.gate.enter("read")
+        try:
+            with pytest.raises(OverloadError):
+                shared.search(1, timeout=5.0)
+            with pytest.raises(OverloadError):
+                shared.insert(1, timeout=5.0)
+        finally:
+            slot.__exit__(None, None, None)
+        shared.insert(1)
+        assert len(shared) == 1
+
+    def test_no_gate_by_default(self, shared):
+        assert shared.gate is None
+        report = shared.concurrency_stats()
+        assert report["admission"] is None
+        assert report["lock"]["writers_served"] >= 0
+
+
+class TestDeadlineAwareRetries:
+    def test_retry_backoff_stops_at_the_deadline(self):
+        # Every logical operation faults, so the retry loop would spin
+        # (with 50ms backoff) until max_attempts without a budget.
+        plan = FaultPlan(seed=1, transient_rate=1.0)
+        stack = fault_tolerant_stack(
+            MemoryStore(64),
+            plan,
+            BackoffPolicy(max_attempts=10_000, base_delay=0.05),
+        )
+        inner = DenseSequentialFile(num_pages=64, d=8, D=40, store=stack)
+        shared = ThreadSafeDenseFile(inner)
+        start = time.monotonic()
+        with pytest.raises(OperationTimeout):
+            shared.insert(1, timeout=0.2)
+        # The loop gave up near the budget, not after 10k attempts.
+        assert time.monotonic() - start < 2.0
+        assert stack.deadline_giveups >= 1
+        report = shared.concurrency_stats()
+        assert report["retries"][0]["deadline_giveups"] >= 1
+
+    def test_unbounded_calls_keep_absorbing_transients(self):
+        plan = FaultPlan(seed=2, transient_rate=0.2, max_transients=50)
+        stack = fault_tolerant_stack(
+            MemoryStore(64), plan, BackoffPolicy(max_attempts=100)
+        )
+        inner = DenseSequentialFile(num_pages=64, d=8, D=40, store=stack)
+        shared = ThreadSafeDenseFile(inner)
+        shared.insert_many(range(100))
+        assert len(shared) == 100
+        assert stack.giveups == 0
+        assert stack.deadline_giveups == 0
+        assert stack.retries == plan.transients_injected > 0
+
+
+class TestThreadsafeOpenFlag:
+    def test_journaled_threadsafe_round_trip(self, tmp_path):
+        from repro import JournaledDenseFile
+
+        path = str(tmp_path / "ts.dsf")
+        created = JournaledDenseFile.create(
+            path, num_pages=32, d=8, D=40, threadsafe=True
+        )
+        assert isinstance(created, ThreadSafeDenseFile)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(
+                pool.map(
+                    lambda base: [
+                        created.insert(base * 100 + i) for i in range(25)
+                    ],
+                    range(4),
+                )
+            )
+        created.validate()
+        created.close()
+        reopened = JournaledDenseFile.open(path, threadsafe=True)
+        assert isinstance(reopened, ThreadSafeDenseFile)
+        assert len(reopened) == 100
+        assert reopened.shared_reads is False
+        reopened.close()
+
+    def test_persistent_threadsafe_flag(self, tmp_path):
+        from repro import PersistentDenseFile
+
+        path = str(tmp_path / "ps.dsf")
+        created = PersistentDenseFile.create(
+            path, num_pages=32, d=8, D=40, threadsafe=True
+        )
+        assert isinstance(created, ThreadSafeDenseFile)
+        created.insert_many(range(10))
+        created.close()
+        # Default stays the unwrapped facade.
+        plain = PersistentDenseFile.open(path)
+        assert not isinstance(plain, ThreadSafeDenseFile)
+        plain.close()
 
 
 class TestLifecyclePassThrough:

@@ -15,6 +15,8 @@ from repro.core.errors import (
     DuplicateKeyError,
     FileFullError,
     InvariantViolationError,
+    OperationTimeout,
+    OverloadError,
     ReadOnlyError,
     RecordNotFoundError,
     ReproError,
@@ -30,6 +32,8 @@ HIERARCHY = [
     (FileFullError, Exception),
     (TransientIOError, OSError),
     (ReadOnlyError, PermissionError),
+    (OperationTimeout, TimeoutError),
+    (OverloadError, Exception),
 ]
 
 
@@ -52,6 +56,16 @@ class TestHierarchy:
         # single-message form every raise site uses must stay intact.
         error = exc("what went wrong")
         assert "what went wrong" in str(error)
+
+    def test_operation_timeout_is_a_timeout(self):
+        # Generic ``except TimeoutError`` handlers must see deadline
+        # expiries from the concurrency front-end.
+        assert issubclass(OperationTimeout, TimeoutError)
+
+    def test_overload_error_carries_load_shape(self):
+        error = OverloadError("full", queue_depth=7, in_flight=64)
+        assert error.queue_depth == 7
+        assert error.in_flight == 64
 
     def test_read_only_is_also_an_os_error(self):
         # PermissionError sits under OSError, so generic I/O handlers

@@ -31,6 +31,16 @@ def test_crash_injection_iterations(fuzz):
         fuzz.fuzz_crash_once(rng.randrange(1 << 30))
 
 
+def test_thread_fuzz_iterations(fuzz):
+    rng = random.Random(9012)
+    for _ in range(4):
+        fuzz.fuzz_threads_once(rng.randrange(1 << 30))
+
+
+def test_thread_fuzz_is_registered(fuzz):
+    assert fuzz.FUZZERS["threads"] is fuzz.fuzz_threads_once
+
+
 def test_random_geometry_is_always_legal(fuzz):
     from repro import DensityParams
 

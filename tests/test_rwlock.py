@@ -1,0 +1,249 @@
+"""Units for the concurrency primitives: Deadline, FairRWLock, AdmissionGate."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.concurrent import AdmissionGate, Deadline, FairRWLock
+from repro.concurrent.admission import READ, WRITE
+from repro.core.errors import OperationTimeout, OverloadError
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic deadlines."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        budget = Deadline.unbounded()
+        assert not budget.expired
+        assert budget.remaining() == float("inf")
+        assert budget.wait_budget() is None
+        budget.check()  # must not raise
+
+    def test_after_counts_down_on_the_injected_clock(self):
+        clock = FakeClock()
+        budget = Deadline.after(5.0, clock)
+        assert budget.remaining() == pytest.approx(5.0)
+        clock.advance(3.0)
+        assert budget.remaining() == pytest.approx(2.0)
+        assert budget.wait_budget() == pytest.approx(2.0)
+        assert not budget.expired
+        clock.advance(2.0)
+        assert budget.expired
+        assert budget.remaining() == 0.0
+
+    def test_check_raises_operation_timeout(self):
+        clock = FakeClock()
+        budget = Deadline.after(1.0, clock)
+        clock.advance(2.0)
+        with pytest.raises(OperationTimeout):
+            budget.check("unit test")
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0)
+
+    def test_resolve_precedence(self):
+        clock = FakeClock()
+        explicit = Deadline.after(9.0, clock)
+        # Explicit deadline wins verbatim.
+        assert Deadline.resolve(deadline=explicit, clock=clock) is explicit
+        # timeout= beats the default.
+        assert Deadline.resolve(
+            timeout=2.0, default_timeout=8.0, clock=clock
+        ).remaining() == pytest.approx(2.0)
+        # The default applies when nothing else is given.
+        assert Deadline.resolve(
+            default_timeout=4.0, clock=clock
+        ).remaining() == pytest.approx(4.0)
+        # Nothing at all -> unbounded.
+        assert Deadline.resolve(clock=clock).expires_at is None
+
+    def test_resolve_rejects_both(self):
+        with pytest.raises(ValueError):
+            Deadline.resolve(timeout=1.0, deadline=Deadline.unbounded())
+
+
+class TestFairRWLock:
+    def test_readers_share(self):
+        lock = FairRWLock()
+        lock.acquire_read()
+        lock.acquire_read()  # second reader must not block
+        lock.release_read()
+        lock.release_read()
+        assert lock.stats()["readers_served"] == 2
+
+    def test_writer_excludes_everyone(self):
+        lock = FairRWLock()
+        lock.acquire_write()
+        with pytest.raises(OperationTimeout):
+            lock.acquire_read(Deadline.after(0.05))
+        with pytest.raises(OperationTimeout):
+            lock.acquire_write(Deadline.after(0.05))
+        lock.release_write()
+        assert lock.stats()["timeouts"] == 2
+
+    def test_release_without_acquire_raises(self):
+        lock = FairRWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_writer_is_not_starved_by_readers(self):
+        """A queued writer blocks readers that arrive after it (FIFO)."""
+        lock = FairRWLock()
+        lock.acquire_read()
+        writer_in = threading.Event()
+        late_reader_in = threading.Event()
+        order = []
+
+        def writer():
+            lock.acquire_write()
+            order.append("writer")
+            writer_in.set()
+            lock.release_write()
+
+        def late_reader():
+            lock.acquire_read()
+            order.append("reader")
+            late_reader_in.set()
+            lock.release_read()
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        # Wait until the writer is queued behind the active reader.
+        while lock.queue_depth < 1:
+            time.sleep(0.001)
+        reader_thread = threading.Thread(target=late_reader)
+        reader_thread.start()
+        while lock.queue_depth < 2:
+            time.sleep(0.001)
+        # Neither may enter while the first reader holds the lock.
+        assert not writer_in.is_set() and not late_reader_in.is_set()
+        lock.release_read()
+        writer_thread.join(5.0)
+        reader_thread.join(5.0)
+        # FIFO: the writer, which arrived first, went first.
+        assert order == ["writer", "reader"]
+
+    def test_timed_out_waiter_leaves_the_queue(self):
+        lock = FairRWLock()
+        lock.acquire_write()
+        with pytest.raises(OperationTimeout):
+            lock.acquire_write(Deadline.after(0.05))
+        assert lock.queue_depth == 0
+        lock.release_write()
+        # The lock still works normally afterwards.
+        lock.acquire_read()
+        lock.release_read()
+
+    def test_contended_increment_is_exclusive(self):
+        lock = FairRWLock()
+        counter = {"n": 0}
+
+        def bump():
+            for _ in range(200):
+                with lock.write_locked():
+                    value = counter["n"]
+                    time.sleep(0)  # widen the race window
+                    counter["n"] = value + 1
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            for _ in range(4):
+                pool.submit(bump)
+        assert counter["n"] == 800
+        assert lock.stats()["writers_served"] == 800
+
+
+class TestAdmissionGate:
+    def test_fast_path_admits(self):
+        gate = AdmissionGate(max_in_flight=2)
+        with gate.enter(READ):
+            with gate.enter(WRITE):
+                assert gate.in_flight == 2
+        assert gate.in_flight == 0
+        assert gate.stats()["admitted"] == 2
+
+    def test_full_queue_rejects_with_depth(self):
+        gate = AdmissionGate(max_in_flight=1, max_queued=0)
+        with gate.enter(READ):
+            with pytest.raises(OverloadError) as info:
+                gate.enter(READ)
+        assert info.value.in_flight == 1
+        assert info.value.queue_depth == 0
+        assert gate.stats()["rejected"] == 1
+
+    def test_shed_load_rejects_writes_keeps_reads(self):
+        gate = AdmissionGate(max_in_flight=1, max_queued=4, shed_load=True)
+        token = gate.enter(READ)
+        # A write that would queue is rejected immediately...
+        with pytest.raises(OverloadError):
+            gate.enter(WRITE)
+        # ...while a read may queue and is admitted once the slot frees.
+        admitted = threading.Event()
+
+        def queued_read():
+            with gate.enter(READ, Deadline.after(5.0)):
+                admitted.set()
+
+        reader = threading.Thread(target=queued_read)
+        reader.start()
+        while gate.queue_depth < 1:
+            time.sleep(0.001)
+        token.__exit__(None, None, None)
+        reader.join(5.0)
+        assert admitted.is_set()
+        assert gate.stats()["shed_writes"] == 1
+
+    def test_queued_wait_honours_deadline(self):
+        gate = AdmissionGate(max_in_flight=1, max_queued=4)
+        with gate.enter(READ):
+            with pytest.raises(OperationTimeout):
+                gate.enter(READ, Deadline.after(0.05))
+        assert gate.stats()["timeouts"] == 1
+        # The timed-out waiter left no residue: the slot is reusable.
+        with gate.enter(WRITE):
+            pass
+
+    def test_released_slot_admits_the_next_waiter(self):
+        gate = AdmissionGate(max_in_flight=1, max_queued=8)
+        results = []
+
+        def job(tag):
+            with gate.enter(READ, Deadline.after(10.0)):
+                results.append(tag)
+
+        first = gate.enter(READ)
+        threads = [
+            threading.Thread(target=job, args=(i,)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        while gate.queue_depth < 3:
+            time.sleep(0.001)
+        first.__exit__(None, None, None)
+        for thread in threads:
+            thread.join(5.0)
+        assert sorted(results) == [0, 1, 2]
+        assert gate.stats()["peak_queued"] == 3
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(max_in_flight=0)
+        with pytest.raises(ValueError):
+            AdmissionGate(max_queued=-1)
+        with pytest.raises(ValueError):
+            AdmissionGate().enter("compact")

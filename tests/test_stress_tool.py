@@ -1,0 +1,137 @@
+"""The torture harness itself: determinism, teeth, and its CLI fronts."""
+
+import io
+import os
+import sys
+import tempfile
+
+import pytest
+
+from repro.concurrent.harness import (
+    StressConfig,
+    build_schedule,
+    build_streams,
+    negative_control_deadlock,
+    negative_control_race,
+    run_stress,
+    schedule_digest,
+    self_test,
+)
+
+TOOLS = os.path.join(os.path.dirname(__file__), "..", "tools")
+
+
+@pytest.fixture(scope="module")
+def stress_tool():
+    sys.path.insert(0, TOOLS)
+    try:
+        import stress as module
+    finally:
+        sys.path.remove(TOOLS)
+    return module
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule_digest(self):
+        config = StressConfig(seed=42, total_ops=80)
+        first = run_stress(config)
+        second = run_stress(config)
+        assert first.ok and second.ok
+        assert first.schedule_digest == second.schedule_digest
+        assert first.ops_executed == second.ops_executed
+
+    def test_different_seeds_different_schedules(self):
+        digests = {
+            schedule_digest(
+                build_schedule(
+                    StressConfig(seed=seed, total_ops=80),
+                    build_streams(StressConfig(seed=seed, total_ops=80)),
+                )
+            )
+            for seed in range(5)
+        }
+        assert len(digests) == 5
+
+    def test_schedule_is_pure_function_of_the_seed(self):
+        config = StressConfig(seed=7, total_ops=60)
+        one = build_schedule(config, build_streams(config))
+        two = build_schedule(config, build_streams(config))
+        assert one == two
+
+
+class TestHarnessTeeth:
+    def test_detects_seeded_race_when_lock_is_bypassed(self):
+        assert negative_control_race(seed=0) is True
+
+    def test_detects_lock_order_deadlock_via_deadline(self):
+        assert negative_control_deadlock() is True
+
+    def test_self_test_verdict_combines_all_controls(self):
+        report = self_test(seed=0, total_ops=60)
+        assert report.clean.ok
+        assert report.race_detected
+        assert report.deadlock_detected
+        assert report.ok
+        assert "negative control" in report.summary()
+
+
+class TestReports:
+    def test_faulty_stack_accounts_for_every_transient(self):
+        report = run_stress(
+            StressConfig(seed=3, total_ops=120, stack="faulty",
+                         transient_rate=0.1)
+        )
+        assert report.ok, report.summary()
+        assert report.faults_injected > 0
+        assert report.retry_counters["retries"] == report.faults_injected
+        assert report.retry_counters["giveups"] == 0
+
+    def test_report_carries_lock_stats(self):
+        report = run_stress(StressConfig(seed=1, total_ops=60))
+        assert report.lock_stats["writers_served"] > 0
+        assert report.lock_stats["queued"] == 0
+        assert report.elapsed > 0.0
+
+    def test_disk_stack_cleans_up_and_passes(self):
+        path = os.path.join(tempfile.mkdtemp(prefix="repro-st-"), "f.dsf")
+        report = run_stress(
+            StressConfig(seed=5, total_ops=60, stack="disk", path=path)
+        )
+        assert report.ok, report.summary()
+        assert os.path.exists(path)  # the file survives for post-mortems
+
+
+class TestCommandLineFronts:
+    def test_repro_stress_subcommand_clean_run(self):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            ["stress", "--threads", "3", "--ops", "60", "--seed", "11"],
+            out=out,
+        )
+        assert code == 0
+        assert "CLEAN" in out.getvalue()
+
+    def test_repro_stress_subcommand_self_test(self):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(["stress", "--self-test", "--ops", "60"], out=out)
+        assert code == 0
+        assert "negative control" in out.getvalue()
+
+    def test_stress_tool_build_config_round_trip(self, stress_tool):
+        parser_args = type(
+            "Args",
+            (),
+            dict(
+                threads=3, ops=50, batch=4, stack="disk", fault_rate=0.0,
+                shed_load=False, max_in_flight=None, op_timeout=30.0,
+            ),
+        )()
+        config = stress_tool.build_config(parser_args, seed=9)
+        assert config.stack == "disk"
+        assert config.path and config.path.endswith(".dsf")
+        report = run_stress(config)
+        assert report.ok, report.summary()

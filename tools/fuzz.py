@@ -1,9 +1,10 @@
-"""Differential / crash-injection / fault-injection fuzzer.
+"""Differential / crash-injection / fault-injection / thread fuzzer.
 
 Usage:
     python tools/fuzz.py --mode engines --iterations 200
     python tools/fuzz.py --mode crash --seconds 30
     python tools/fuzz.py --mode faults --iterations 50
+    python tools/fuzz.py --mode threads --iterations 20
 
 Modes
 -----
@@ -26,6 +27,14 @@ Modes
     with zero give-ups and the file matches the model, then (on durable
     backends) corrupts a page slot on disk and checks the scrub /
     degraded-read-only ladder.
+
+``threads``
+    Each iteration draws a random concurrency shape (thread count,
+    batch width, storage stack, transient-fault rate) and runs the
+    deterministic interleaving torture harness of
+    :mod:`repro.concurrent.harness`: seeded client threads race
+    batches of insert/delete/scan against one ``ThreadSafeDenseFile``
+    and every batch must be linearizable against a sequential oracle.
 
 On failure the tool prints the reproducing seed; re-run with
 ``--seed N --verbose`` to replay it.
@@ -263,10 +272,42 @@ def fuzz_faults_once(seed: int, verbose: bool = False):
               f"{len(surviving)} scannable")
 
 
+def fuzz_threads_once(seed: int, verbose: bool = False):
+    """One torture-harness iteration; raises on any detected violation."""
+    from repro.concurrent.harness import StressConfig, run_stress
+
+    rng = random.Random(seed)
+    stack = rng.choice(["memory", "memory", "faulty", "disk", "buffered"])
+    path = None
+    if stack in ("disk", "buffered"):
+        path = os.path.join(
+            tempfile.mkdtemp(prefix="repro-threadfuzz-"), "f.dsf"
+        )
+    config = StressConfig(
+        threads=rng.randint(2, 6),
+        total_ops=rng.randint(60, 160),
+        seed=seed,
+        max_batch=rng.randint(2, 5),
+        stack=stack,
+        transient_rate=rng.choice([0.0, 0.02, 0.1]),
+        path=path,
+    )
+    report = run_stress(config)
+    if verbose:
+        print(report.summary())
+    assert report.ok, f"seed={seed}:\n{report.summary()}"
+    # A clean run must never reject or time anything out: there is no
+    # admission gate and deadlines are generous.
+    assert report.timeouts == 0 and report.overloads == 0, (
+        f"seed={seed}: unexpected timeouts/overloads"
+    )
+
+
 FUZZERS = {
     "engines": fuzz_engines_once,
     "crash": fuzz_crash_once,
     "faults": fuzz_faults_once,
+    "threads": fuzz_threads_once,
 }
 
 

@@ -18,6 +18,7 @@ Usage (also via ``python -m repro``):
     repro verify  orders.dsf
     repro scrub   orders.dsf        # repair / quarantine corrupt pages
     repro stress  --threads 8 --ops 400 --seed 7   # concurrency torture
+    repro bench   --quick --baseline BENCH_PR4.json  # perf matrix + gate
     repro demo                      # replay the paper's Example 5.2
 
 All mutating commands run through the crash-atomic journaled facade.
@@ -38,6 +39,7 @@ import sys
 from typing import List, Optional
 
 from .analysis.heatmap import fill_summary, occupancy_bar, occupancy_legend
+from .analysis.stats import flatten_counters
 from .core.errors import ReproError
 from .persistent import JournaledDenseFile, PersistentDenseFile
 
@@ -76,6 +78,11 @@ def _add_backend(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-pages", type=_cache_pages, default=None,
         help="frame count for --backend buffered",
+    )
+    parser.add_argument(
+        "--readahead", type=int, default=0,
+        help="scan readahead window for --backend buffered "
+        "(prefetch up to K upcoming pages on stream retrievals)",
     )
 
 
@@ -208,6 +215,41 @@ def build_parser() -> argparse.ArgumentParser:
         "lock-order deadlock) and require they are detected",
     )
 
+    bench = commands.add_parser(
+        "bench",
+        help="wall-clock benchmark matrix (scenarios x backends) with "
+        "JSON report + --baseline regression gate (exit 4 on regression)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: shrink the operation counts",
+    )
+    bench.add_argument("--ops", type=int, default=None,
+                       help="records per scenario (default 4000)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--out", default="BENCH_PR4.json",
+        help="write the JSON report here ('-' to skip writing)",
+    )
+    bench.add_argument(
+        "--scenario", action="append", dest="scenarios", default=None,
+        choices=["bulk_load", "insert_burst", "mixed", "stream_scan"],
+        help="run only this scenario (repeatable; default: all four)",
+    )
+    bench.add_argument(
+        "--bench-backend", action="append", dest="bench_backends",
+        default=None, choices=["memory", "buffered", "disk"],
+        help="benchmark this backend (repeatable; default: memory+buffered)",
+    )
+    bench.add_argument(
+        "--baseline", default=None,
+        help="compare against this BENCH_*.json; exit 4 on regression",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=None,
+        help="allowed throughput drop vs --baseline, percent (default 30)",
+    )
+
     demo = commands.add_parser("demo", help="replay the paper's Example 5.2")
     demo.add_argument(
         "--backend", choices=["memory", "buffered"], default="memory",
@@ -250,7 +292,10 @@ def _open_backend(args):
         from .storage.backend import DEFAULT_CACHE_PAGES
 
         cache = DEFAULT_CACHE_PAGES
-    return PersistentDenseFile.open(args.path, cache_pages=cache)
+    readahead = getattr(args, "readahead", 0) if backend == "buffered" else 0
+    return PersistentDenseFile.open(
+        args.path, cache_pages=cache, readahead=readahead
+    )
 
 
 def _dispatch(args, out) -> int:
@@ -272,8 +317,9 @@ def _dispatch(args, out) -> int:
                 from .storage.backend import DEFAULT_CACHE_PAGES
 
                 cache = DEFAULT_CACHE_PAGES
+            readahead = args.readahead if args.backend == "buffered" else 0
             dense = PersistentDenseFile.create(
-                args.path, cache_pages=cache, **common
+                args.path, cache_pages=cache, readahead=readahead, **common
             )
         print(
             f"created {args.path}: M={args.pages}, d={args.d}, D={args.D}, "
@@ -283,6 +329,9 @@ def _dispatch(args, out) -> int:
         )
         dense.close()
         return 0
+
+    if args.command == "bench":
+        return _bench(args, out)
 
     if args.command == "stress":
         return _stress(args, out)
@@ -342,11 +391,65 @@ def _verify(args, out) -> int:
         return 3
     with _open_backend(args) as dense:
         dense.validate()
+        counters = flatten_counters(dense.store_stats())
     print(
         "ok: sequential order, (d,D)-density, BALANCE(d,D), counters, "
         "checksums",
         file=out,
     )
+    interesting = {
+        key: value
+        for key, value in sorted(counters.items())
+        if ("prefetch" in key or "journal" in key or key == "readahead")
+    }
+    if interesting:
+        line = ", ".join(f"{key}={value}" for key, value in interesting.items())
+        print(f"counters:  {line}", file=out)
+    return 0
+
+
+def _bench(args, out) -> int:
+    """Run the benchmark matrix, write the JSON report, gate on baseline."""
+    import json
+
+    from . import benchmark
+
+    kwargs = dict(
+        seed=args.seed,
+        quick=args.quick,
+        scenarios=tuple(args.scenarios or benchmark.SCENARIOS),
+        backends=tuple(args.bench_backends or ("memory", "buffered")),
+    )
+    if args.ops is not None:
+        kwargs["ops"] = args.ops
+    report = benchmark.run_bench(**kwargs)
+    print(benchmark.render_report(report), file=out)
+    if args.out and args.out != "-":
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}", file=out)
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        problems = benchmark.validate_report(baseline)
+        if problems:
+            raise ReproError(
+                f"baseline {args.baseline} is not a valid report: "
+                + "; ".join(problems)
+            )
+        compare_kwargs = {}
+        if args.max_regression is not None:
+            compare_kwargs["max_regression"] = args.max_regression
+        regressions = benchmark.compare_reports(
+            baseline, report, **compare_kwargs
+        )
+        if regressions:
+            print(f"REGRESSION vs {args.baseline}:", file=out)
+            for line in regressions:
+                print(f"  {line}", file=out)
+            return 4
+        print(f"no regression vs {args.baseline}", file=out)
     return 0
 
 
@@ -488,8 +591,23 @@ def _dispatch_on_file(args, dense, out) -> int:
                 file=out,
             )
             print(
+                f"readahead: window {stats['readahead']}, "
+                f"{stats['prefetches']} prefetches, "
+                f"{stats['prefetch_hits']} prefetch hits",
+                file=out,
+            )
+            print(
                 f"physical:  {stats['physical_reads']} reads, "
                 f"{stats['physical_writes']} writes",
+                file=out,
+            )
+        journal = stats.get("journal")
+        if journal is not None:
+            print(
+                f"journal:   {journal['transactions']} transactions, "
+                f"{journal['pages_journaled']} pages journaled, "
+                f"{journal['fsyncs']} fsyncs (group commit coalesces "
+                "commands per fsync)",
                 file=out,
             )
         return 0

@@ -209,15 +209,24 @@ class ThreadSafeDenseFile:
         with self._guarded(WRITE, timeout, deadline):
             return self._inner.update(key, value)
 
-    def insert_many(self, items, *, timeout=None, deadline=None) -> int:
-        """Insert a batch atomically with respect to other threads."""
-        with self._guarded(WRITE, timeout, deadline):
-            return self._inner.insert_many(items)
+    def insert_many(
+        self, items, *, batch: bool = True, timeout=None, deadline=None
+    ) -> int:
+        """Insert a batch atomically with respect to other threads.
 
-    def delete_range(self, lo_key, hi_key, *, timeout=None, deadline=None) -> int:
+        The writer lock is taken once for the whole batch (the deadline
+        budget covers lock acquisition plus the batch itself), so the
+        coalesced fast path (``batch=True``) also saves lock traffic.
+        """
+        with self._guarded(WRITE, timeout, deadline):
+            return self._inner.insert_many(items, batch=batch)
+
+    def delete_range(
+        self, lo_key, hi_key, *, batch: bool = True, timeout=None, deadline=None
+    ) -> int:
         """Bulk-delete a key range atomically w.r.t. other threads."""
         with self._guarded(WRITE, timeout, deadline):
-            return self._inner.delete_range(lo_key, hi_key)
+            return self._inner.delete_range(lo_key, hi_key, batch=batch)
 
     def compact(self, *, timeout=None, deadline=None) -> int:
         """Uniformly redistribute all records (single-writer)."""

@@ -78,9 +78,12 @@ class Control1Engine(BaseEngine):
             # breached, which BaseEngine.insert prevents up front.
             raise AssertionError("root violation implies size > d*M")
         lo_page, hi_page = tree.lo[father], tree.hi[father]
-        before = self.pagefile.occupancies()
+        # Redistribution only touches [lo_page, hi_page], so the moved-
+        # record diff needs just that slice, not all M occupancies.
+        span_pages = range(lo_page, hi_page + 1)
+        before = [self.pagefile.page_len(p) for p in span_pages]
         span = self.pagefile.redistribute(lo_page, hi_page)
-        after = self.pagefile.occupancies()
+        after = [self.pagefile.page_len(p) for p in span_pages]
         moved = sum(
             abs(after[index] - before[index]) for index in range(len(after))
         ) // 2

@@ -249,9 +249,12 @@ class Control2Engine(BaseEngine):
                 self._activate(node)
         self._notify(STEP_3)
 
-        # Step 4: J iterations of SELECT / SHIFT / flag-lowering.
+        # Step 4: J iterations of SELECT / SHIFT / flag-lowering.  The
+        # calibrator's O(1) any_flagged() skips the O(log M) SELECT walk
+        # in the (common) flag-free steady state; the moment sequence is
+        # unchanged because SELECT returns None exactly then.
         for _ in range(self.params.shift_budget):
-            target = self._select(page)
+            target = self._select(page) if tree.any_flagged() else None
             self._notify(STEP_4A)
             if target is None:
                 break

@@ -36,6 +36,7 @@ def build_engine(
     path: Optional[str] = None,
     cache_pages: Optional[int] = None,
     overwrite: bool = False,
+    readahead: int = 0,
 ):
     """Construct the maintenance engine for the requested geometry.
 
@@ -79,6 +80,7 @@ def build_engine(
             cache_pages=cache_pages,
             overwrite=overwrite,
             model=model,
+            readahead=readahead,
         )
     elif store.num_pages != engine_params.num_pages:
         raise ConfigurationError(
@@ -149,6 +151,7 @@ class DenseSequentialFile:
         path: Optional[str] = None,
         cache_pages: Optional[int] = None,
         overwrite: bool = False,
+        readahead: int = 0,
     ):
         self.engine = build_engine(
             num_pages,
@@ -163,6 +166,7 @@ class DenseSequentialFile:
             path=path,
             cache_pages=cache_pages,
             overwrite=overwrite,
+            readahead=readahead,
         )
         self.algorithm = algorithm
 
@@ -193,13 +197,18 @@ class DenseSequentialFile:
         """Delete and return the record with ``key``."""
         return self.engine.delete(key)
 
-    def insert_many(self, items) -> int:
-        """Insert an iterable of records/keys in a key-ordered sweep."""
-        return self.engine.insert_many(items)
+    def insert_many(self, items, batch: bool = True) -> int:
+        """Insert an iterable of records/keys in a key-ordered sweep.
 
-    def delete_range(self, lo_key, hi_key) -> int:
+        ``batch=True`` (default) coalesces the read/write charges of
+        same-destination records; ``batch=False`` runs the plain
+        per-record loop.  Both produce identical final file state.
+        """
+        return self.engine.insert_many(items, batch=batch)
+
+    def delete_range(self, lo_key, hi_key, batch: bool = True) -> int:
         """Bulk-delete every record with ``lo_key <= key <= hi_key``."""
-        return self.engine.delete_range(lo_key, hi_key)
+        return self.engine.delete_range(lo_key, hi_key, batch=batch)
 
     def update(self, key, value) -> Record:
         """Replace the value stored under an existing ``key`` in place."""

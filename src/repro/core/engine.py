@@ -236,43 +236,111 @@ class BaseEngine:
     # batch updates
     # ------------------------------------------------------------------
 
-    def insert_many(self, items) -> int:
+    def insert_many(self, items, batch: bool = True) -> int:
         """Insert an iterable of records/keys; returns the count inserted.
 
         Items are pre-sorted so the insertions sweep the file left to
-        right — each command still runs the full maintenance algorithm
-        (and so keeps its worst-case bound), but the access pattern stays
-        disk-arm friendly.
+        right — each record still runs the full maintenance algorithm as
+        its own command (and so keeps its worst-case bound), but the
+        access pattern stays disk-arm friendly.
+
+        With ``batch=True`` (the default) consecutive records that land
+        on the same destination page share one *group*: the page is read
+        once (:meth:`~repro.storage.pagefile.PageFile.group_read`,
+        doubling as the step-1 verification read for every record in the
+        group), each record is applied and maintained in order, and the
+        page is written back once when the destination moves on.  The
+        destination is re-verified against the in-core directory after
+        every record's maintenance — using the previous destination as a
+        bisect hint — so the sequence of state mutations (page contents,
+        calibrator counters, warning flags, maintenance decisions) is
+        *identical* to the per-record path; only the per-record
+        locate/read/write charges coalesce.  ``batch=False`` is the
+        escape hatch that runs the plain per-record loop.
         """
         records = sorted(
             (ensure_record(item) for item in items),
             key=lambda record: record.key,
         )
-        for record in records:
-            self.insert(record.key, record.value)
-        return len(records)
+        if not batch:
+            for record in records:
+                self.insert(record.key, record.value)
+            return len(records)
+        pagefile = self.pagefile
+        total = len(records)
+        index = 0
+        dest: Optional[int] = None
+        while index < total:
+            if self.size >= self.params.max_records:
+                raise FileFullError(
+                    f"file already holds N = {self.params.max_records} records"
+                )
+            located = pagefile.locate_in_core_hinted(records[index].key, dest)
+            if located is None:
+                # Empty file: start in the middle so growth is symmetric.
+                located = (self.params.num_pages + 1) // 2
+            dest = located
+            pagefile.group_read(dest)
+            try:
+                while index < total:
+                    record = records[index]
+                    self._begin_command("insert")
+                    pagefile.group_insert(dest, record)
+                    self.calibrator.add(dest, 1)
+                    self.size += 1
+                    self._after_insert(dest)
+                    self._end_command()
+                    index += 1
+                    if index >= total:
+                        break
+                    if self.size >= self.params.max_records:
+                        # Re-checked (and raised) at the top of the outer
+                        # loop, after this group's write-back.
+                        break
+                    next_dest = pagefile.locate_in_core_hinted(
+                        records[index].key, dest
+                    )
+                    if next_dest != dest:
+                        break
+            finally:
+                pagefile.group_write(dest)
+        return total
 
-    def delete_range(self, lo_key, hi_key) -> int:
+    def delete_range(self, lo_key, hi_key, batch: bool = True) -> int:
         """Delete every record with ``lo_key <= key <= hi_key`` in bulk.
 
-        Range deletion is a single pass over the affected pages: since
-        ``(d, D)``-density and ``BALANCE(d, D)`` impose no *lower* bound
-        on local density, removing records wholesale can never violate
-        them — only warning flags may need lowering afterwards (the
-        bulk analogue of Figure 2's step 2).  Costs one read plus one
-        write per touched page; returns the number of records deleted.
+        Range deletion is a single pass over the affected pages —
+        located directly via a bisect over the in-core minimum-key
+        directory (:meth:`~repro.storage.pagefile.PageFile
+        .nonempty_in_range`), never scanning pages left of the range.
+        Since ``(d, D)``-density and ``BALANCE(d, D)`` impose no *lower*
+        bound on local density, removing records wholesale can never
+        violate them — only warning flags may need lowering afterwards
+        (the bulk analogue of Figure 2's step 2).  Costs one read plus
+        one write per touched page; returns the number of records
+        deleted.
+
+        ``batch=False`` instead deletes the affected keys one
+        :meth:`delete` command at a time (each with its own maintenance
+        and command accounting) — the escape hatch matching the
+        per-record semantics exactly.
         """
+        if not batch:
+            victims = [
+                record.key
+                for page in self.pagefile.nonempty_in_range(lo_key, hi_key)
+                for record in self.pagefile.page(page)
+                if lo_key <= record.key <= hi_key
+            ]
+            for key in victims:
+                self.delete(key)
+            return len(victims)
+        if self.pagefile.locate_in_core(lo_key) is None:
+            return 0
         touched = []
         removed = 0
-        start = self.pagefile.locate_in_core(lo_key)
-        if start is None:
-            return 0
-        for page in list(self.pagefile.nonempty_pages()):
-            if page < start:
-                continue
+        for page in self.pagefile.nonempty_in_range(lo_key, hi_key):
             page_records = self.pagefile.read_page(page)
-            if page_records and page_records[0].key > hi_key:
-                break
             victims = [
                 record.key
                 for record in page_records

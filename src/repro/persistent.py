@@ -87,6 +87,7 @@ class PersistentDenseFile:
         cache_pages: Optional[int] = None,
         write_through: bool = True,
         threadsafe: bool = False,
+        readahead: int = 0,
     ) -> "PersistentDenseFile":
         """Create a new file at ``path`` with the given geometry.
 
@@ -94,6 +95,9 @@ class PersistentDenseFile:
         :class:`~repro.concurrent.ThreadSafeDenseFile` (fair
         reader-writer locking plus per-operation deadlines), ready to
         be shared between threads.
+
+        ``readahead=K`` (requires ``cache_pages``) makes stream scans
+        prefetch up to K upcoming pages into the cache.
         """
         if algorithm not in _ALGORITHM_CODES:
             raise ConfigurationError(f"unknown algorithm {algorithm!r}")
@@ -115,7 +119,9 @@ class PersistentDenseFile:
             overwrite=overwrite,
             write_through=write_through,
         )
-        created = cls(cls._mount(store, params, algorithm, cache_pages))
+        created = cls(
+            cls._mount(store, params, algorithm, cache_pages, readahead)
+        )
         return _wrap_threadsafe(created) if threadsafe else created
 
     @classmethod
@@ -124,6 +130,7 @@ class PersistentDenseFile:
         write_through: bool = True,
         on_corruption: str = "raise",
         threadsafe: bool = False,
+        readahead: int = 0,
     ) -> "PersistentDenseFile":
         """Open an existing file, rebuilding all in-core state.
 
@@ -171,7 +178,7 @@ class PersistentDenseFile:
             D=store.raw.D,
             j=explicit_j or None,
         )
-        dense = cls._mount(store, params, algorithm, cache_pages)
+        dense = cls._mount(store, params, algorithm, cache_pages, readahead)
         dense.engine.restore_from_store()
         if isinstance(dense.engine, Control2Engine):
             cls._rebuild_warning_flags(dense.engine)
@@ -186,10 +193,15 @@ class PersistentDenseFile:
         params: DensityParams,
         algorithm: str,
         cache_pages: Optional[int],
+        readahead: int = 0,
     ) -> DenseSequentialFile:
         """Wrap the store (cached if asked) in a backend-agnostic facade."""
+        if readahead and cache_pages is None:
+            raise ConfigurationError(
+                "readahead prefetches into the page cache; pass cache_pages"
+            )
         backend = store if cache_pages is None else BufferedStore(
-            store, capacity=cache_pages
+            store, capacity=cache_pages, readahead=readahead
         )
         return DenseSequentialFile(
             params.num_pages,
@@ -305,15 +317,15 @@ class PersistentDenseFile:
             raise RecordNotFoundError(key)
         return self.engine.pagefile.replace_record(page, Record(key, value))
 
-    def insert_many(self, items) -> int:
+    def insert_many(self, items, batch: bool = True) -> int:
         """Insert an iterable of records/keys in a key-ordered sweep."""
         self._check_writable()
-        return self.engine.insert_many(items)
+        return self.engine.insert_many(items, batch=batch)
 
-    def delete_range(self, lo_key, hi_key) -> int:
+    def delete_range(self, lo_key, hi_key, batch: bool = True) -> int:
         """Bulk-delete every record with ``lo_key <= key <= hi_key``."""
         self._check_writable()
-        return self.engine.delete_range(lo_key, hi_key)
+        return self.engine.delete_range(lo_key, hi_key, batch=batch)
 
     def rank(self, key) -> int:
         """Number of records with key strictly less than ``key``."""
@@ -441,6 +453,9 @@ class JournaledDenseFile(PersistentDenseFile):
         store.write_through = False
         self.journal = TransactionJournal(store.path + ".journal", injector)
         store.raw.fault_injector = injector
+        #: Nesting depth of open :meth:`transaction` blocks; while
+        #: positive, per-command commits are deferred (group commit).
+        self._txn_depth = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -513,6 +528,8 @@ class JournaledDenseFile(PersistentDenseFile):
         return self._disk_store.dirty
 
     def _commit(self) -> None:
+        if self._txn_depth > 0:
+            return  # group commit: deferred to transaction() exit
         if not self._dirty:
             return
         from .storage.codec import encode_page
@@ -535,6 +552,43 @@ class JournaledDenseFile(PersistentDenseFile):
         self._commit()
         return result
 
+    def transaction(self):
+        """Group commit: coalesce several commands into one transaction.
+
+        Inside the ``with`` block every mutating call runs in memory
+        only; the union of the dirty page sets is journaled, fsynced
+        (once) and applied when the block exits cleanly::
+
+            with f.transaction():
+                f.insert(1)
+                f.insert(2)
+                f.delete_range(10, 20)
+
+        Pages rewritten by several commands in the group are journaled
+        and written back once — and the group pays one fsync instead of
+        one per command.  Atomicity is per *group*: on an exception
+        inside the block nothing is committed, the in-memory object is
+        dead (as after any mid-transaction failure), and reopening from
+        disk restores the state before the ``with`` block.  Blocks nest;
+        only the outermost exit commits.
+        """
+        import contextlib
+
+        @contextlib.contextmanager
+        def _group():
+            self._check_writable()
+            self._txn_depth += 1
+            try:
+                yield self
+            except BaseException:
+                self._txn_depth -= 1
+                raise
+            else:
+                self._txn_depth -= 1
+                self._commit()
+
+        return _group()
+
     # -- wrapped mutators ----------------------------------------------
 
     def insert(self, key, value=None) -> None:
@@ -551,14 +605,16 @@ class JournaledDenseFile(PersistentDenseFile):
             lambda: PersistentDenseFile.update(self, key, value)
         )
 
-    def insert_many(self, items) -> int:
+    def insert_many(self, items, batch: bool = True) -> int:
         """Insert a batch as one atomic transaction (all or nothing)."""
-        return self._transactional(lambda: self.engine.insert_many(items))
+        return self._transactional(
+            lambda: self.engine.insert_many(items, batch=batch)
+        )
 
-    def delete_range(self, lo_key, hi_key) -> int:
+    def delete_range(self, lo_key, hi_key, batch: bool = True) -> int:
         """Bulk-delete a key range as one atomic transaction."""
         return self._transactional(
-            lambda: self.engine.delete_range(lo_key, hi_key)
+            lambda: self.engine.delete_range(lo_key, hi_key, batch=batch)
         )
 
     def bulk_load(self, records) -> None:
@@ -571,9 +627,16 @@ class JournaledDenseFile(PersistentDenseFile):
 
     def close(self) -> None:
         """Commit any buffered transaction, then close the store."""
+        self._txn_depth = 0  # closing inside a group commits it
         if self._dirty and not self.closed:
             self._commit()
         super().close()
+
+    def store_stats(self) -> dict:
+        """Physical-layer counters plus journal/group-commit activity."""
+        stats = super().store_stats()
+        stats["journal"] = self.journal.counters()
+        return stats
 
     # ------------------------------------------------------------------
     # validation

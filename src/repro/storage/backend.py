@@ -101,6 +101,10 @@ class PageStore:
     #: Short backend identifier surfaced by :meth:`stats` and the CLI.
     name = "abstract"
     num_pages = 0
+    #: Readahead window: how many upcoming pages a sequential scan may
+    #: hand to :meth:`prefetch`.  0 (the default) disables readahead;
+    #: only caching backends override it.
+    readahead = 0
 
     # -- the protocol ---------------------------------------------------
 
@@ -129,6 +133,17 @@ class PageStore:
         self.put_page(dest)
         self.put_page(source)
         return moved
+
+    def prefetch(self, page_numbers) -> int:
+        """Hint that ``page_numbers`` are about to be read sequentially.
+
+        Non-caching backends ignore the hint (the default returns 0);
+        :class:`BufferedStore` faults up to :attr:`readahead` of them
+        into its pool.  Never affects logical page-access accounting —
+        the hint is issued by uncharged scan positioning code.  Returns
+        the number of pages actually faulted in.
+        """
+        return 0
 
     def flush(self) -> int:
         """Push buffered state down to the backing medium; returns pages written."""
@@ -373,9 +388,13 @@ class BufferedStore(PageStore):
         capacity: int = DEFAULT_CACHE_PAGES,
         model: CostModel = PAGE_ACCESS_MODEL,
         physical_disk: Optional[SimulatedDisk] = None,
+        readahead: int = 0,
     ):
+        if readahead < 0:
+            raise ValueError("readahead must be >= 0")
         self.inner = inner
         self.num_pages = inner.num_pages
+        self.readahead = readahead
         self.physical = (
             physical_disk
             if physical_disk is not None
@@ -406,6 +425,23 @@ class BufferedStore(PageStore):
 
     def put_page(self, page_number: int) -> None:
         self.pool.access(WRITE, page_number)
+
+    def prefetch(self, page_numbers) -> int:
+        """Fault up to :attr:`readahead` upcoming pages into the pool.
+
+        Sequential scans hand the next pages they will read; each is
+        brought in as a clean, not-yet-used frame (one physical read)
+        so the demand read that follows is a hit.  Capped by the
+        configured readahead window; 0 disables the whole path.
+        """
+        if not self.readahead:
+            return 0
+        faulted = 0
+        for page_number in list(page_numbers)[: self.readahead]:
+            if 1 <= page_number <= self.num_pages:
+                if self.pool.prefetch(page_number):
+                    faulted += 1
+        return faulted
 
     def move_records(self, source: int, dest: int, count: int) -> List[Record]:
         # Same touch sequence the logical meter records (read source,
@@ -447,6 +483,9 @@ class BufferedStore(PageStore):
             "misses": pool.misses,
             "hit_rate": pool.hit_rate,
             "evictions": pool.evictions,
+            "readahead": self.readahead,
+            "prefetches": pool.prefetches,
+            "prefetch_hits": pool.prefetch_hits,
             "physical_reads": pool.physical_reads,
             "physical_writes": pool.physical_writes,
             "physical_cost": self.physical.stats.cost,
@@ -465,14 +504,16 @@ def make_store(
     slot_capacity: int = 0,
     overwrite: bool = False,
     model: CostModel = PAGE_ACCESS_MODEL,
+    readahead: int = 0,
 ) -> PageStore:
     """Build a backend from a ``"memory" | "disk" | "buffered"`` spec.
 
     ``"buffered"`` wraps a :class:`DiskStore` when ``path`` is given and
     a :class:`MemoryStore` otherwise; ``cache_pages`` sizes its frame
-    pool.  ``"disk"`` requires ``path`` and creates a fresh file (pass
-    ``overwrite=True`` to clobber); opening an existing file goes
-    through :meth:`DiskStore.open` or the persistent facade.
+    pool and ``readahead`` its scan-prefetch window.  ``"disk"``
+    requires ``path`` and creates a fresh file (pass ``overwrite=True``
+    to clobber); opening an existing file goes through
+    :meth:`DiskStore.open` or the persistent facade.
     """
     from ..core.errors import ConfigurationError
 
@@ -501,5 +542,8 @@ def make_store(
     if backend == "disk":
         return inner
     return BufferedStore(
-        inner, capacity=cache_pages or DEFAULT_CACHE_PAGES, model=model
+        inner,
+        capacity=cache_pages or DEFAULT_CACHE_PAGES,
+        model=model,
+        readahead=readahead,
     )

@@ -19,6 +19,12 @@ marks the cached frame dirty; ``flush`` writes every dirty frame.
 Because the live store and the replay share this class, their counters
 agree exactly on identical access sequences (benchmark EXP-A7 asserts
 it).
+
+For stream retrievals the pool additionally supports **readahead**:
+:meth:`BufferPool.prefetch` faults a page in speculatively, charged to
+separate ``prefetches`` / ``prefetch_hits`` counters so demand hit/miss
+ratios stay honest.  :class:`~repro.storage.backend.BufferedStore`
+drives it from the sequential-scan hints the page file emits.
 """
 
 from __future__ import annotations
@@ -40,6 +46,10 @@ class PoolStats:
     physical_reads: int = 0
     physical_writes: int = 0
     evictions: int = 0
+    #: Pages faulted in speculatively by :meth:`BufferPool.prefetch`.
+    prefetches: int = 0
+    #: Hits that were served from a still-unused prefetched frame.
+    prefetch_hits: int = 0
 
     @property
     def accesses(self) -> int:
@@ -91,6 +101,7 @@ class BufferPool:
             raise ValueError("a buffer pool needs at least one frame")
         self.capacity = capacity
         self._frames: "OrderedDict[int, bool]" = OrderedDict()  # page -> dirty
+        self._prefetched: set = set()  # resident but not yet accessed
         self.stats = PoolStats(capacity=capacity)
         self.on_fault = on_fault
         self.on_writeback = on_writeback
@@ -100,23 +111,64 @@ class BufferPool:
         frames = self._frames
         if page in frames:
             self.stats.hits += 1
+            if page in self._prefetched:
+                self.stats.prefetch_hits += 1
+                self._prefetched.discard(page)
             dirty = frames.pop(page)
             frames[page] = dirty or kind == WRITE
             return True
         self.stats.misses += 1
-        if len(frames) >= self.capacity:
-            victim, victim_dirty = frames.popitem(last=False)
-            self.stats.evictions += 1
-            if victim_dirty:
-                self.stats.physical_writes += 1
-                if self.on_writeback is not None:
-                    self.on_writeback(victim)
+        self._evict_if_full()
         # Both read and write misses fault the page in first.
         self.stats.physical_reads += 1
         if self.on_fault is not None:
             self.on_fault(page)
         frames[page] = kind == WRITE
         return False
+
+    def prefetch(self, page: int) -> bool:
+        """Speculatively fault ``page`` in without counting a hit or miss.
+
+        Readahead support: the frame is brought in clean and counted
+        under ``prefetches`` (one physical read, possibly one write-back
+        of a dirty victim) instead of ``misses``, so hit/miss ratios
+        keep measuring only the demand accesses the caller issued.  A
+        later demand access to the frame counts a normal hit plus one
+        ``prefetch_hits``.  Returns True when the page was actually
+        faulted in (False if already resident).
+
+        A prefetch that would evict a frame still waiting to be read
+        (prefetched but not yet accessed) is declined instead: that
+        victim is exactly what the scan cursor needs next, and evicting
+        it to make room for a further-ahead page turns readahead into
+        thrash whenever the window approaches the pool capacity.
+        """
+        if page in self._frames:
+            return False
+        if len(self._frames) >= self.capacity:
+            victim = next(iter(self._frames))
+            if victim in self._prefetched:
+                return False
+        self.stats.prefetches += 1
+        self._evict_if_full()
+        self.stats.physical_reads += 1
+        if self.on_fault is not None:
+            self.on_fault(page)
+        self._frames[page] = False
+        self._prefetched.add(page)
+        return True
+
+    def _evict_if_full(self) -> None:
+        """Make room for one incoming frame (LRU victim, write-back)."""
+        if len(self._frames) < self.capacity:
+            return
+        victim, victim_dirty = self._frames.popitem(last=False)
+        self._prefetched.discard(victim)
+        self.stats.evictions += 1
+        if victim_dirty:
+            self.stats.physical_writes += 1
+            if self.on_writeback is not None:
+                self.on_writeback(victim)
 
     def flush(self) -> int:
         """Write back every dirty frame; returns the number written."""

@@ -202,6 +202,48 @@ class PageFile:
             return self._nonempty[0]
         return self._nonempty[index]
 
+    def locate_in_core_hinted(self, key, hint: Optional[int]) -> Optional[int]:
+        """:meth:`locate_in_core` with a previous-destination search hint.
+
+        Batched writes sweep the file in key order, so the destination
+        of one record is almost always the destination of the previous
+        one; verifying the hint (is ``hint`` still non-empty, does its
+        key interval still cover ``key``?) short-circuits the directory
+        binary search in that common case.  A stale hint — the page
+        emptied, or maintenance moved the boundary — falls back to the
+        full search, so the result always equals ``locate_in_core(key)``.
+        """
+        if hint is not None:
+            index = bisect.bisect_left(self._nonempty, hint)
+            if (
+                index < len(self._nonempty)
+                and self._nonempty[index] == hint
+                and self._mins[index] <= key
+                and (
+                    index + 1 == len(self._nonempty)
+                    or self._mins[index + 1] > key
+                )
+            ):
+                return hint
+        return self.locate_in_core(key)
+
+    def nonempty_in_range(self, lo_key, hi_key) -> List[int]:
+        """Non-empty pages whose key interval can intersect ``[lo, hi]``.
+
+        A bisect over the in-core minimum-key directory (free of page
+        charges): the result starts at the page owning ``lo_key`` and
+        ends before the first page whose minimum exceeds ``hi_key`` —
+        exactly the pages a range deletion or count must read, with no
+        scan over the pages left of the range.
+        """
+        if not self._nonempty or hi_key < lo_key:
+            return []
+        start = bisect.bisect_right(self._mins, lo_key) - 1
+        if start < 0:
+            start = 0
+        end = bisect.bisect_right(self._mins, hi_key)
+        return self._nonempty[start:end]
+
     def get(self, page_number: int, key) -> Optional[Record]:
         """Charge one read; return the record with ``key`` or ``None``."""
         self.disk.read(page_number)
@@ -268,6 +310,32 @@ class PageFile:
         self.disk.write(page_number)
         self.store.put_page(page_number)
         self._directory_update(page_number)
+
+    # -- batched-write fast path ---------------------------------------
+    #
+    # A sorted batch destined for one page pays its read and write once
+    # per touched page instead of once per record: the engine opens the
+    # page with ``group_read``, applies each record through
+    # ``group_insert`` (uncharged — the caller owns the group's
+    # charges), and closes it with ``group_write``.  The per-record
+    # maintenance algorithm still runs between group inserts; any page
+    # I/O *it* performs is charged normally through the methods above,
+    # so the coalescing never hides algorithmic work.
+
+    def group_read(self, page_number: int) -> None:
+        """Open a batch group on ``page_number`` (one read charge)."""
+        self.disk.read(page_number)
+        self.store.get_page(page_number)
+
+    def group_insert(self, page_number: int, record: Record) -> None:
+        """Insert into a page opened by :meth:`group_read` (uncharged)."""
+        self.store.peek(page_number).insert(record)
+        self._directory_update(page_number)
+
+    def group_write(self, page_number: int) -> None:
+        """Close a batch group on ``page_number`` (one write charge)."""
+        self.disk.write(page_number)
+        self.store.put_page(page_number)
 
     def remove_record(self, page_number: int, key) -> Record:
         """Remove ``key`` from ``page_number`` (one read + one write)."""
@@ -371,11 +439,26 @@ class PageFile:
     # scans
     # ------------------------------------------------------------------
 
+    def _readahead_hint(self, index: int) -> None:
+        """Hand the next upcoming non-empty pages to the store's prefetcher.
+
+        Uncharged scan positioning: the page numbers come from the
+        in-core directory, and backends without a readahead window
+        (``store.readahead == 0``, the default) never see the call —
+        logical page-access accounting is identical with and without
+        readahead.
+        """
+        window = getattr(self.store, "readahead", 0)
+        if window:
+            self.store.prefetch(self._nonempty[index + 1 : index + 1 + window])
+
     def scan_range(self, lo_key, hi_key) -> Iterator[Record]:
         """Yield records with ``lo_key <= key <= hi_key`` in key order.
 
         Charges one read per page touched; pages are touched in
-        ascending order so the accesses form one sequential sweep.
+        ascending order so the accesses form one sequential sweep (and,
+        on a readahead-enabled store, the upcoming pages are prefetched
+        while the current one is consumed).
         """
         start = self.locate_in_core(lo_key)
         if start is None:
@@ -386,7 +469,9 @@ class PageFile:
             if self._mins[index] > hi_key:
                 return
             self.disk.read(page_number)
-            for record in self.store.get_page(page_number):
+            page = self.store.get_page(page_number)
+            self._readahead_hint(index)
+            for record in page:
                 if record.key < lo_key:
                     continue
                 if record.key > hi_key:
@@ -404,7 +489,9 @@ class PageFile:
         while index < len(self._nonempty) and len(result) < count:
             page_number = self._nonempty[index]
             self.disk.read(page_number)
-            for record in self.store.get_page(page_number):
+            page = self.store.get_page(page_number)
+            self._readahead_hint(index)
+            for record in page:
                 if record.key >= start_key:
                     result.append(record)
                     if len(result) == count:
@@ -414,9 +501,11 @@ class PageFile:
 
     def iter_all(self) -> Iterator[Record]:
         """Yield every record in key order, charging reads per page."""
-        for page_number in list(self._nonempty):
+        for index, page_number in enumerate(list(self._nonempty)):
             self.disk.read(page_number)
-            for record in self.store.get_page(page_number):
+            page = self.store.get_page(page_number)
+            self._readahead_hint(index)
+            for record in page:
                 yield record
 
     def snapshot(self) -> List[Tuple[int, List[Record]]]:

@@ -46,6 +46,24 @@ class TransactionJournal:
     def __init__(self, path: str, injector: Optional[FaultInjector] = None):
         self.path = path
         self.injector = injector
+        #: Committed transactions written since this object was made.
+        self.transactions_written = 0
+        #: Page images journaled across all transactions.
+        self.pages_journaled = 0
+        #: Journal payload bytes written (page images only).
+        self.bytes_journaled = 0
+        #: fsync calls issued (exactly one per committed transaction —
+        #: the number group commit reduces by coalescing commands).
+        self.fsyncs = 0
+
+    def counters(self) -> dict:
+        """Journal activity counters, for stats()/bench reporting."""
+        return {
+            "transactions": self.transactions_written,
+            "pages_journaled": self.pages_journaled,
+            "bytes_journaled": self.bytes_journaled,
+            "fsyncs": self.fsyncs,
+        }
 
     def _check(self) -> None:
         if self.injector is not None:
@@ -81,6 +99,10 @@ class TransactionJournal:
             handle.flush()
             self._check()
             os.fsync(handle.fileno())
+        self.transactions_written += 1
+        self.pages_journaled += len(pages)
+        self.bytes_journaled += sum(len(payload) for payload in pages.values())
+        self.fsyncs += 1
 
     # ------------------------------------------------------------------
     # recovery

@@ -1,0 +1,151 @@
+"""Scan readahead: the prefetch window in the buffered stack.
+
+Readahead is purely physical: on a stream scan the buffer pool pulls
+the next ``K`` nonempty pages into cache ahead of the cursor, so by
+the time the scan reaches them they are hits instead of misses.  The
+logical accounting — the paper's metered quantity — must not move by
+a single access, and ``replay()`` semantics are untouched because
+prefetched frames enter the pool clean.
+"""
+
+import pytest
+
+from repro import DenseSequentialFile, DensityParams, PersistentDenseFile
+from repro.core.errors import ConfigurationError
+from repro.storage.backend import BufferedStore, MemoryStore
+
+GEOMETRY = dict(num_pages=64, d=8, D=40)
+
+
+def _loaded(readahead, cache_pages=8):
+    dense = DenseSequentialFile(
+        backend="buffered",
+        cache_pages=cache_pages,
+        readahead=readahead,
+        **GEOMETRY,
+    )
+    dense.bulk_load(range(500))
+    dense.flush()
+    return dense
+
+
+def _hit_rate(stats):
+    served = stats["hits"] + stats["prefetch_hits"]
+    demand = served + stats["misses"]
+    return served / demand if demand else 0.0
+
+
+class TestStreamScanHitRate:
+    def test_readahead_beats_cold_scan(self):
+        """Acceptance: higher buffer hit rate on the stream scenario."""
+        rates = {}
+        for window in (0, 8):
+            dense = _loaded(window)
+            before = dense.store_stats()
+            assert sum(1 for _ in dense.range(0, 499)) == 500
+            after = dense.store_stats()
+            rates[window] = _hit_rate(
+                {
+                    key: after[key] - before[key]
+                    for key in ("hits", "misses", "prefetch_hits")
+                }
+            )
+            dense.close()
+        assert rates[8] > rates[0]
+        # With the cursor always one window behind the prefetcher, the
+        # scan itself should be nearly all hits.
+        assert rates[8] > 0.9
+
+    def test_prefetch_hits_counted(self):
+        dense = _loaded(4)
+        list(dense.range(0, 499))
+        stats = dense.store_stats()
+        assert stats["readahead"] == 4
+        assert stats["prefetches"] > 0
+        assert stats["prefetch_hits"] > 0
+        dense.close()
+
+    def test_no_readahead_no_prefetch_counters_move(self):
+        dense = _loaded(0)
+        list(dense.range(0, 499))
+        stats = dense.store_stats()
+        assert stats["readahead"] == 0
+        assert stats["prefetches"] == 0
+        assert stats["prefetch_hits"] == 0
+        dense.close()
+
+
+class TestLogicalAccountingUnchanged:
+    @pytest.mark.parametrize("scan", ["range", "scan", "iter"])
+    def test_page_accesses_identical(self, scan):
+        """Readahead must not change the paper's logical meter at all."""
+        meters = {}
+        for window in (0, 8):
+            dense = _loaded(window)
+            dense.stats.checkpoint("scan")
+            if scan == "range":
+                list(dense.range(100, 400))
+            elif scan == "scan":
+                dense.scan(0, 250)
+            else:
+                list(dense)
+            meters[window] = dense.stats.delta("scan").page_accesses
+            dense.close()
+        assert meters[0] == meters[8]
+
+    def test_mixed_workload_state_identical(self):
+        images = {}
+        for window in (0, 4):
+            dense = _loaded(window, cache_pages=6)
+            dense.delete_range(200, 260)
+            dense.insert_many(range(1000, 1050))
+            list(dense.range(0, 2000))
+            dense.validate()
+            images[window] = (dense.occupancies(), len(dense))
+            dense.close()
+        assert images[0] == images[4]
+
+
+class TestWindowMechanics:
+    def test_prefetch_clamps_to_file_bounds(self):
+        store = BufferedStore(MemoryStore(8), capacity=4, readahead=16)
+        # Out-of-range page numbers are dropped, not faulted.
+        assert store.prefetch([6, 7, 8, 9, 200, 0, -3]) <= 4
+        assert store.stats()["prefetches"] <= 4
+
+    def test_prefetch_skips_resident_pages(self):
+        store = BufferedStore(MemoryStore(8), capacity=4, readahead=4)
+        store.get_page(3)
+        faulted = store.prefetch([3, 4])
+        assert faulted == 1  # page 3 already resident
+
+    def test_negative_readahead_rejected(self):
+        with pytest.raises(ValueError):
+            BufferedStore(MemoryStore(8), capacity=4, readahead=-1)
+
+    def test_base_store_prefetch_is_noop(self):
+        store = MemoryStore(8)
+        assert store.readahead == 0
+        assert store.prefetch([1, 2, 3]) == 0
+
+
+class TestPersistentWiring:
+    def test_readahead_requires_cache(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cache_pages"):
+            PersistentDenseFile.create(
+                str(tmp_path / "ra.dsf"), readahead=4, **GEOMETRY
+            )
+
+    def test_readahead_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "ra2.dsf")
+        with PersistentDenseFile.create(
+            path, cache_pages=8, readahead=4, **GEOMETRY
+        ) as dense:
+            dense.insert_many(range(200))
+        with PersistentDenseFile.open(
+            path, cache_pages=8, readahead=4
+        ) as dense:
+            list(dense.range(0, 199))
+            stats = dense.store_stats()
+            assert stats["readahead"] == 4
+            assert stats["prefetch_hits"] > 0

@@ -33,6 +33,7 @@ from .core import (
     DuplicateKeyError,
     FileFullError,
     InvariantViolationError,
+    LockProtocolError,
     MacroBlockControl2Engine,
     Moment,
     MomentRecorder,
@@ -43,6 +44,7 @@ from .core import (
     RecordNotFoundError,
     ReproError,
     TransientIOError,
+    UsageError,
     build_engine,
     ceil_log2,
     macro_block_factor,
@@ -98,6 +100,7 @@ __all__ = [
     "FaultyStore",
     "FileFullError",
     "InvariantViolationError",
+    "LockProtocolError",
     "JournaledDenseFile",
     "MacroBlockControl2Engine",
     "MemoryStore",
@@ -119,6 +122,7 @@ __all__ = [
     "SimulatedDisk",
     "ThreadSafeDenseFile",
     "TransientIOError",
+    "UsageError",
     "build_engine",
     "ceil_log2",
     "ensure_record",

@@ -7,7 +7,7 @@ helpers, so `pytest benchmarks/ --benchmark-only -s` doubles as the
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 
 def render_table(

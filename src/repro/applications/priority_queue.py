@@ -19,7 +19,7 @@ like the counter trick in the standard ``heapq`` recipe.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 from ..core.dense_file import DenseSequentialFile
 from ..core.errors import ReproError

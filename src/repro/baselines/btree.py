@@ -18,7 +18,12 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..core.errors import DuplicateKeyError, RecordNotFoundError
+from ..core.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    RecordNotFoundError,
+    UsageError,
+)
 from ..records import Record, ensure_record
 from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
 from ..storage.disk import SimulatedDisk
@@ -60,9 +65,9 @@ class BPlusTree:
         cache_internal_nodes: bool = False,
     ):
         if fanout < 3:
-            raise ValueError("fanout must be at least 3")
+            raise ConfigurationError("fanout must be at least 3")
         if leaf_capacity < 2:
-            raise ValueError("leaf_capacity must be at least 2")
+            raise ConfigurationError("leaf_capacity must be at least 2")
         self.fanout = fanout
         self.leaf_capacity = leaf_capacity
         #: When True, internal-node touches are free: they model a
@@ -357,7 +362,7 @@ class BPlusTree:
         physically sequential; only subsequent updates scatter it).
         """
         if self.size:
-            raise ValueError("bulk_load requires an empty tree")
+            raise UsageError("bulk_load requires an empty tree")
         loaded = sorted(
             (ensure_record(item) for item in records),
             key=lambda record: record.key,

@@ -16,7 +16,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
-from ..core.errors import DuplicateKeyError, RecordNotFoundError
+from ..core.errors import (
+    ConfigurationError,
+    DuplicateKeyError,
+    RecordNotFoundError,
+    UsageError,
+)
 from ..records import Record, ensure_record
 from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
 from ..storage.disk import SimulatedDisk
@@ -35,7 +40,7 @@ class OverflowChainFile:
         model: CostModel = PAGE_ACCESS_MODEL,
     ):
         if num_primary_pages < 1 or capacity < 1:
-            raise ValueError("need at least one page and positive capacity")
+            raise ConfigurationError("need at least one page and positive capacity")
         self.num_primary_pages = num_primary_pages
         self.capacity = capacity
         self.disk = SimulatedDisk(num_primary_pages, model)
@@ -60,7 +65,7 @@ class OverflowChainFile:
     def bulk_load(self, records) -> None:
         """Spread sorted records evenly over the primary area."""
         if self.size:
-            raise ValueError("bulk_load requires an empty file")
+            raise UsageError("bulk_load requires an empty file")
         loaded = sorted(
             (ensure_record(item) for item in records),
             key=lambda record: record.key,
@@ -73,7 +78,7 @@ class OverflowChainFile:
             chunk = loaded[cursor:upto]
             cursor = upto
             if len(chunk) > self.capacity:
-                raise ValueError(
+                raise UsageError(
                     "bulk_load fill exceeds page capacity; use more pages"
                 )
             if chunk:

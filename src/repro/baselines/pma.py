@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Tuple
 
-from ..core.errors import FileFullError, RecordNotFoundError
+from ..core.errors import (
+    ConfigurationError,
+    FileFullError,
+    RecordNotFoundError,
+    UsageError,
+)
 from ..records import Record, ensure_record
 from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
 from ..storage.pagefile import PageFile
@@ -41,11 +46,11 @@ class PackedMemoryArray:
         model: CostModel = PAGE_ACCESS_MODEL,
     ):
         if num_pages < 2:
-            raise ValueError("a PMA needs at least two pages")
+            raise ConfigurationError("a PMA needs at least two pages")
         if not 0.0 < tau_root <= tau_leaf <= 1.0:
-            raise ValueError("need 0 < tau_root <= tau_leaf <= 1")
+            raise ConfigurationError("need 0 < tau_root <= tau_leaf <= 1")
         if not 0.0 <= rho_leaf <= rho_root < tau_root:
-            raise ValueError("need 0 <= rho_leaf <= rho_root < tau_root")
+            raise ConfigurationError("need 0 <= rho_leaf <= rho_root < tau_root")
         self.num_pages = num_pages
         self.capacity = capacity
         self.tau_root = tau_root
@@ -101,7 +106,7 @@ class PackedMemoryArray:
     def bulk_load(self, records) -> None:
         """Spread sorted records evenly over the pages (empty PMA only)."""
         if self.size:
-            raise ValueError("bulk_load requires an empty PMA")
+            raise UsageError("bulk_load requires an empty PMA")
         loaded = sorted(
             (ensure_record(item) for item in records),
             key=lambda record: record.key,

@@ -15,7 +15,12 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
-from ..core.errors import FileFullError, RecordNotFoundError
+from ..core.errors import (
+    ConfigurationError,
+    FileFullError,
+    RecordNotFoundError,
+    UsageError,
+)
 from ..records import Record, ensure_record
 from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
 from ..storage.pagefile import PageFile
@@ -33,7 +38,7 @@ class PackedSequentialFile:
         model: CostModel = PAGE_ACCESS_MODEL,
     ):
         if capacity < 1:
-            raise ValueError("page capacity must be positive")
+            raise ConfigurationError("page capacity must be positive")
         self.capacity = capacity
         self.pagefile = PageFile(num_pages, model=model)
         self.num_pages = num_pages
@@ -57,7 +62,7 @@ class PackedSequentialFile:
     def bulk_load(self, records) -> None:
         """Pack sorted records into a prefix of the pages."""
         if self.size:
-            raise ValueError("bulk_load requires an empty file")
+            raise UsageError("bulk_load requires an empty file")
         loaded = sorted(
             (ensure_record(item) for item in records),
             key=lambda record: record.key,

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence
 from .analysis.stats import flatten_counters, percentile
 from .baselines.btree import BPlusTree
 from .core.dense_file import DenseSequentialFile
+from .core.errors import ConfigurationError
 from .workloads.generators import DELETE, INSERT, mixed_workload
 
 SCHEMA = "repro-bench/1"
@@ -74,7 +75,7 @@ def _geometry(ops: int) -> Dict[str, int]:
     need = max(256, (2 * ops) // 8 + 1)
     num_pages = 1 << (need - 1).bit_length()
     if num_pages > 8192:
-        raise ValueError("ops too large for the benchmark geometry (max ~32000)")
+        raise ConfigurationError("ops too large for the benchmark geometry (max ~32000)")
     return {"num_pages": num_pages, "d": 8, "D": 48}
 
 
@@ -98,12 +99,12 @@ def _make_file(
         import os
 
         if tmpdir is None:
-            raise ValueError("disk backend needs a tmpdir")
+            raise ConfigurationError("disk backend needs a tmpdir")
         path = os.path.join(tmpdir, f"bench-{backend}.dsf")
         return DenseSequentialFile(
             **geometry, backend="disk", path=path, overwrite=True
         )
-    raise ValueError(f"unknown backend {backend!r}; pick one of {BACKENDS}")
+    raise ConfigurationError(f"unknown backend {backend!r}; pick one of {BACKENDS}")
 
 
 def _chunks(values: Sequence, size: int) -> List[Sequence]:
@@ -206,7 +207,7 @@ def _run_scenario(
             if not latencies:
                 latencies.append(elapsed / max(1, executed))
         else:
-            raise ValueError(
+            raise ConfigurationError(
                 f"unknown scenario {scenario!r}; pick one of {SCENARIOS}"
             )
         accesses = dense.stats.page_accesses - before
@@ -257,7 +258,7 @@ def run_bench(
         ops = min(ops, QUICK_OPS)
     for scenario in scenarios:
         if scenario not in SCENARIOS:
-            raise ValueError(
+            raise ConfigurationError(
                 f"unknown scenario {scenario!r}; pick from {SCENARIOS}"
             )
     results = []

@@ -35,6 +35,7 @@ as strings — one file should stick to one key type.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -250,6 +251,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed throughput drop vs --baseline, percent (default 30)",
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="AST invariant linter: page-access accounting, lock "
+        "discipline and order, error taxonomy, determinism, deadline "
+        "propagation (exit 0 clean, 1 findings)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro and tools)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt",
+        help="report format (json is the CI annotation feed)",
+    )
+    lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids or slugs (e.g. LNT004,determinism)",
+    )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="apply the mechanically safe rewrites in place "
+        "(LNT004 bare `except:` -> `except Exception:`), then re-lint",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+
     demo = commands.add_parser("demo", help="replay the paper's Example 5.2")
     demo.add_argument(
         "--backend", choices=["memory", "buffered"], default="memory",
@@ -330,6 +359,9 @@ def _dispatch(args, out) -> int:
         dense.close()
         return 0
 
+    if args.command == "lint":
+        return _lint(args, out)
+
     if args.command == "bench":
         return _bench(args, out)
 
@@ -406,6 +438,51 @@ def _verify(args, out) -> int:
         line = ", ".join(f"{key}={value}" for key, value in interesting.items())
         print(f"counters:  {line}", file=out)
     return 0
+
+
+def _default_lint_roots() -> List[str]:
+    """The package sources and the tools/ scripts next to them.
+
+    Resolved from the installed package location so ``repro lint``
+    works from any working directory inside (or outside) the repo.
+    """
+    import repro
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    roots = [package_dir]
+    repo_root = os.path.dirname(os.path.dirname(package_dir))
+    tools_dir = os.path.join(repo_root, "tools")
+    if os.path.isdir(tools_dir):
+        roots.append(tools_dir)
+    return roots
+
+
+def _lint(args, out) -> int:
+    """Run the AST checkers; exit 0 clean, 1 findings."""
+    from .lint import rule_table, run_fix, run_lint
+
+    if args.list_rules:
+        for rule in rule_table():
+            print(
+                f"{rule['id']}  {rule['slug']:<16} {rule['title']}",
+                file=out,
+            )
+        return 0
+    roots = args.paths or _default_lint_roots()
+    rules = args.rules.split(",") if args.rules else None
+    if args.fix:
+        for path, rewrites in run_fix(roots):
+            print(
+                f"fixed {path}: {rewrites} bare `except:` clause(s) -> "
+                "`except Exception:`",
+                file=out,
+            )
+    report = run_lint(roots, rules)
+    if args.fmt == "json":
+        print(report.to_json(), file=out)
+    else:
+        print(report.render(), file=out)
+    return 0 if report.clean else 1
 
 
 def _bench(args, out) -> int:

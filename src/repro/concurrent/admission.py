@@ -27,7 +27,12 @@ import threading
 import time
 from typing import Callable, Optional
 
-from ..core.errors import OperationTimeout, OverloadError
+from ..core.errors import (
+    ConfigurationError,
+    OperationTimeout,
+    OverloadError,
+    UsageError,
+)
 from .deadline import Deadline
 
 #: Operation classes the gate distinguishes for shedding decisions.
@@ -45,7 +50,7 @@ class _Admission:
     def __enter__(self) -> "_Admission":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._gate._leave()
 
 
@@ -60,9 +65,9 @@ class AdmissionGate:
         clock: Callable[[], float] = time.monotonic,
     ):
         if max_in_flight < 1:
-            raise ValueError("the gate must admit at least one operation")
+            raise ConfigurationError("the gate must admit at least one operation")
         if max_queued < 0:
-            raise ValueError("max_queued cannot be negative")
+            raise ConfigurationError("max_queued cannot be negative")
         self.max_in_flight = max_in_flight
         self.max_queued = max_queued
         self.shed_load = shed_load
@@ -91,7 +96,7 @@ class AdmissionGate:
         expires while waiting for a slot.
         """
         if kind not in (READ, WRITE):
-            raise ValueError(f"unknown operation kind {kind!r}")
+            raise UsageError(f"unknown operation kind {kind!r}")
         budget = deadline if deadline is not None else Deadline.unbounded()
         with self._cond:
             if self._in_flight < self.max_in_flight and self._queued == 0:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Optional
 
-from ..core.errors import OperationTimeout
+from ..core.errors import OperationTimeout, UsageError
 
 
 class Deadline:
@@ -54,7 +54,7 @@ class Deadline:
         if seconds is None:
             return cls(None, clock)
         if seconds < 0:
-            raise ValueError("a timeout cannot be negative")
+            raise UsageError("a timeout cannot be negative")
         return cls(clock() + seconds, clock)
 
     @classmethod
@@ -78,7 +78,7 @@ class Deadline:
         the same budget two ways and must not disagree.
         """
         if deadline is not None and timeout is not None:
-            raise ValueError("pass timeout= or deadline=, not both")
+            raise UsageError("pass timeout= or deadline=, not both")
         if deadline is not None:
             return deadline
         if timeout is not None:

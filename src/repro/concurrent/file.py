@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Callable, List, Optional
+from typing import Any, Callable, Iterable, Iterator, List, Optional
 
 from ..records import Record
 from ..storage.backend import MemoryStore
@@ -49,7 +49,7 @@ from .deadline import Deadline
 from .rwlock import FairRWLock
 
 
-def find_retrying_stores(store) -> List[RetryingStore]:
+def find_retrying_stores(store: Any) -> List[RetryingStore]:
     """Every :class:`RetryingStore` layer in a decorator stack."""
     found: List[RetryingStore] = []
     while store is not None:
@@ -59,7 +59,7 @@ def find_retrying_stores(store) -> List[RetryingStore]:
     return found
 
 
-def reads_are_shareable(store) -> bool:
+def reads_are_shareable(store: Any) -> bool:
     """Whether a store stack's read path touches no shared mutable state.
 
     True only for a :class:`~repro.storage.backend.MemoryStore` base
@@ -111,7 +111,7 @@ class ThreadSafeDenseFile:
 
     def __init__(
         self,
-        inner,
+        inner: Any,
         max_in_flight: Optional[int] = None,
         max_queued: int = 64,
         shed_load: bool = False,
@@ -143,13 +143,17 @@ class ThreadSafeDenseFile:
     # the pipeline
     # ------------------------------------------------------------------
 
-    def _budget(self, timeout, deadline) -> Deadline:
+    def _budget(
+        self,
+        timeout: Optional[float],
+        deadline: Optional[Deadline],
+    ) -> Deadline:
         return Deadline.resolve(
             timeout, deadline, self.default_timeout, self._clock
         )
 
     @contextmanager
-    def _store_deadline(self, budget: Deadline):
+    def _store_deadline(self, budget: Deadline) -> Iterator[None]:
         """Hand the remaining budget to deadline-aware retry layers."""
         if not self._retrying or budget.expires_at is None:
             yield
@@ -163,7 +167,12 @@ class ThreadSafeDenseFile:
                 layer.set_deadline(None)
 
     @contextmanager
-    def _guarded(self, kind: str, timeout, deadline):
+    def _guarded(
+        self,
+        kind: str,
+        timeout: Optional[float],
+        deadline: Optional[Deadline],
+    ) -> Iterator[None]:
         """Admission -> lock -> storage-deadline, all budget-aware."""
         budget = self._budget(timeout, deadline)
         if self._bypass_lock:
@@ -194,23 +203,48 @@ class ThreadSafeDenseFile:
     # updates (single-writer)
     # ------------------------------------------------------------------
 
-    def insert(self, key, value=None, *, timeout=None, deadline=None) -> None:
+    def insert(
+        self,
+        key: Any,
+        value: Any = None,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
         """Insert a record (single-writer, deadline-aware)."""
         with self._guarded(WRITE, timeout, deadline):
             self._inner.insert(key, value)
 
-    def delete(self, key, *, timeout=None, deadline=None) -> Record:
+    def delete(
+        self,
+        key: Any,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Record:
         """Delete and return the record with ``key`` (single-writer)."""
         with self._guarded(WRITE, timeout, deadline):
             return self._inner.delete(key)
 
-    def update(self, key, value, *, timeout=None, deadline=None) -> Record:
+    def update(
+        self,
+        key: Any,
+        value: Any,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Record:
         """Replace the value under ``key`` in place (single-writer)."""
         with self._guarded(WRITE, timeout, deadline):
             return self._inner.update(key, value)
 
     def insert_many(
-        self, items, *, batch: bool = True, timeout=None, deadline=None
+        self,
+        items: Iterable[Any],
+        *,
+        batch: bool = True,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> int:
         """Insert a batch atomically with respect to other threads.
 
@@ -222,13 +256,24 @@ class ThreadSafeDenseFile:
             return self._inner.insert_many(items, batch=batch)
 
     def delete_range(
-        self, lo_key, hi_key, *, batch: bool = True, timeout=None, deadline=None
+        self,
+        lo_key: Any,
+        hi_key: Any,
+        *,
+        batch: bool = True,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> int:
         """Bulk-delete a key range atomically w.r.t. other threads."""
         with self._guarded(WRITE, timeout, deadline):
             return self._inner.delete_range(lo_key, hi_key, batch=batch)
 
-    def compact(self, *, timeout=None, deadline=None) -> int:
+    def compact(
+        self,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> int:
         """Uniformly redistribute all records (single-writer)."""
         with self._guarded(WRITE, timeout, deadline):
             return self._inner.compact()
@@ -237,57 +282,118 @@ class ThreadSafeDenseFile:
     # queries (shared readers; scans materialize under the lock)
     # ------------------------------------------------------------------
 
-    def search(self, key, *, timeout=None, deadline=None) -> Optional[Record]:
+    def search(
+        self,
+        key: Any,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Optional[Record]:
         """Return the record with ``key`` or ``None`` (shared read)."""
         with self._guarded(READ, timeout, deadline):
             return self._inner.search(key)
 
-    def range(self, lo_key, hi_key, *, timeout=None, deadline=None) -> List[Record]:
+    def range(
+        self,
+        lo_key: Any,
+        hi_key: Any,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> List[Record]:
         """Records with ``lo_key <= key <= hi_key`` as a snapshot list."""
         with self._guarded(READ, timeout, deadline):
             return list(self._inner.range(lo_key, hi_key))
 
-    def scan(self, start_key, count: int, *, timeout=None, deadline=None) -> List[Record]:
+    def scan(
+        self,
+        start_key: Any,
+        count: int,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> List[Record]:
         """Up to ``count`` records from ``start_key`` (snapshot)."""
         with self._guarded(READ, timeout, deadline):
             return self._inner.scan(start_key, count)
 
-    def rank(self, key, *, timeout=None, deadline=None) -> int:
+    def rank(
+        self,
+        key: Any,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> int:
         """Records with key strictly below ``key`` (shared read)."""
         with self._guarded(READ, timeout, deadline):
             return self._inner.rank(key)
 
-    def count_range(self, lo_key, hi_key, *, timeout=None, deadline=None) -> int:
+    def count_range(
+        self,
+        lo_key: Any,
+        hi_key: Any,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> int:
         """Records with ``lo_key <= key <= hi_key`` (shared read)."""
         with self._guarded(READ, timeout, deadline):
             return self._inner.count_range(lo_key, hi_key)
 
-    def select(self, index: int, *, timeout=None, deadline=None) -> Record:
+    def select(
+        self,
+        index: int,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Record:
         """The record of 0-based rank ``index`` (shared read)."""
         with self._guarded(READ, timeout, deadline):
             return self._inner.select(index)
 
-    def min(self, *, timeout=None, deadline=None) -> Optional[Record]:
+    def min(
+        self,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Optional[Record]:
         """Smallest-keyed record (shared read)."""
         with self._guarded(READ, timeout, deadline):
             return self._inner.min()
 
-    def max(self, *, timeout=None, deadline=None) -> Optional[Record]:
+    def max(
+        self,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Optional[Record]:
         """Largest-keyed record (shared read)."""
         with self._guarded(READ, timeout, deadline):
             return self._inner.max()
 
-    def successor(self, key, *, timeout=None, deadline=None) -> Optional[Record]:
+    def successor(
+        self,
+        key: Any,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Optional[Record]:
         """Smallest record with key > ``key`` (shared read)."""
         with self._guarded(READ, timeout, deadline):
             return self._inner.successor(key)
 
-    def predecessor(self, key, *, timeout=None, deadline=None) -> Optional[Record]:
+    def predecessor(
+        self,
+        key: Any,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Optional[Record]:
         """Largest record with key < ``key`` (shared read)."""
         with self._guarded(READ, timeout, deadline):
             return self._inner.predecessor(key)
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: Any) -> bool:
         with self._guarded(READ, None, None):
             return key in self._inner
 
@@ -299,17 +405,32 @@ class ThreadSafeDenseFile:
     # maintenance and lifecycle
     # ------------------------------------------------------------------
 
-    def validate(self, *, timeout=None, deadline=None) -> None:
+    def validate(
+        self,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
         """Assert the structural invariants (exclusive: may flush)."""
         with self._guarded(WRITE, timeout, deadline):
             self._inner.validate()
 
-    def flush(self, *, timeout=None, deadline=None):
+    def flush(
+        self,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Any:
         """Flush the wrapped file's storage stack (single-writer)."""
         with self._guarded(WRITE, timeout, deadline):
             return self._inner.flush()
 
-    def close(self, *, timeout=None, deadline=None) -> None:
+    def close(
+        self,
+        *,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
         """Flush and close the wrapped file (single-writer)."""
         with self._guarded(WRITE, timeout, deadline):
             self._inner.close()
@@ -322,7 +443,7 @@ class ThreadSafeDenseFile:
     def __enter__(self) -> "ThreadSafeDenseFile":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -330,22 +451,22 @@ class ThreadSafeDenseFile:
     # ------------------------------------------------------------------
 
     @property
-    def params(self):
+    def params(self) -> Any:
         """The wrapped file's density parameters (read-locked)."""
         with self._guarded(READ, None, None):
             return self._inner.params
 
     @property
-    def stats(self):
+    def stats(self) -> Any:
         """The wrapped file's access counters (read-locked)."""
         with self._guarded(READ, None, None):
             return self._inner.stats
 
     @property
-    def inner(self):
+    def inner(self) -> Any:
         """The wrapped facade (callers must hold no expectations of
         thread safety when touching it directly)."""
-        return self._inner
+        return self._inner  # lint: allow[lock-discipline] -- documented escape hatch
 
     @property
     def lock(self) -> FairRWLock:

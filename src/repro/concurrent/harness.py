@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.dense_file import DenseSequentialFile
 from ..core.errors import (
+    ConfigurationError,
     OperationTimeout,
     OverloadError,
     ReproError,
@@ -62,8 +63,9 @@ from ..storage.backend import (
     PageStore,
 )
 from ..storage.faults import BackoffPolicy, FaultPlan, fault_tolerant_stack
+from ..storage.page import Page
 from ..workloads.driver import split_workload
-from ..workloads.generators import DELETE, INSERT, mixed_workload
+from ..workloads.generators import INSERT, mixed_workload
 from .deadline import Deadline
 from .file import ThreadSafeDenseFile
 from .rwlock import FairRWLock
@@ -113,13 +115,13 @@ class StressConfig:
     shed_load: bool = False
     path: Optional[str] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.stack not in STACKS:
-            raise ValueError(f"unknown stack {self.stack!r}; pick {STACKS}")
+            raise ConfigurationError(f"unknown stack {self.stack!r}; pick {STACKS}")
         if self.threads < 1:
-            raise ValueError("need at least one client thread")
+            raise ConfigurationError("need at least one client thread")
         if not 1 <= self.max_batch:
-            raise ValueError("max_batch must be at least 1")
+            raise ConfigurationError("max_batch must be at least 1")
 
 
 @dataclass
@@ -228,7 +230,9 @@ class SequentialOracle:
         raise AssertionError(f"unknown op kind {op.kind!r}")
 
 
-def _execute(shared: ThreadSafeDenseFile, op: ClientOp, timeout) -> Tuple:
+def _execute(
+    shared: ThreadSafeDenseFile, op: ClientOp, timeout: Optional[float]
+) -> Tuple:
     """Issue one client operation; encode the outcome like the oracle."""
     try:
         if op.kind == "insert":
@@ -247,13 +251,13 @@ def _execute(shared: ThreadSafeDenseFile, op: ClientOp, timeout) -> Tuple:
             total = shared.count_range(op.key, op.key + op.arg, timeout=timeout)
             return ("count", total)
         raise AssertionError(f"unknown op kind {op.kind!r}")
-    except OperationTimeout:
+    except OperationTimeout:  # lint: allow[errors] -- timeout is a recorded outcome here
         return ("timeout",)
     except OverloadError:
         return ("overload",)
     except ReproError as error:
         return ("error", type(error).__name__)
-    except Exception as error:  # corruption shows up as arbitrary wreckage
+    except Exception as error:  # corruption shows up as arbitrary wreckage  # lint: allow[errors]
         return ("crash", f"{type(error).__name__}: {error}")
 
 
@@ -385,7 +389,7 @@ def build_file(
         )
         return DenseSequentialFile(num_pages, d, D, store=stack), plan
     if config.path is None:
-        raise ValueError(f"stack {config.stack!r} needs a path")
+        raise ConfigurationError(f"stack {config.stack!r} needs a path")
     disk = DiskStore.create(
         config.path, num_pages=num_pages, d=d, D=D, overwrite=True
     )
@@ -400,7 +404,12 @@ def build_file(
 # ----------------------------------------------------------------------
 
 
-def _worker(shared, inbox: "queue.Queue", outbox: "queue.Queue", timeout):
+def _worker(
+    shared: ThreadSafeDenseFile,
+    inbox: "queue.Queue",
+    outbox: "queue.Queue",
+    timeout: Optional[float],
+) -> None:
     while True:
         job = inbox.get()
         if job is None:
@@ -502,7 +511,7 @@ def run_stress(
             report.violations.append(f"final: {mismatch}")
         try:
             shared.validate()
-        except Exception as error:
+        except Exception as error:  # lint: allow[errors] -- recorded as a violation
             report.violations.append(
                 f"final validate(): {type(error).__name__}: {error}"
             )
@@ -526,7 +535,11 @@ def run_stress(
     return report
 
 
-def _contents_mismatch(shared, oracle, config) -> Optional[str]:
+def _contents_mismatch(
+    shared: ThreadSafeDenseFile,
+    oracle: SequentialOracle,
+    config: TortureConfig,
+) -> Optional[str]:
     observed = [
         record.key
         for record in shared.range(-1, config.key_space + 1, timeout=None)
@@ -569,28 +582,28 @@ class _YieldingStore(PageStore):
         self.num_pages = inner.num_pages
         self.delay = delay
 
-    def peek(self, page_number):
+    def peek(self, page_number: int) -> Page:
         return self.inner.peek(page_number)
 
-    def get_page(self, page_number):
+    def get_page(self, page_number: int) -> Page:
         time.sleep(self.delay)
         return self.inner.get_page(page_number)
 
-    def put_page(self, page_number):
+    def put_page(self, page_number: int) -> None:
         time.sleep(self.delay)
         self.inner.put_page(page_number)
 
-    def flush(self):
+    def flush(self) -> int:
         return self.inner.flush()
 
-    def close(self):
+    def close(self) -> None:
         self.inner.close()
 
     @property
-    def closed(self):
+    def closed(self) -> bool:
         return self.inner.closed
 
-    def stats(self):
+    def stats(self) -> Dict[str, object]:
         return {"backend": self.name, "inner": self.inner.stats()}
 
 
@@ -626,7 +639,7 @@ def _race_round(seed: int) -> bool:
             start.wait(timeout=30.0)
             for key in keys[tid::threads]:
                 unlocked.insert(key)
-        except Exception as error:
+        except Exception as error:  # lint: allow[errors] -- wreckage is the expected outcome
             failures.append(f"{type(error).__name__}: {error}")
 
     clients = [
@@ -644,7 +657,7 @@ def _race_round(seed: int) -> bool:
         if stored != sorted(keys):
             return True
         dense.validate()
-    except Exception:
+    except Exception:  # lint: allow[errors] -- any wreckage proves the negative control
         return True
     return False
 
@@ -668,9 +681,10 @@ def negative_control_deadlock(hold: float = 0.05, budget: float = 0.5) -> bool:
             meet.wait(timeout=30.0)
             time.sleep(hold)
             try:
+                # lint: allow[lock-order] -- deliberate ABBA deadlock for the negative control
                 with second.write_locked(Deadline.after(budget)):
                     outcomes.append("acquired")
-            except OperationTimeout:
+            except OperationTimeout:  # lint: allow[errors] -- timeout is the expected outcome
                 outcomes.append("timeout")
 
     clients = [

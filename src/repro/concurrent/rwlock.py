@@ -35,7 +35,7 @@ import time
 from collections import deque
 from typing import Callable, Optional
 
-from ..core.errors import OperationTimeout
+from ..core.errors import LockProtocolError, OperationTimeout
 from .deadline import Deadline
 
 
@@ -60,7 +60,7 @@ class _LockHandle:
     def __enter__(self) -> "_LockHandle":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         if self._write:
             self._lock.release_write()
         else:
@@ -146,7 +146,7 @@ class FairRWLock:
         """Leave the readers; wakes the queue when the last one leaves."""
         with self._cond:
             if self._active_readers <= 0:
-                raise RuntimeError("release_read without a matching acquire")
+                raise LockProtocolError("release_read without a matching acquire")
             self._active_readers -= 1
             if self._active_readers == 0:
                 self._cond.notify_all()
@@ -155,7 +155,7 @@ class FairRWLock:
         """Release exclusivity and wake the queue."""
         with self._cond:
             if not self._writer_active:
-                raise RuntimeError("release_write without a matching acquire")
+                raise LockProtocolError("release_write without a matching acquire")
             self._writer_active = False
             self._cond.notify_all()
 

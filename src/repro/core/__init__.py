@@ -10,12 +10,14 @@ from .errors import (
     DuplicateKeyError,
     FileFullError,
     InvariantViolationError,
+    LockProtocolError,
     OperationTimeout,
     OverloadError,
     ReadOnlyError,
     RecordNotFoundError,
     ReproError,
     TransientIOError,
+    UsageError,
 )
 from .macroblock import (
     MacroBlockControl2Engine,
@@ -36,6 +38,7 @@ __all__ = [
     "DuplicateKeyError",
     "FileFullError",
     "InvariantViolationError",
+    "LockProtocolError",
     "MacroBlockControl2Engine",
     "Moment",
     "MomentRecorder",
@@ -46,6 +49,7 @@ __all__ = [
     "RecordNotFoundError",
     "ReproError",
     "TransientIOError",
+    "UsageError",
     "build_engine",
     "ceil_log2",
     "macro_block_factor",

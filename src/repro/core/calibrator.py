@@ -22,13 +22,15 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Tuple
 
+from .errors import ConfigurationError, UsageError
+
 
 class CalibratorTree:
     """Binary range tree over pages ``1..M`` with rank counters."""
 
     def __init__(self, num_pages: int):
         if num_pages < 1:
-            raise ValueError("num_pages must be >= 1")
+            raise ConfigurationError("num_pages must be >= 1")
         self.num_pages = num_pages
         self.lo: List[int] = []
         self.hi: List[int] = []
@@ -84,7 +86,7 @@ class CalibratorTree:
         """``DIR(v)`` of the paper: True when ``v`` is a right son."""
         parent = self.parent[node]
         if parent < 0:
-            raise ValueError("the root has no direction")
+            raise UsageError("the root has no direction")
         return self.right[parent] == node
 
     def pages_in(self, node: int) -> int:
@@ -137,7 +139,7 @@ class CalibratorTree:
         for node in path:
             self.count[node] += delta
             if self.count[node] < 0:
-                raise ValueError(f"negative rank counter at node {node}")
+                raise UsageError(f"negative rank counter at node {node}")
         return path
 
     def transfer(self, source_page: int, dest_page: int, moved: int) -> List[int]:
@@ -153,7 +155,7 @@ class CalibratorTree:
         for node in self.nodes_separating(source_page, dest_page):
             self.count[node] -= moved
             if self.count[node] < 0:
-                raise ValueError(f"negative rank counter at node {node}")
+                raise UsageError(f"negative rank counter at node {node}")
             changed.append(node)
         return changed
 

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional
 from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
 from ..storage.disk import SimulatedDisk
 from .engine import BaseEngine
+from .errors import UsageError
 from .params import DensityParams
 from .trace import STEP_1, STEP_2, STEP_3, STEP_4A, STEP_4B, STEP_4C
 
@@ -103,7 +104,7 @@ class Control2Engine(BaseEngine):
         tree = self.calibrator
         father = tree.parent[node]
         if father < 0:
-            raise ValueError("the root is never activated")
+            raise UsageError("the root is never activated")
         tree.set_flag(node, True)
         if tree.is_right_child(node):
             self.destinations[node] = tree.lo[father]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Iterator, List, Optional
 
 from ..records import Record
-from ..storage.backend import BACKENDS, PageStore, make_store
+from ..storage.backend import PageStore, make_store
 from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
 from .control1 import Control1Engine
 from .control2 import Control2Engine

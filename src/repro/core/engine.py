@@ -18,7 +18,7 @@ from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
 from ..storage.disk import SimulatedDisk
 from ..storage.pagefile import PageFile
 from .calibrator import CalibratorTree
-from .errors import FileFullError, RecordNotFoundError
+from .errors import FileFullError, RecordNotFoundError, UsageError
 from .params import DensityParams
 from .trace import OperationLog
 
@@ -81,7 +81,7 @@ class BaseEngine:
         integer counts allow.  Only valid on an empty file.
         """
         if self.size:
-            raise ValueError("bulk_load requires an empty file")
+            raise UsageError("bulk_load requires an empty file")
         loaded = sorted(
             (ensure_record(item) for item in records),
             key=lambda record: record.key,
@@ -112,9 +112,9 @@ class BaseEngine:
         the list of loaded records.
         """
         if self.size:
-            raise ValueError("load_occupancies requires an empty file")
+            raise UsageError("load_occupancies requires an empty file")
         if len(occupancies) != self.params.num_pages:
-            raise ValueError("need one occupancy per page")
+            raise UsageError("need one occupancy per page")
         records = []
         key = key_start
         for index, count in enumerate(occupancies):
@@ -143,7 +143,7 @@ class BaseEngine:
         the number of records found.
         """
         if self.size:
-            raise ValueError("restore_from_store requires a fresh engine")
+            raise UsageError("restore_from_store requires a fresh engine")
         total = self.pagefile.rebuild_directory()
         for page in self.pagefile.nonempty_pages():
             self.calibrator.add(page, self.pagefile.page_len(page))

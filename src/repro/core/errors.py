@@ -20,6 +20,27 @@ class ConfigurationError(ReproError, ValueError):
     """
 
 
+class UsageError(ReproError, ValueError):
+    """Raised when a call's arguments or sequencing are invalid.
+
+    The per-call sibling of :class:`ConfigurationError`: the object was
+    built consistently, but this call misuses it — bulk-loading a
+    non-empty file, moving records from a page to itself, passing both
+    ``timeout=`` and ``deadline=``, or an out-of-order page extension.
+    Subclasses :class:`ValueError` so pre-taxonomy callers keep working.
+    """
+
+
+class LockProtocolError(ReproError, RuntimeError):
+    """Raised when the locking protocol is violated by the caller.
+
+    Examples: releasing a read or write lock that was never acquired.
+    These are programming errors in the calling code, not runtime
+    conditions to retry; subclasses :class:`RuntimeError` for
+    compatibility with pre-taxonomy callers.
+    """
+
+
 class FileFullError(ReproError):
     """Raised when an insertion would exceed the ``N = d * M`` record cap.
 

@@ -38,7 +38,7 @@ DEFAULT_J_COEFFICIENT = 9
 def ceil_log2(m: int) -> int:
     """Return ``ceil(log2 m)`` for ``m >= 1`` (0 for ``m == 1``)."""
     if m < 1:
-        raise ValueError("m must be >= 1")
+        raise ConfigurationError("m must be >= 1")
     return max(0, (m - 1).bit_length())
 
 

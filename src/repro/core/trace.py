@@ -14,7 +14,7 @@ Figure 4 row by row.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 #: Moment types, named after the algorithm step that just completed.
 STEP_1 = "1"

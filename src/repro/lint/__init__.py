@@ -1,0 +1,72 @@
+"""``repro.lint``: AST-based invariant linting for the whole stack.
+
+Four layers of this package enforce load-bearing disciplines — logical
+page-access accounting, the single-writer lock rules, the
+``core.errors`` taxonomy, seeded determinism and deadline propagation —
+that runtime tests can only spot-check.  This package checks them
+*statically* on every file, every CI run:
+
+>>> from repro.lint import run_lint
+>>> report = run_lint(["src/repro", "tools"])
+>>> report.clean
+True
+
+Entry points: ``repro lint`` (the CLI subcommand), ``tools/lint.py``
+(the same thing as a standalone script) and :func:`run_lint` (the
+library call the tests use).  Rules, pragma syntax and the rationale
+live in ``DESIGN.md`` §10.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .checkers import CHECKER_TYPES, fresh_checkers, rule_table
+from .fixes import apply_fixes, fix_bare_excepts
+from .framework import (
+    Checker,
+    Finding,
+    LintReport,
+    SourceFile,
+    iter_python_files,
+    run_checkers,
+)
+
+#: Roots ``repro lint`` scans when given no paths, relative to the
+#: repository root (the corpus under tests/ is deliberately excluded —
+#: it exists to fail).
+DEFAULT_ROOTS = ("src/repro", "tools")
+
+
+def run_lint(
+    roots: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``roots`` with the selected rules."""
+    return run_checkers(roots, fresh_checkers(rules))
+
+
+def run_fix(roots: Sequence[str]) -> List[Tuple[str, int]]:
+    """Apply the mechanically safe rewrites in place; see :mod:`.fixes`."""
+    targets: List[Tuple[str, str]] = []
+    for root in roots:
+        targets.extend(iter_python_files(root))
+    return apply_fixes(targets)
+
+
+__all__ = [
+    "CHECKER_TYPES",
+    "Checker",
+    "DEFAULT_ROOTS",
+    "Finding",
+    "LintReport",
+    "SourceFile",
+    "apply_fixes",
+    "fix_bare_excepts",
+    "fresh_checkers",
+    "iter_python_files",
+    "rule_table",
+    "run_fix",
+    "run_lint",
+    "run_checkers",
+]

@@ -1,0 +1,79 @@
+"""The rule registry: one :class:`~repro.lint.framework.Checker` per rule.
+
+============  ==============  ====================================================
+rule id       pragma slug     what it protects
+============  ==============  ====================================================
+``LNT001``    accounting      the paper's logical page-access accounting
+``LNT002``    lock-discipline single-writer rule of the concurrent front-end
+``LNT003``    lock-order      deadlock freedom (acquisition graph, no cycles)
+``LNT004``    errors          the ``core.errors`` taxonomy (no bare/builtin raises)
+``LNT005``    determinism     seeded, reproducible hot paths
+``LNT006``    deadlines       every blocking call carries a time budget
+============  ==============  ====================================================
+
+``fresh_checkers()`` builds new instances per run — checkers carry
+cross-file state (the lock-order graph), so instances are single-use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from ...core.errors import ConfigurationError
+from ..framework import Checker
+from .accounting import AccountingChecker
+from .deadlines import DeadlineChecker
+from .determinism import DeterminismChecker
+from .errors import ErrorTaxonomyChecker
+from .locks import LockDisciplineChecker, LockOrderChecker
+
+#: Registration order is report order for ties on the same line.
+CHECKER_TYPES: Sequence[Type[Checker]] = (
+    AccountingChecker,
+    LockDisciplineChecker,
+    LockOrderChecker,
+    ErrorTaxonomyChecker,
+    DeterminismChecker,
+    DeadlineChecker,
+)
+
+
+def rule_table() -> List[Dict[str, str]]:
+    """``[{"id": ..., "slug": ..., "title": ..., "hint": ...}, ...]``."""
+    return [
+        {
+            "id": checker.rule_id,
+            "slug": checker.slug,
+            "title": checker.title,
+            "hint": checker.hint,
+        }
+        for checker in CHECKER_TYPES
+    ]
+
+
+def fresh_checkers(rules: Optional[Sequence[str]] = None) -> List[Checker]:
+    """New checker instances, optionally restricted to ``rules``.
+
+    ``rules`` entries may be rule ids (``LNT004``) or slugs
+    (``errors``), case-insensitive.
+    """
+    if rules is None:
+        return [checker_type() for checker_type in CHECKER_TYPES]
+    wanted = {rule.strip().lower() for rule in rules if rule.strip()}
+    known = {
+        name.lower(): checker_type
+        for checker_type in CHECKER_TYPES
+        for name in (checker_type.rule_id, checker_type.slug)
+    }
+    unknown = wanted - set(known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown lint rule(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(c.rule_id for c in CHECKER_TYPES)}"
+        )
+    selected = []
+    for checker_type in CHECKER_TYPES:
+        names = {checker_type.rule_id.lower(), checker_type.slug.lower()}
+        if names & wanted:
+            selected.append(checker_type())
+    return selected

@@ -1,0 +1,77 @@
+"""LNT001: algorithm layers must not bypass page-access accounting.
+
+The paper's ``O(log^2 M / (D - d))`` bound is *measured* through the
+logical counters that :class:`~repro.storage.pagefile.PageFile` charges
+on every page touch.  An engine or baseline that reaches past that
+surface — ``self.store.get_page(...)``, ``pagefile.store.peek(...)``,
+``raw.read_page(...)`` — touches a page without charging it, which
+silently invalidates every reported access count.  This checker bans
+such calls in modules under ``core/`` and ``baselines/``.
+
+Lifecycle and introspection methods on a store (``stats``, ``flush``,
+``close``, ``closed``) are not page touches and stay allowed; a
+genuinely uncharged access (recovery code, invariant checkers) carries
+an explicit ``# lint: allow[accounting]`` pragma so reviewers see it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Checker, Finding, SourceFile, attribute_chain, in_package
+
+#: PageStore/backend primitives that touch a page when called.
+STORE_PRIMITIVES = frozenset(
+    {
+        "get_page",
+        "put_page",
+        "peek",
+        "move_records",
+        "prefetch",
+        "read_page",
+        "write_page",
+    }
+)
+
+#: Receiver names that identify a raw store/backend object.  ``PageFile``
+#: methods of the same name (``read_page``, ``move_records``) remain
+#: allowed because their receiver chain (``self.pages``) carries none of
+#: these markers.
+STORE_RECEIVERS = frozenset({"store", "raw", "backend", "inner", "pool"})
+
+
+class AccountingChecker(Checker):
+    rule_id = "LNT001"
+    slug = "accounting"
+    title = "logical page-access accounting"
+    hint = (
+        "go through the counter-bearing PageFile surface "
+        "(read_page/insert_record/...) or justify with "
+        "`# lint: allow[accounting]`"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Accounting covers the algorithm layers: ``core/`` and ``baselines/``."""
+        return in_package(relpath, "core") or in_package(relpath, "baselines")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag direct store-primitive calls that bypass the access counters."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in STORE_PRIMITIVES:
+                continue
+            receiver = attribute_chain(node.func.value)
+            if not set(receiver) & STORE_RECEIVERS:
+                continue
+            dotted = ".".join(receiver + [node.func.attr])
+            yield self.finding(
+                source,
+                node,
+                f"direct store primitive `{dotted}(...)` bypasses the "
+                "logical page-access counters the paper's bound is "
+                "measured through",
+            )

@@ -1,0 +1,89 @@
+"""LNT006: blocking calls in ``concurrent/`` must carry a time budget.
+
+The concurrency layer's contract is that no operation blocks past its
+``timeout=``/``deadline=`` budget — the wall-clock analogue of the
+paper's worst-case page-access bound.  That only holds if every
+blocking primitive in the package forwards the budget.  Flagged shapes:
+
+* ``cond.wait()`` with no argument — an unbounded sleep; pass
+  ``budget.wait_budget()``,
+* ``acquire_read()`` / ``acquire_write()`` / ``read_locked()`` /
+  ``write_locked()`` with no deadline argument,
+* ``gate.enter(kind)`` without a deadline (second positional or
+  ``deadline=``),
+* ``thread.join()`` with no timeout — a deadlocked worker would hang
+  the caller forever.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Checker, Finding, SourceFile, attribute_chain, in_package
+
+LOCK_ACQUIRE = frozenset(
+    {"acquire_read", "acquire_write", "read_locked", "write_locked"}
+)
+
+
+class DeadlineChecker(Checker):
+    rule_id = "LNT006"
+    slug = "deadlines"
+    title = "deadline propagation on blocking calls"
+    hint = "accept and forward the operation's timeout=/deadline= budget"
+
+    def applies_to(self, relpath: str) -> bool:
+        """Deadline propagation is a ``concurrent/`` contract."""
+        return in_package(relpath, "concurrent")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag blocking calls that drop the timeout/deadline budget."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            name = node.func.attr
+            receiver = attribute_chain(node.func.value)
+            has_args = bool(node.args or node.keywords)
+            if name == "wait" and not has_args and self._is_cond(receiver):
+                yield self.finding(
+                    source,
+                    node,
+                    "unbounded `.wait()` on a condition variable",
+                    hint="pass the remaining budget: wait(budget.wait_budget())",
+                )
+            elif name in LOCK_ACQUIRE and not has_args:
+                yield self.finding(
+                    source,
+                    node,
+                    f"`{name}()` without a deadline blocks unboundedly "
+                    "under contention",
+                    hint="forward the operation's Deadline",
+                )
+            elif (
+                name == "enter"
+                and any("gate" in part for part in receiver)
+                and len(node.args) < 2
+                and not any(kw.arg == "deadline" for kw in node.keywords)
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    "admission `enter(...)` without a deadline queues "
+                    "unboundedly",
+                    hint="pass the operation's Deadline as the second argument",
+                )
+            elif name == "join" and not has_args:
+                yield self.finding(
+                    source,
+                    node,
+                    "`.join()` without a timeout hangs forever on a "
+                    "deadlocked worker",
+                    hint="join(timeout) and check is_alive() afterwards",
+                )
+
+    @staticmethod
+    def _is_cond(receiver) -> bool:
+        return any("cond" in part for part in receiver)

@@ -1,0 +1,130 @@
+"""LNT005: hot paths must be seeded and iteration-order stable.
+
+Every experiment in this repository is replayable from a seed: the
+workload generators, the fault plans and the torture harness all take
+``random.Random(seed)`` instances, and the benchmarks compare logical
+counters across runs.  One call into the *global* random module, one
+wall-clock read, or one iteration over a hash-ordered set in ``core/``,
+``storage/`` or ``workloads/`` makes two runs with the same seed
+diverge.  (Wall-clock benchmark code lives outside these packages and
+is therefore outside this rule.)
+
+Flagged shapes:
+
+* global-RNG calls (``random.random()``, ``random.choice(...)``, …) and
+  an unseeded ``random.Random()``,
+* wall-clock reads: ``time.time()``, ``datetime.now()``/``utcnow()``,
+  ``date.today()`` (inject a clock instead — ``time.monotonic`` via a
+  ``clock=`` parameter is the package convention),
+* iterating directly over a set expression (literal, ``set(...)`` call
+  or set comprehension) or an unsorted ``os.listdir(...)`` — both orders
+  vary across processes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Checker, Finding, SourceFile, attribute_chain, in_package
+
+GLOBAL_RNG_CALLS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "getrandbits",
+        "seed",
+    }
+)
+
+WALL_CLOCK = {
+    ("time", "time"): "time.time()",
+    ("datetime", "now"): "datetime.now()",
+    ("datetime", "utcnow"): "datetime.utcnow()",
+    ("date", "today"): "date.today()",
+}
+
+
+class DeterminismChecker(Checker):
+    rule_id = "LNT005"
+    slug = "determinism"
+    title = "seeded determinism in hot paths"
+    hint = (
+        "thread a seeded random.Random(seed) / injectable clock through, "
+        "or sort before iterating"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Determinism covers ``core/``, ``storage/`` and ``workloads/``."""
+        return any(
+            in_package(relpath, package)
+            for package in ("core", "storage", "workloads")
+        )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag unseeded randomness, wall-clock reads and set-order iteration."""
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(source, node)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                iterable = node.iter
+                finding = self._unstable_iteration(source, iterable)
+                if finding is not None:
+                    yield finding
+
+    def _check_call(
+        self, source: SourceFile, node: ast.Call
+    ) -> Iterator[Finding]:
+        chain = attribute_chain(node.func)
+        if len(chain) == 2 and chain[0] == "random":
+            if chain[1] in GLOBAL_RNG_CALLS:
+                yield self.finding(
+                    source,
+                    node,
+                    f"global-RNG call `random.{chain[1]}(...)` is not "
+                    "replayable from a seed",
+                    hint="use a seeded random.Random(seed) instance",
+                )
+            elif chain[1] == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    source,
+                    node,
+                    "`random.Random()` without a seed draws entropy from "
+                    "the OS",
+                    hint="pass the run's seed: random.Random(seed)",
+                )
+        if len(chain) >= 2 and tuple(chain[-2:]) in WALL_CLOCK:
+            yield self.finding(
+                source,
+                node,
+                f"wall-clock read `{WALL_CLOCK[tuple(chain[-2:])]}` in a "
+                "deterministic hot path",
+                hint="inject a clock (the package passes clock= callables)",
+            )
+
+    def _unstable_iteration(self, source, iterable):
+        if isinstance(iterable, (ast.Set, ast.SetComp)):
+            yield_from = "a set expression"
+        elif isinstance(iterable, ast.Call):
+            chain = attribute_chain(iterable.func)
+            if chain == ["set"] or chain == ["frozenset"]:
+                yield_from = f"a `{chain[0]}(...)` call"
+            elif chain[-2:] == ["os", "listdir"] or chain == ["listdir"]:
+                yield_from = "`os.listdir(...)` (filesystem order)"
+            else:
+                return None
+        else:
+            return None
+        return self.finding(
+            source,
+            iterable,
+            f"iterating {yield_from} is hash/OS-order dependent",
+            hint="wrap in sorted(...) to pin the order",
+        )

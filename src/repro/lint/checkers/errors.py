@@ -1,0 +1,110 @@
+"""LNT004: the ``core.errors`` taxonomy is the only error surface.
+
+Library modules must raise :mod:`repro.core.errors` types — callers are
+promised that one ``except ReproError`` catches everything this package
+raises, and the CLI's exit-code mapping depends on it.  Three shapes
+break that promise and are flagged:
+
+* a bare ``except:`` (catches ``KeyboardInterrupt``/``SystemExit`` too;
+  the mechanical ``repro lint --fix`` rewrites it to
+  ``except Exception:``, the narrowest safe drop-in),
+* an over-broad ``except Exception:`` / ``except BaseException:`` whose
+  body swallows (no re-raise) — deliberate wreckage absorption in the
+  harness carries a pragma,
+* ``raise ValueError(...)`` / ``raise RuntimeError(...)`` — use
+  ``ConfigurationError``/``UsageError`` (both ``ValueError``-compatible)
+  or ``LockProtocolError`` (``RuntimeError``-compatible) instead,
+* a swallowed ``OperationTimeout``: deadline expiry must surface to the
+  caller, not vanish into a handler.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import (
+    Checker,
+    Finding,
+    SourceFile,
+    attribute_chain,
+    exception_names,
+    handler_reraises,
+)
+
+BANNED_RAISES = {
+    "ValueError": "ConfigurationError or UsageError (ValueError-compatible)",
+    "RuntimeError": "LockProtocolError or a new ReproError subclass",
+}
+
+BROAD_CATCHES = frozenset({"Exception", "BaseException"})
+
+
+class ErrorTaxonomyChecker(Checker):
+    rule_id = "LNT004"
+    slug = "errors"
+    title = "core.errors taxonomy"
+    hint = "raise/catch repro.core.errors types"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag bare excepts, banned builtin raises and swallowed timeouts."""
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(source, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(source, node)
+
+    def _check_handler(
+        self, source: SourceFile, handler: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if handler.type is None:
+            yield self.finding(
+                source,
+                handler,
+                "bare `except:` catches KeyboardInterrupt and SystemExit",
+                hint=(
+                    "catch a specific exception; `repro lint --fix` "
+                    "rewrites this to `except Exception:`"
+                ),
+            )
+            return
+        caught = exception_names(handler)
+        if set(caught) & BROAD_CATCHES and not handler_reraises(handler):
+            yield self.finding(
+                source,
+                handler,
+                f"over-broad `except {', '.join(caught)}` swallows "
+                "arbitrary failures without re-raising",
+                hint=(
+                    "narrow to core.errors types, re-raise, or justify "
+                    "with `# lint: allow[errors]`"
+                ),
+            )
+        if "OperationTimeout" in caught and not handler_reraises(handler):
+            yield self.finding(
+                source,
+                handler,
+                "swallowed OperationTimeout: a spent deadline must "
+                "surface to the caller",
+                hint=(
+                    "re-raise after recording, or justify with "
+                    "`# lint: allow[errors]`"
+                ),
+            )
+
+    def _check_raise(
+        self, source: SourceFile, node: ast.Raise
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        chain = attribute_chain(exc) if exc is not None else []
+        name = chain[-1] if chain else ""
+        if name in BANNED_RAISES:
+            yield self.finding(
+                source,
+                node,
+                f"`raise {name}` from a library module escapes the "
+                "core.errors taxonomy",
+                hint=f"use {BANNED_RAISES[name]}",
+            )

@@ -1,0 +1,347 @@
+"""LNT002 lock discipline and LNT003 lock order for ``concurrent/``.
+
+**LNT002** — every public method of a ``ThreadSafe*`` front-end class
+must reach the wrapped engine (``self._inner`` / ``self.inner``) only
+from inside a guarded region: a ``with self._guarded(...)`` block or an
+explicit ``read_locked``/``write_locked`` context.  Touching engine
+state on a lock-free fast path — including store I/O such as
+``self._inner.flush()`` — breaks the single-writer rule the
+linearizability harness assumes.  The deliberate escape hatch (the
+``inner`` property) carries a pragma.
+
+**LNT003** — acquisitions across the package must follow one global
+order; the checker classifies every acquisition site into a level,
+records the nesting edges it can see statically, and fails on
+
+* an edge that runs *backwards* through the canonical order
+  ``admission-gate -> rwlock -> internal mutexes``,
+* a nested acquisition of a non-reentrant level (the rwlock and the
+  condition mutexes deadlock against themselves), and
+* any cycle in the accumulated acquisition graph (covers mutex/mutex
+  inversions the canonical order does not rank).
+
+Held-state is tracked lexically: a ``with`` over an acquisition holds
+for its body, and a bare acquisition call (``self._gate.enter(...)``
+assigned for a later ``__exit__``) is treated as held for the rest of
+the enclosing function — the pattern ``_guarded`` uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..framework import (
+    Checker,
+    Finding,
+    SourceFile,
+    attribute_chain,
+    in_package,
+)
+
+#: Canonical acquisition order, outermost first.  ``mutex:*`` levels
+#: (the leaf ``threading.Condition``/``Lock`` objects inside the gate,
+#: the rwlock and the stores) all rank last.
+CANONICAL_ORDER = ("admission-gate", "rwlock")
+MUTEX_RANK = len(CANONICAL_ORDER)
+
+#: Levels that deadlock when one thread acquires them twice.
+NON_REENTRANT = frozenset({"rwlock"})
+
+RWLOCK_CALLS = frozenset(
+    {"read_locked", "write_locked", "acquire_read", "acquire_write"}
+)
+GUARD_CALLS = frozenset({"_guarded", "read_locked", "write_locked"})
+MUTEX_ATTRS = frozenset({"_cond", "_mutex", "_lock_internal"})
+
+
+def _rank(level: str) -> int:
+    if level.startswith("mutex:"):
+        return MUTEX_RANK
+    return CANONICAL_ORDER.index(level)
+
+
+def classify_acquisition(node: ast.expr) -> Optional[Tuple[str, str]]:
+    """``(level, description)`` when ``node`` acquires a lock, else ``None``.
+
+    Recognized forms::
+
+        self._gate.enter(kind, budget)      -> admission-gate
+        self._lock.write_locked(budget)     -> rwlock (also acquire_*)
+        with self._cond: ...                -> mutex:self._cond
+        with self._cond.something: never    (only bare mutex attributes)
+    """
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        receiver = attribute_chain(node.func.value)
+        name = node.func.attr
+        if name == "enter" and any("gate" in part for part in receiver):
+            return "admission-gate", ".".join(receiver + [name])
+        if name in RWLOCK_CALLS:
+            return "rwlock", ".".join(receiver + [name])
+        return None
+    chain = attribute_chain(node)
+    if chain and chain[-1] in MUTEX_ATTRS:
+        dotted = ".".join(chain)
+        return f"mutex:{dotted}", dotted
+    return None
+
+
+class LockDisciplineChecker(Checker):
+    rule_id = "LNT002"
+    slug = "lock-discipline"
+    title = "rwlock before engine state"
+    hint = (
+        "wrap the engine access in `with self._guarded(kind, timeout, "
+        "deadline):` (or a read_locked/write_locked block); the raw "
+        "`inner` escape hatch needs `# lint: allow[lock-discipline]`"
+    )
+
+    #: Methods that may run before/after the lock exists at all.
+    EXEMPT_METHODS = frozenset({"__init__", "__enter__", "__exit__", "__repr__"})
+
+    def applies_to(self, relpath: str) -> bool:
+        """Lock discipline is a ``concurrent/`` front-end contract."""
+        return in_package(relpath, "concurrent")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag engine-state access outside a guarded lock block."""
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and node.name.startswith(
+                "ThreadSafe"
+            ):
+                yield from self._check_class(source, node)
+
+    def _check_class(
+        self, source: SourceFile, klass: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for method in klass.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if method.name in self.EXEMPT_METHODS:
+                continue
+            if method.name.startswith("_") and not method.name.startswith(
+                "__"
+            ):
+                # Private helpers run under a caller's guard; the public
+                # surface is where the discipline is enforced.
+                continue
+            yield from self._check_method(source, klass, method)
+
+    def _check_method(
+        self, source: SourceFile, klass: ast.ClassDef, method: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        findings: List[Finding] = []
+
+        def visit(node: ast.AST, guarded: bool) -> None:
+            if isinstance(node, ast.With):
+                body_guarded = guarded or any(
+                    self._is_guard(item.context_expr) for item in node.items
+                )
+                for item in node.items:
+                    visit(item.context_expr, guarded)
+                for child in node.body:
+                    visit(child, body_guarded)
+                return
+            if not guarded and self._is_engine_state(node):
+                dotted = ".".join(attribute_chain(node))
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"{klass.name}.{method.name} touches engine state "
+                        f"`{dotted}` outside the lock (lock-free fast "
+                        "paths may not reach the wrapped file or its "
+                        "store)",
+                    )
+                )
+                return  # one finding per access chain, not per sub-node
+            for child in ast.iter_child_nodes(node):
+                visit(child, guarded)
+
+        for statement in method.body:
+            visit(statement, False)
+        return iter(findings)
+
+    @staticmethod
+    def _is_guard(expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        if isinstance(expr.func, ast.Attribute):
+            return expr.func.attr in GUARD_CALLS
+        if isinstance(expr.func, ast.Name):
+            return expr.func.id in GUARD_CALLS
+        return False
+
+    @staticmethod
+    def _is_engine_state(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Attribute):
+            return False
+        chain = attribute_chain(node)
+        return len(chain) >= 2 and chain[0] == "self" and chain[1] in (
+            "_inner",
+            "inner",
+        )
+
+
+class LockOrderChecker(Checker):
+    rule_id = "LNT003"
+    slug = "lock-order"
+    title = "global lock acquisition order"
+    hint = (
+        "acquire in the canonical order admission-gate -> rwlock -> "
+        "internal mutexes, and never nest a non-reentrant lock"
+    )
+
+    def __init__(self) -> None:
+        #: level -> {level}: observed "held X while acquiring Y" edges.
+        self._edges: Dict[str, Set[str]] = {}
+        #: (held, acquired) -> first site, for cycle reporting.
+        self._sites: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        #: Edges already reported in-file (inversions, nested
+        #: non-reentrant); cycle detection removes them first, so a
+        #: cycle finding always names a *new* problem.
+        self._reported: Set[Tuple[str, str]] = set()
+
+    def applies_to(self, relpath: str) -> bool:
+        """Lock ordering is checked across every ``concurrent/`` module."""
+        return in_package(relpath, "concurrent")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Record acquisitions and flag nesting/ordering violations in-file."""
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.FunctionDef):
+                yield from self._check_function(source, node)
+
+    def _check_function(
+        self, source: SourceFile, function: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        findings: List[Finding] = []
+
+        def record(held: str, acquired: str, node: ast.AST) -> None:
+            self._edges.setdefault(held, set()).add(acquired)
+            self._sites.setdefault(
+                (held, acquired), (source.path, getattr(node, "lineno", 1))
+            )
+            if acquired == held and acquired in NON_REENTRANT:
+                self._reported.add((held, acquired))
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"nested acquisition of non-reentrant `{acquired}` "
+                        "(a thread waiting on itself deadlocks)",
+                    )
+                )
+            elif _rank(acquired) < _rank(held):
+                self._reported.add((held, acquired))
+                findings.append(
+                    self.finding(
+                        source,
+                        node,
+                        f"lock-order inversion: acquiring `{acquired}` "
+                        f"while holding `{held}` (canonical order: "
+                        "admission-gate -> rwlock -> internal mutexes)",
+                    )
+                )
+
+        def acquire(expr: ast.expr, held: List[str]) -> Optional[str]:
+            classified = classify_acquisition(expr)
+            if classified is None:
+                return None
+            level, _ = classified
+            for held_level in held:
+                record(held_level, level, expr)
+            return level
+
+        def visit_block(statements: List[ast.stmt], held: List[str]) -> None:
+            local: List[str] = []
+            for statement in statements:
+                visit(statement, held + local)
+                # A bare acquisition call (not in a `with`) holds for the
+                # rest of the enclosing block — the assign-then-__exit__
+                # pattern.
+                value = getattr(statement, "value", None)
+                if isinstance(statement, (ast.Assign, ast.Expr)) and isinstance(
+                    value, ast.Call
+                ):
+                    level = acquire(value, held + local)
+                    if level is not None:
+                        local.append(level)
+
+        def visit(node: ast.AST, held: List[str]) -> None:
+            if isinstance(node, ast.With):
+                entered: List[str] = []
+                for item in node.items:
+                    level = acquire(item.context_expr, held + entered)
+                    if level is not None:
+                        entered.append(level)
+                visit_block(list(node.body), held + entered)
+                return
+            if isinstance(node, ast.FunctionDef):
+                return  # nested defs get their own pass
+            for name in ("body", "orelse", "finalbody"):
+                block = getattr(node, name, None)
+                if isinstance(block, list) and block and isinstance(
+                    block[0], ast.stmt
+                ):
+                    visit_block(block, held)
+            for handler in getattr(node, "handlers", []) or []:
+                visit_block(list(handler.body), held)
+
+        visit_block(list(function.body), [])
+        return iter(findings)
+
+    def finalize(self) -> Iterator[Finding]:
+        """Flag cross-file cycles in the accumulated acquisition graph."""
+        # Cycle detection over the accumulated graph: any cycle means no
+        # global acquisition order exists, even when every individual
+        # edge looked locally plausible.  Edges already reported in-file
+        # are removed first — the cycle they would close restates the
+        # same root cause at an innocent site.
+        # Self-loops are also dropped: re-entering a *reentrant* level
+        # (two admissions at the gate) is legal, and the non-reentrant
+        # self-nesting case is already a check()-time finding.
+        edges: Dict[str, Set[str]] = {
+            level: {
+                successor
+                for successor in successors
+                if successor != level
+                and (level, successor) not in self._reported
+            }
+            for level, successors in self._edges.items()
+        }
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[str, int] = {level: WHITE for level in edges}
+
+        def dfs(level: str, path: List[str]) -> Optional[List[str]]:
+            color[level] = GRAY
+            for successor in sorted(edges.get(level, ())):
+                if color.get(successor, WHITE) == GRAY:
+                    return path + [level, successor]
+                if color.get(successor, WHITE) == WHITE:
+                    found = dfs(successor, path + [level])
+                    if found is not None:
+                        return found
+            color[level] = BLACK
+            return None
+
+        for level in sorted(edges):
+            if color.get(level, 0) == WHITE:
+                cycle = dfs(level, [])
+                if cycle is not None:
+                    start = cycle.index(cycle[-1])
+                    loop = cycle[start:]
+                    edge = (loop[0], loop[1])
+                    path, line = self._sites.get(edge, ("<unknown>", 1))
+                    yield Finding(
+                        path=path,
+                        line=line,
+                        rule=self.rule_id,
+                        message=(
+                            "acquisition graph has a cycle: "
+                            + " -> ".join(loop)
+                            + " (no global lock order exists)"
+                        ),
+                        hint=self.hint,
+                    )
+                    return

@@ -1,0 +1,76 @@
+"""``repro lint --fix``: mechanical rewrites for the safe rules.
+
+Only one rewrite is mechanically safe enough to automate: the LNT004
+bare-``except:`` clause becomes ``except Exception:``, which catches
+strictly less (``KeyboardInterrupt``/``SystemExit`` escape again) and
+never changes the handler body.  Everything else a checker flags needs
+a human decision — a better exception type, a lock, a seed — so
+``--fix`` leaves those findings in place and reports them.
+
+The rewrite is AST-anchored (the handler's own line/column, not a
+regex over the file), applied bottom-up so earlier edits cannot shift
+later offsets, and idempotent: a fixed file contains no bare handlers,
+so a second ``--fix`` pass rewrites nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from .framework import SourceFile
+
+#: ``except:`` with optional internal whitespace, as it appears at the
+#: handler's anchored column.
+_BARE = "except"
+
+
+def bare_except_edits(source: SourceFile) -> List[Tuple[int, int]]:
+    """``(line, col)`` anchors of every bare ``except:`` handler."""
+    edits = []
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            edits.append((node.lineno, node.col_offset))
+    return edits
+
+
+def fix_bare_excepts(source: SourceFile) -> Tuple[str, int]:
+    """Rewrite bare ``except:`` to ``except Exception:``.
+
+    Returns ``(new_text, rewrites)``; the text is unchanged when there
+    is nothing to rewrite.
+    """
+    edits = bare_except_edits(source)
+    if not edits:
+        return source.text, 0
+    lines = source.text.splitlines(keepends=True)
+    rewrites = 0
+    for lineno, col in sorted(edits, reverse=True):
+        line = lines[lineno - 1]
+        head = line[:col]
+        tail = line[col:]
+        if not tail.startswith(_BARE):
+            continue  # defensive: the anchor must sit on the keyword
+        rest = tail[len(_BARE):]
+        stripped = rest.lstrip()
+        if not stripped.startswith(":"):
+            continue  # `except X:` — not bare; nothing to do
+        lines[lineno - 1] = head + "except Exception" + stripped
+        rewrites += 1
+    return "".join(lines), rewrites
+
+
+def apply_fixes(paths: List[Tuple[str, str]]) -> List[Tuple[str, int]]:
+    """Fix every file in ``paths`` (``(path, relpath)`` pairs) in place.
+
+    Returns ``(path, rewrites)`` for each file that changed.
+    """
+    changed = []
+    for path, relpath in paths:
+        source = SourceFile.load(path, relpath)
+        new_text, rewrites = fix_bare_excepts(source)
+        if rewrites:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(new_text)
+            changed.append((path, rewrites))
+    return changed

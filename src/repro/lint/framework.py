@@ -1,0 +1,348 @@
+"""The checker framework under ``repro lint``.
+
+The linter parses every target module once into an :mod:`ast` tree and
+hands the tree to a set of :class:`Checker` subclasses, each owning one
+rule (``LNT001`` .. ``LNT006``).  A checker reports
+:class:`Finding` objects — file, line, rule id, message and a fix hint —
+which the runner filters through the pragma allowlist and renders as
+human-readable text or JSON for CI annotation.
+
+Pragmas
+-------
+A finding is suppressed when the offending line carries an allowlist
+pragma naming the rule (by slug or id)::
+
+    page = self.store.get_page(n)  # lint: allow[accounting]
+
+A whole file opts out of one rule with a file-level pragma on a line of
+its own (conventionally in the module header)::
+
+    # lint: allow-file[determinism]
+
+Pragmas are deliberately loud: ``repro lint`` counts them in its
+summary, so a growing allowlist is visible in review instead of silent.
+
+Paths and module classes
+------------------------
+Checkers decide applicability from the file's path relative to the
+scanned root (``core/engine.py``, ``concurrent/rwlock.py`` …), so the
+same checkers run unchanged against the live tree and against the
+known-bad corpus under ``tests/lint_corpus/`` (whose subdirectories
+mimic the package layout).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from ..core.errors import ConfigurationError
+
+#: ``# lint: allow[rule]`` / ``# lint: allow[rule1, rule2]`` on the
+#: offending line; ``allow-file`` scopes the allowlist to the module.
+_PRAGMA = re.compile(r"#\s*lint:\s*(allow(?:-file)?)\[([^\]]+)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """One-line human-readable form: ``path:line: RULE message (fix: …)``."""
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (keys: path, line, rule, message, hint)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class SourceFile:
+    """One parsed module plus its pragma allowlist."""
+
+    path: str  #: path as reported in findings (OS-native, as given)
+    relpath: str  #: posix path relative to the scanned root
+    text: str
+    tree: ast.Module
+    #: line number -> set of rule slugs/ids allowed on that line
+    line_pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule slugs/ids allowed for the whole file
+    file_pragmas: Set[str] = field(default_factory=set)
+    suppressed: int = 0
+
+    @classmethod
+    def load(cls, path: str, relpath: str) -> "SourceFile":
+        """Read and parse ``path``, collecting its pragma allowlist."""
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as error:
+            raise ConfigurationError(
+                f"{path}: cannot lint a file that does not parse "
+                f"(line {error.lineno}: {error.msg})"
+            ) from error
+        source = cls(path=path, relpath=relpath, text=text, tree=tree)
+        for number, line in enumerate(text.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if not match:
+                continue
+            rules = {part.strip() for part in match.group(2).split(",")}
+            if match.group(1) == "allow-file":
+                source.file_pragmas |= rules
+            else:
+                source.line_pragmas.setdefault(number, set()).update(rules)
+        return source
+
+    def allows(self, rule_id: str, slug: str, line: int) -> bool:
+        """Whether a pragma suppresses ``rule`` at ``line``.
+
+        A pragma applies on the offending line itself or on a comment
+        line of its own immediately above it (for statements too long to
+        carry a trailing comment).
+        """
+        names = {rule_id, slug}
+        if self.file_pragmas & names:
+            return True
+        if self.line_pragmas.get(line, set()) & names:
+            return True
+        above = self.line_pragmas.get(line - 1, set())
+        if above & names:
+            stripped = self._line_text(line - 1).strip()
+            return stripped.startswith("#")
+        return False
+
+    def _line_text(self, line: int) -> str:
+        lines = self.text.splitlines()
+        if 1 <= line <= len(lines):
+            return lines[line - 1]
+        return ""
+
+
+class Checker:
+    """Base class: one rule, applied file by file with a final pass.
+
+    Subclasses set :attr:`rule_id` (``LNTnnn``), :attr:`slug` (the
+    pragma name), :attr:`hint` (the generic fix advice) and implement
+    :meth:`check`.  A checker that accumulates cross-file state (the
+    lock-order graph) also overrides :meth:`finalize`.
+    """
+
+    rule_id = "LNT000"
+    slug = "abstract"
+    title = "abstract checker"
+    hint = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule covers the module at ``relpath``."""
+        return True
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def finalize(self) -> Iterator[Finding]:
+        """Yield findings that need the whole scanned set (default none)."""
+        return iter(())
+
+    def finding(
+        self, source: SourceFile, node: ast.AST, message: str, hint: str = ""
+    ) -> Finding:
+        """Build a :class:`Finding` at ``node`` with this checker's rule id."""
+        return Finding(
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            rule=self.rule_id,
+            message=message,
+            hint=hint or self.hint,
+        )
+
+
+def path_segments(relpath: str) -> Tuple[str, ...]:
+    """The posix path split into segments (``core/engine.py`` -> 2)."""
+    return tuple(relpath.split("/"))
+
+
+def in_package(relpath: str, package: str) -> bool:
+    """Whether ``relpath`` sits under the ``package/`` directory."""
+    return path_segments(relpath)[0] == package
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers used by several checkers
+# ---------------------------------------------------------------------------
+
+
+def attribute_chain(node: ast.AST) -> List[str]:
+    """``self.pages.store.get_page`` -> ``["self", "pages", "store", "get_page"]``.
+
+    Returns an empty list for receivers that are not plain name/attribute
+    chains (calls, subscripts, …) beyond the point of interruption: the
+    chain covers the trailing names only.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def call_name(node: ast.Call) -> str:
+    """The called attribute or function name (``""`` when dynamic)."""
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return ""
+
+
+def handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether an ``except`` body re-raises (bare or explicit)."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def exception_names(handler: ast.ExceptHandler) -> List[str]:
+    """The caught exception names (``except (A, B):`` -> ``["A", "B"]``)."""
+    node = handler.type
+    if node is None:
+        return []
+    items = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for item in items:
+        chain = attribute_chain(item)
+        if chain:
+            names.append(chain[-1])
+    return names
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+def iter_python_files(root: str) -> Iterator[Tuple[str, str]]:
+    """Yield ``(path, relpath)`` for every ``.py`` under ``root``, sorted.
+
+    ``root`` may also name a single file, whose relpath is then its
+    basename.
+    """
+    if os.path.isfile(root):
+        yield root, os.path.basename(root)
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            relpath = os.path.relpath(path, root).replace(os.sep, "/")
+            yield path, relpath
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    files_checked: int
+    suppressed: int
+    rules: Tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run produced no (unsuppressed) findings."""
+        return not self.findings
+
+    def to_json(self) -> str:
+        """The run as a stable JSON document for CI annotation."""
+        return json.dumps(
+            {
+                "tool": "repro-lint",
+                "version": 1,
+                "files_checked": self.files_checked,
+                "suppressed": self.suppressed,
+                "rules": list(self.rules),
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def render(self) -> str:
+        """Human-readable findings plus a one-line summary."""
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} "
+            f"file(s); {self.suppressed} suppressed by pragmas"
+        )
+        return "\n".join(lines)
+
+
+def run_checkers(
+    roots: Sequence[str],
+    checkers: Iterable[Checker],
+) -> LintReport:
+    """Run ``checkers`` over every Python file under ``roots``."""
+    checkers = list(checkers)
+    findings: List[Finding] = []
+    suppressed = 0
+    files_checked = 0
+    sources: Dict[str, SourceFile] = {}
+    for root in roots:
+        if not os.path.exists(root):
+            raise ConfigurationError(f"lint target {root!r} does not exist")
+        for path, relpath in iter_python_files(root):
+            source = SourceFile.load(path, relpath)
+            sources[path] = source
+            files_checked += 1
+            for checker in checkers:
+                if not checker.applies_to(relpath):
+                    continue
+                for finding in checker.check(source):
+                    if source.allows(
+                        checker.rule_id, checker.slug, finding.line
+                    ):
+                        suppressed += 1
+                    else:
+                        findings.append(finding)
+    for checker in checkers:
+        for finding in checker.finalize():
+            source = sources.get(finding.path)
+            if source is not None and source.allows(
+                checker.rule_id, checker.slug, finding.line
+            ):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    findings.sort()
+    return LintReport(
+        findings=findings,
+        files_checked=files_checked,
+        suppressed=suppressed,
+        rules=tuple(checker.rule_id for checker in checkers),
+    )

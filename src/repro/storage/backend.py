@@ -45,14 +45,18 @@ Access discipline (what makes cross-backend parity exact):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
+from ..core.errors import ConfigurationError
 from ..records import Record
-from .bufferpool import BufferPool
+from .bufferpool import BufferPool, PoolStats
 from .cost import CostModel, PAGE_ACCESS_MODEL
 from .disk import SimulatedDisk
 from .page import Page
 from .tracing import READ, WRITE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .ondisk import DiskPagedStore
 
 #: Default frame count for :class:`BufferedStore` when none is given.
 DEFAULT_CACHE_PAGES = 16
@@ -134,7 +138,7 @@ class PageStore:
         self.put_page(source)
         return moved
 
-    def prefetch(self, page_numbers) -> int:
+    def prefetch(self, page_numbers: Iterable[int]) -> int:
         """Hint that ``page_numbers`` are about to be read sequentially.
 
         Non-caching backends ignore the hint (the default returns 0);
@@ -166,7 +170,7 @@ class PageStore:
     def __enter__(self) -> "PageStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -177,7 +181,7 @@ class MemoryStore(PageStore):
 
     def __init__(self, num_pages: int):
         if num_pages < 1:
-            raise ValueError("a page store needs at least one page")
+            raise ConfigurationError("a page store needs at least one page")
         self.num_pages = num_pages
         self._pages: List[Page] = [Page() for _ in range(num_pages + 1)]
         self._stats = StoreStats()
@@ -214,7 +218,7 @@ class DiskStore(PageStore):
 
     name = "disk"
 
-    def __init__(self, raw, write_through: bool = True):
+    def __init__(self, raw: "DiskPagedStore", write_through: bool = True):
         from .ondisk import DiskPagedStore  # cycle guard
 
         if not isinstance(raw, DiskPagedStore):
@@ -391,7 +395,7 @@ class BufferedStore(PageStore):
         readahead: int = 0,
     ):
         if readahead < 0:
-            raise ValueError("readahead must be >= 0")
+            raise ConfigurationError("readahead must be >= 0")
         self.inner = inner
         self.num_pages = inner.num_pages
         self.readahead = readahead
@@ -426,7 +430,7 @@ class BufferedStore(PageStore):
     def put_page(self, page_number: int) -> None:
         self.pool.access(WRITE, page_number)
 
-    def prefetch(self, page_numbers) -> int:
+    def prefetch(self, page_numbers: Iterable[int]) -> int:
         """Fault up to :attr:`readahead` upcoming pages into the pool.
 
         Sequential scans hand the next pages they will read; each is
@@ -470,7 +474,7 @@ class BufferedStore(PageStore):
         return self.inner.closed
 
     @property
-    def pool_stats(self):
+    def pool_stats(self) -> PoolStats:
         """The live :class:`~repro.storage.bufferpool.PoolStats` counters."""
         return self.pool.stats
 
@@ -515,8 +519,6 @@ def make_store(
     to clobber); opening an existing file goes through
     :meth:`DiskStore.open` or the persistent facade.
     """
-    from ..core.errors import ConfigurationError
-
     if backend not in BACKENDS:
         raise ConfigurationError(
             f"unknown backend {backend!r}; pick one of {BACKENDS}"

@@ -30,10 +30,11 @@ drives it from the sequential-scan hints the page file emits.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
 
-from .tracing import AccessEvent, READ, WRITE
+from ..core.errors import ConfigurationError
+from .tracing import AccessEvent, WRITE
 
 
 @dataclass
@@ -65,7 +66,7 @@ class PoolStats:
     def physical_io(self) -> int:
         return self.physical_reads + self.physical_writes
 
-    def as_row(self):
+    def as_row(self) -> List[object]:
         """Format the counters for ``render_table``."""
         return [
             self.capacity,
@@ -98,7 +99,7 @@ class BufferPool:
         on_writeback: Optional[Callable[[int], None]] = None,
     ):
         if capacity < 1:
-            raise ValueError("a buffer pool needs at least one frame")
+            raise ConfigurationError("a buffer pool needs at least one frame")
         self.capacity = capacity
         self._frames: "OrderedDict[int, bool]" = OrderedDict()  # page -> dirty
         self._prefetched: set = set()  # resident but not yet accessed
@@ -183,7 +184,7 @@ class BufferPool:
             self._frames[page] = False
         return written
 
-    def resident_pages(self):
+    def resident_pages(self) -> List[int]:
         """Pages currently cached, least-recently-used first."""
         return list(self._frames)
 
@@ -197,7 +198,9 @@ def replay(events: Iterable[AccessEvent], capacity: int) -> PoolStats:
     return pool.stats
 
 
-def miss_curve(events, capacities) -> "list[PoolStats]":
+def miss_curve(
+    events: Iterable[AccessEvent], capacities: Iterable[int]
+) -> List[PoolStats]:
     """Replay the same trace at several pool sizes."""
     materialized = list(events)
     return [replay(materialized, capacity) for capacity in capacities]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..core.errors import ConfigurationError
 from .cost import AccessStats, CostModel, PAGE_ACCESS_MODEL
 from .tracing import READ, WRITE, AccessTrace
 
@@ -40,7 +41,7 @@ class SimulatedDisk:
         trace: Optional[AccessTrace] = None,
     ):
         if num_pages < 0:
-            raise ValueError("num_pages must be non-negative")
+            raise ConfigurationError("num_pages must be non-negative")
         self.num_pages = num_pages
         self.model = model
         self.stats = AccessStats()
@@ -59,7 +60,7 @@ class SimulatedDisk:
     def extend(self, extra_pages: int) -> int:
         """Grow the address space; return the first newly valid page."""
         if extra_pages <= 0:
-            raise ValueError("extra_pages must be positive")
+            raise ConfigurationError("extra_pages must be positive")
         first_new = self.num_pages + 1
         self.num_pages += extra_pages
         return first_new

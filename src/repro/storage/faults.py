@@ -53,12 +53,18 @@ import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar
 
-from ..core.errors import OperationTimeout, ReproError, TransientIOError
-from ..records import Record
+from ..core.errors import (
+    ConfigurationError,
+    OperationTimeout,
+    ReproError,
+    TransientIOError,
+)
 from .backend import DiskStore, PageStore
 from .page import Page
+
+_T = TypeVar("_T")
 
 #: Logical operations a :class:`FaultPlan` can fault transiently.
 TRANSIENT_OPS = ("get", "put", "flush")
@@ -144,7 +150,7 @@ class FaultPlan(FaultInjector):
     ):
         super().__init__()
         if not 0.0 <= transient_rate <= 1.0:
-            raise ValueError("transient_rate must be a probability")
+            raise ConfigurationError("transient_rate must be a probability")
         self.seed = seed
         self.transient_rate = transient_rate
         self.max_transients = max_transients
@@ -327,9 +333,9 @@ class BackoffPolicy:
     multiplier: float = 2.0
     max_delay: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_attempts < 1:
-            raise ValueError("a retry policy needs at least one attempt")
+            raise ConfigurationError("a retry policy needs at least one attempt")
 
     def delay(self, attempt: int) -> float:
         """Seconds to wait before retry number ``attempt`` (0-based)."""
@@ -368,7 +374,7 @@ class RetryingStore(PageStore):
         self,
         inner: PageStore,
         policy: Optional[BackoffPolicy] = None,
-        sleep=time.sleep,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.inner = inner
         self.policy = policy if policy is not None else BackoffPolicy()
@@ -382,7 +388,7 @@ class RetryingStore(PageStore):
 
     # -- deadline plumbing ----------------------------------------------
 
-    def set_deadline(self, deadline) -> None:
+    def set_deadline(self, deadline: Optional[Any]) -> None:
         """Install the calling thread's retry budget (``None`` clears it).
 
         ``deadline`` is duck-typed: anything with ``remaining() -> float``
@@ -391,13 +397,13 @@ class RetryingStore(PageStore):
         self._local.deadline = deadline
 
     @property
-    def deadline(self):
+    def deadline(self) -> Optional[Any]:
         """The calling thread's active retry budget, if any."""
         return getattr(self._local, "deadline", None)
 
     # -- retry engine ---------------------------------------------------
 
-    def _attempt(self, operation):
+    def _attempt(self, operation: Callable[[], _T]) -> _T:
         attempt = 0
         while True:
             try:

@@ -38,7 +38,7 @@ from __future__ import annotations
 import os
 import struct
 import zlib
-from typing import List, Optional
+from typing import Any, List
 
 from ..core.errors import ReproError
 from ..records import Record
@@ -65,7 +65,7 @@ class PageOverflowError(StorageError):
 class DiskPagedStore:
     """Fixed-geometry slotted page store over one OS file."""
 
-    def __init__(self, path: str, file_object, num_pages: int, d: int,
+    def __init__(self, path: str, file_object: Any, num_pages: int, d: int,
                  D: int, j: int, slot_capacity: int):
         self.path = path
         self._file = file_object
@@ -152,7 +152,7 @@ class DiskPagedStore:
     def __enter__(self) -> "DiskPagedStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -167,7 +167,7 @@ class DiskPagedStore:
         return HEADER.size + (page_number - 1) * self.slot_capacity
 
     @staticmethod
-    def _write_slot_raw(file_object, payload: bytes, slot_capacity: int) -> None:
+    def _write_slot_raw(file_object: Any, payload: bytes, slot_capacity: int) -> None:
         frame = SLOT_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         if len(frame) > slot_capacity:
             raise PageOverflowError(
@@ -239,6 +239,6 @@ class DiskPagedStore:
         for page_number in range(1, self.num_pages + 1):
             try:
                 self.read_page(page_number)
-            except (CorruptPageError, Exception):
+            except Exception:  # lint: allow[errors] -- any decode wreckage means corrupt
                 corrupt.append(page_number)
         return corrupt

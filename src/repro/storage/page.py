@@ -11,9 +11,9 @@ at those points.
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator, List, Optional
+from typing import Any, Iterable, Iterator, List, Optional
 
-from ..core.errors import DuplicateKeyError, RecordNotFoundError
+from ..core.errors import DuplicateKeyError, RecordNotFoundError, UsageError
 from ..records import Record
 
 
@@ -43,12 +43,12 @@ class Page:
         return not self._records
 
     @property
-    def min_key(self):
+    def min_key(self) -> Any:
         """Smallest key on the page (raises on an empty page)."""
         return self._keys[0]
 
     @property
-    def max_key(self):
+    def max_key(self) -> Any:
         """Largest key on the page (raises on an empty page)."""
         return self._keys[-1]
 
@@ -56,12 +56,12 @@ class Page:
         """Return a copy of the records in key order."""
         return list(self._records)
 
-    def contains(self, key) -> bool:
+    def contains(self, key: Any) -> bool:
         """Whether a record with ``key`` is on the page."""
         index = bisect.bisect_left(self._keys, key)
         return index < len(self._keys) and self._keys[index] == key
 
-    def get(self, key) -> Optional[Record]:
+    def get(self, key: Any) -> Optional[Record]:
         """Return the record with ``key`` or ``None``."""
         index = bisect.bisect_left(self._keys, key)
         if index < len(self._keys) and self._keys[index] == key:
@@ -82,7 +82,7 @@ class Page:
         self._keys.insert(index, record.key)
         self._records.insert(index, record)
 
-    def remove(self, key) -> Record:
+    def remove(self, key: Any) -> Record:
         """Remove and return the record with ``key``.
 
         Raises
@@ -128,7 +128,7 @@ class Page:
         if not records:
             return
         if self._keys and records[-1].key >= self._keys[0]:
-            raise ValueError("extend_low would break key order")
+            raise UsageError("extend_low would break key order")
         self._records[:0] = records
         self._keys[:0] = [record.key for record in records]
 
@@ -137,7 +137,7 @@ class Page:
         if not records:
             return
         if self._keys and records[0].key <= self._keys[-1]:
-            raise ValueError("extend_high would break key order")
+            raise UsageError("extend_high would break key order")
         self._records.extend(records)
         self._keys.extend(record.key for record in records)
 

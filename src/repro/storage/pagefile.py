@@ -35,9 +35,9 @@ Cost accounting conventions
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
-from ..core.errors import RecordNotFoundError
+from ..core.errors import ConfigurationError, UsageError
 from ..records import Record
 from .backend import MemoryStore, PageStore
 from .cost import CostModel, PAGE_ACCESS_MODEL
@@ -56,14 +56,14 @@ class PageFile:
         store: Optional[PageStore] = None,
     ):
         if num_pages < 1:
-            raise ValueError("a page file needs at least one page")
+            raise ConfigurationError("a page file needs at least one page")
         self.num_pages = num_pages
         self.disk = disk if disk is not None else SimulatedDisk(num_pages, model)
         if self.disk.num_pages < num_pages:
-            raise ValueError("disk is smaller than the requested page file")
+            raise ConfigurationError("disk is smaller than the requested page file")
         self.store = store if store is not None else MemoryStore(num_pages)
         if self.store.num_pages != num_pages:
-            raise ValueError(
+            raise ConfigurationError(
                 f"store has {self.store.num_pages} pages but the page file "
                 f"needs {num_pages}"
             )
@@ -164,7 +164,7 @@ class PageFile:
         self.disk.read(page_number)
         return self.store.get_page(page_number).records()
 
-    def locate(self, key) -> Optional[int]:
+    def locate(self, key: Any) -> Optional[int]:
         """Find the page owning ``key`` for an update command.
 
         Returns the unique non-empty page whose key interval could
@@ -186,7 +186,7 @@ class PageFile:
             self.store.get_page(page)
         return page
 
-    def locate_in_core(self, key) -> Optional[int]:
+    def locate_in_core(self, key: Any) -> Optional[int]:
         """Like :meth:`locate` but free of page-access charges.
 
         Scans start here: the page-minimum directory is core-resident
@@ -202,7 +202,9 @@ class PageFile:
             return self._nonempty[0]
         return self._nonempty[index]
 
-    def locate_in_core_hinted(self, key, hint: Optional[int]) -> Optional[int]:
+    def locate_in_core_hinted(
+        self, key: Any, hint: Optional[int]
+    ) -> Optional[int]:
         """:meth:`locate_in_core` with a previous-destination search hint.
 
         Batched writes sweep the file in key order, so the destination
@@ -227,7 +229,7 @@ class PageFile:
                 return hint
         return self.locate_in_core(key)
 
-    def nonempty_in_range(self, lo_key, hi_key) -> List[int]:
+    def nonempty_in_range(self, lo_key: Any, hi_key: Any) -> List[int]:
         """Non-empty pages whose key interval can intersect ``[lo, hi]``.
 
         A bisect over the in-core minimum-key directory (free of page
@@ -244,7 +246,7 @@ class PageFile:
         end = bisect.bisect_right(self._mins, hi_key)
         return self._nonempty[start:end]
 
-    def get(self, page_number: int, key) -> Optional[Record]:
+    def get(self, page_number: int, key: Any) -> Optional[Record]:
         """Charge one read; return the record with ``key`` or ``None``."""
         self.disk.read(page_number)
         return self.store.get_page(page_number).get(key)
@@ -265,7 +267,7 @@ class PageFile:
         self.disk.read(page_number)
         return self.store.get_page(page_number).records()[-1]
 
-    def successor(self, key) -> Optional[Record]:
+    def successor(self, key: Any) -> Optional[Record]:
         """Smallest record with key strictly greater than ``key``.
 
         Charges one read (two when the answer sits on the next page).
@@ -283,7 +285,7 @@ class PageFile:
             index += 1
         return None
 
-    def predecessor(self, key) -> Optional[Record]:
+    def predecessor(self, key: Any) -> Optional[Record]:
         """Largest record with key strictly less than ``key``.
 
         Charges one read (two when the answer sits on the previous page).
@@ -337,7 +339,7 @@ class PageFile:
         self.disk.write(page_number)
         self.store.put_page(page_number)
 
-    def remove_record(self, page_number: int, key) -> Record:
+    def remove_record(self, page_number: int, key: Any) -> Record:
         """Remove ``key`` from ``page_number`` (one read + one write)."""
         self.disk.read(page_number)
         record = self.store.get_page(page_number).remove(key)
@@ -346,7 +348,7 @@ class PageFile:
         self._directory_update(page_number)
         return record
 
-    def remove_keys(self, page_number: int, keys) -> int:
+    def remove_keys(self, page_number: int, keys: Iterable[Any]) -> int:
         """Remove several keys from one already-read page (one write).
 
         Bulk-deletion helper: the caller has just paid the read via
@@ -385,7 +387,7 @@ class PageFile:
         Charges one read of the source and one write of each page.
         """
         if source == dest:
-            raise ValueError("source and dest must differ")
+            raise UsageError("source and dest must differ")
         if count <= 0:
             return 0
         self.disk.read(source)
@@ -407,7 +409,7 @@ class PageFile:
         pages touched.
         """
         if lo_page > hi_page:
-            raise ValueError("empty page range")
+            raise UsageError("empty page range")
         gathered: List[Record] = []
         for page_number in range(lo_page, hi_page + 1):
             self.disk.read(page_number)
@@ -452,7 +454,7 @@ class PageFile:
         if window:
             self.store.prefetch(self._nonempty[index + 1 : index + 1 + window])
 
-    def scan_range(self, lo_key, hi_key) -> Iterator[Record]:
+    def scan_range(self, lo_key: Any, hi_key: Any) -> Iterator[Record]:
         """Yield records with ``lo_key <= key <= hi_key`` in key order.
 
         Charges one read per page touched; pages are touched in
@@ -479,7 +481,7 @@ class PageFile:
                 yield record
             index += 1
 
-    def scan_count(self, start_key, count: int) -> List[Record]:
+    def scan_count(self, start_key: Any, count: int) -> List[Record]:
         """Return up to ``count`` records with key >= ``start_key``."""
         result: List[Record] = []
         start = self.locate_in_core(start_key)

@@ -12,6 +12,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+from ..core.errors import ConfigurationError, UsageError
 from ..core.trace import OperationLog
 from .generators import DELETE, INSERT, Operation
 
@@ -32,7 +33,7 @@ def split_workload(
     is reproducible across processes and runs.
     """
     if workers < 1:
-        raise ValueError("need at least one worker")
+        raise ConfigurationError("need at least one worker")
     streams: List[List[Operation]] = [[] for _ in range(workers)]
     for operation in operations:
         slot = zlib.crc32(repr(operation.key).encode()) % workers
@@ -86,7 +87,7 @@ def run_workload(
         elif operation.kind == DELETE:
             structure.delete(operation.key)
         else:  # pragma: no cover - Operation validates kinds
-            raise ValueError(f"unknown operation kind {operation.kind!r}")
+            raise UsageError(f"unknown operation kind {operation.kind!r}")
         delta = stats.delta("driver")
         moved_after = structure.records_moved_total if moved_attr else 0
         log.append(

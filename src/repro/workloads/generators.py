@@ -17,6 +17,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from fractions import Fraction
+
+from ..core.errors import UsageError
 from typing import Any, Iterator, List, Optional, Sequence
 
 INSERT = "insert"
@@ -33,7 +35,7 @@ class Operation:
 
     def __post_init__(self):
         if self.kind not in (INSERT, DELETE):
-            raise ValueError(f"unknown operation kind {self.kind!r}")
+            raise UsageError(f"unknown operation kind {self.kind!r}")
 
 
 def uniform_random_inserts(

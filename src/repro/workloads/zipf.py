@@ -14,6 +14,7 @@ import random
 from fractions import Fraction
 from typing import List
 
+from ..core.errors import ConfigurationError
 from .generators import INSERT, Operation
 
 
@@ -22,9 +23,9 @@ class ZipfSampler:
 
     def __init__(self, n: int, s: float = 1.0, seed: int = 0):
         if n < 1:
-            raise ValueError("need at least one rank")
+            raise ConfigurationError("need at least one rank")
         if s < 0:
-            raise ValueError("the Zipf exponent must be non-negative")
+            raise ConfigurationError("the Zipf exponent must be non-negative")
         self.n = n
         self.s = s
         self._rng = random.Random(seed)

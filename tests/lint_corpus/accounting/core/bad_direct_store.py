@@ -1,0 +1,12 @@
+"""LNT001 fixture: engine code calling store primitives directly."""
+
+
+class Engine:
+    def lookup(self, page):
+        return self.store.get_page(page)  # finding: bypasses counters
+
+    def spill(self, page, data):
+        self.pages.store.put_page(page, data)  # finding: nested receiver
+
+    def steal(self, source, dest, count):
+        self.backend.move_records(source, dest, count)  # finding

@@ -1,0 +1,13 @@
+"""LNT001 negative control: the counter-bearing PageFile surface."""
+
+
+class Engine:
+    def lookup(self, page):
+        return self.pages.read_page(page)  # charged through PageFile
+
+    def spill(self, page, data):
+        self.pages.write_page(page, data)  # same name, counted receiver
+
+    def lifecycle(self):
+        self.store.flush()  # not a page touch
+        return self.store.stats()

@@ -1,0 +1,6 @@
+"""LNT001 negative control: storage/ implements the primitives."""
+
+
+class Backend:
+    def copy(self, other, page):
+        other.store.put_page(page, self.store.get_page(page))

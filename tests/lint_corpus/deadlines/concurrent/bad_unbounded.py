@@ -1,0 +1,8 @@
+"""LNT006 fixture: blocking calls that drop the budget."""
+
+
+def stall(self, worker):
+    self._gate.enter("read")  # finding: no deadline
+    self._lock.acquire_read()  # finding: no deadline
+    self._cond.wait()  # finding: unbounded sleep
+    worker.join()  # finding: hangs on a deadlocked worker

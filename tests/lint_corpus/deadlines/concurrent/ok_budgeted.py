@@ -1,0 +1,10 @@
+"""LNT006 negative control: every blocking call carries the budget."""
+
+
+def bounded(self, worker, budget):
+    self._gate.enter("read", budget)
+    self._gate.enter("write", deadline=budget)
+    self._lock.acquire_read(budget)
+    self._cond.wait(budget.wait_budget())
+    worker.join(5.0)
+    return worker.is_alive()

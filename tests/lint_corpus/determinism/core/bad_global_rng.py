@@ -1,0 +1,12 @@
+"""LNT005 fixture: the process-global RNG in a hot path."""
+
+import random
+
+
+def jitter():
+    return random.random()  # finding: not replayable
+
+
+def pick(items):
+    rng = random.Random()  # finding: unseeded
+    return rng.choice(items)

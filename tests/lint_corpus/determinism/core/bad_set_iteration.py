@@ -1,0 +1,10 @@
+"""LNT005 fixture: hash-order iteration."""
+
+
+def visit(pages):
+    for page in set(pages):  # finding: hash order
+        yield page
+
+
+def scan(directory, os):
+    return [name for name in os.listdir(directory)]  # finding: FS order

@@ -1,0 +1,17 @@
+"""LNT005 negative control: seeded RNG, injected clock, sorted sets."""
+
+import random
+import time
+
+
+def jitter(seed):
+    return random.Random(seed).random()
+
+
+def stamp(clock=time.monotonic):
+    return clock()  # monotonic, injected: fine
+
+
+def visit(pages):
+    for page in sorted(set(pages)):
+        yield page

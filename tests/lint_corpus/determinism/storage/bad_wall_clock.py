@@ -1,0 +1,12 @@
+"""LNT005 fixture: wall-clock reads in storage code."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()  # finding: wall clock
+
+
+def label():
+    return datetime.now()  # finding: wall clock

@@ -1,0 +1,8 @@
+"""LNT004 fixture: bare except (also the --fix corpus)."""
+
+
+def swallow(risky):
+    try:
+        return risky()
+    except:
+        return None

@@ -1,0 +1,11 @@
+"""LNT004 fixture: raising builtins past the taxonomy."""
+
+
+def validate(d, big_d):
+    if d >= big_d:
+        raise ValueError("d must be < D")  # finding: ConfigurationError
+
+
+def release(held):
+    if not held:
+        raise RuntimeError("not held")  # finding: LockProtocolError

@@ -1,0 +1,10 @@
+"""LNT004 fixture: a spent deadline vanishing into a handler."""
+
+from repro.core.errors import OperationTimeout
+
+
+def lossy(op):
+    try:
+        return op()
+    except OperationTimeout:
+        return None  # finding: the caller never learns

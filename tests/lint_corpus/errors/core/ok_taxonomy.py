@@ -1,0 +1,17 @@
+"""LNT004 negative control: taxonomy raises and surfaced timeouts."""
+
+from repro.core.errors import OperationTimeout, UsageError
+
+
+def validate(d, big_d):
+    if d >= big_d:
+        raise UsageError("d must be < D")
+
+
+def annotate(op):
+    try:
+        return op()
+    except OperationTimeout:
+        raise  # re-raised: the deadline surfaces
+    except KeyError:
+        return None  # narrow catch: allowed everywhere

@@ -1,0 +1,15 @@
+"""LNT002 fixture: public methods reaching the engine without the lock."""
+
+
+class ThreadSafeDenseFile:
+    def __init__(self, inner):
+        self._inner = inner  # exempt: lock does not exist yet
+
+    def search(self, key):
+        return self._inner.search(key)  # finding: lock-free fast path
+
+    def flush(self):
+        self._inner.pages.store.flush()  # finding: store I/O unlocked
+
+    def _helper(self):
+        return self._inner.count()  # private: caller holds the guard

@@ -1,0 +1,14 @@
+"""LNT002 negative control: every engine touch sits under a guard."""
+
+
+class ThreadSafeDenseFile:
+    def __init__(self, inner):
+        self._inner = inner
+
+    def search(self, key, timeout=None, deadline=None):
+        with self._guarded("read", timeout, deadline):
+            return self._inner.search(key)
+
+    def insert(self, key, timeout=None, deadline=None):
+        with self._guarded("write", timeout, deadline):
+            self._inner.insert(key)

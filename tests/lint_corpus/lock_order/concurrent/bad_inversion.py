@@ -1,0 +1,8 @@
+"""LNT003 fixture: acquiring the gate while holding the rwlock."""
+
+
+class Front:
+    def backwards(self, deadline):
+        with self._lock.write_locked(deadline):
+            admission = self._gate.enter("write", deadline)  # finding
+            return admission

@@ -1,0 +1,7 @@
+"""LNT003 fixture: re-acquiring the non-reentrant rwlock."""
+
+
+def reenter(lock, deadline):
+    with lock.write_locked(deadline):
+        with lock.read_locked(deadline):  # finding: self-deadlock
+            return True

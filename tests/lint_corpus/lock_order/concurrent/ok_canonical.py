@@ -1,0 +1,9 @@
+"""LNT003 negative control: gate -> rwlock -> mutex, outermost first."""
+
+
+class Front:
+    def forwards(self, deadline):
+        admission = self._gate.enter("write", deadline)
+        with self._lock.write_locked(deadline):
+            with self._cond:
+                return admission

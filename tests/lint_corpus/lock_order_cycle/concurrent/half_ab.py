@@ -1,0 +1,8 @@
+"""LNT003 cycle fixture, half 1: _cond before _mutex."""
+
+
+class A:
+    def ab(self):
+        with self._cond:
+            with self._mutex:
+                return True

@@ -1,0 +1,12 @@
+"""LNT003 cycle fixture, half 2: _mutex before _cond.
+
+Each half is locally consistent (same-rank mutexes, no inversion); only
+the accumulated graph reveals that no global order exists.
+"""
+
+
+class B:
+    def ba(self):
+        with self._mutex:
+            with self._cond:
+                return True

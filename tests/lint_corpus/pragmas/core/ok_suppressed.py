@@ -1,0 +1,17 @@
+"""Pragma fixture: findings silenced on the line, above, and file-wide."""
+# lint: allow-file[determinism]
+
+import random
+
+
+def trailing(store, page):
+    return store.get_page(page)  # lint: allow[accounting]
+
+
+def above(store, page, data):
+    # lint: allow[accounting] -- recovery path, deliberately uncharged
+    store.put_page(page, data)
+
+
+def entropy():
+    return random.random()  # silenced by the file pragma

@@ -9,7 +9,7 @@ every pointer assignment.  These tests assert all of it.
 
 import pytest
 
-from repro import Control2Engine, DensityParams, MomentRecorder
+from repro import MomentRecorder
 
 FIGURE_4 = {
     "t0": (16, 1, 0, 1, 9, 9, 9, 16),

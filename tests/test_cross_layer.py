@@ -3,9 +3,8 @@
 import random
 from concurrent.futures import ThreadPoolExecutor
 
-import pytest
 
-from repro import JournaledDenseFile, PersistentDenseFile
+from repro import JournaledDenseFile
 from repro.applications import DensePriorityQueue, TimeSeriesStore
 from repro.concurrent import ThreadSafeDenseFile
 

@@ -1,6 +1,5 @@
 """Unit tests for the slotted on-disk page store."""
 
-import os
 
 import pytest
 

@@ -14,7 +14,6 @@ from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
-    initialize,
     invariant,
     rule,
 )

@@ -10,7 +10,7 @@ prefetched frames enter the pool clean.
 
 import pytest
 
-from repro import DenseSequentialFile, DensityParams, PersistentDenseFile
+from repro import DenseSequentialFile, PersistentDenseFile
 from repro.core.errors import ConfigurationError
 from repro.storage.backend import BufferedStore, MemoryStore
 

@@ -62,7 +62,6 @@ from repro import (  # noqa: E402
 from repro import DenseSequentialFile, PersistentDenseFile  # noqa: E402
 from repro.core.errors import (  # noqa: E402
     ConfigurationError,
-    FileFullError,
     ReadOnlyError,
 )
 from repro.storage.backend import (  # noqa: E402
@@ -337,7 +336,7 @@ def main() -> int:
         seed = random.randrange(1 << 30)
         try:
             single(seed, verbose=args.verbose)
-        except Exception as error:  # pragma: no cover - failure path
+        except Exception as error:  # pragma: no cover  # lint: allow[errors] -- reported, then exit 1
             print(f"FAILURE at seed {seed}: {error!r}")
             print(f"replay: python tools/fuzz.py --mode {args.mode} "
                   f"--seed {seed} --verbose")

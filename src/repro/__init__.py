@@ -42,7 +42,9 @@ from .core import (
     OverloadError,
     ReadOnlyError,
     RecordNotFoundError,
+    ReplicationError,
     ReproError,
+    StaleReplicaError,
     TransientIOError,
     UsageError,
     build_engine,
@@ -53,6 +55,19 @@ from .core import (
 )
 from .persistent import JournaledDenseFile, PersistentDenseFile
 from .records import Record, ensure_record
+from .replication import (
+    DirectoryTransport,
+    Failover,
+    JournalShipper,
+    PromotionResult,
+    QueueTransport,
+    Replica,
+    SoakConfig,
+    SoakReport,
+    StateRecorder,
+    bootstrap_replica,
+    run_soak,
+)
 from .storage import (
     AccessStats,
     AccessTrace,
@@ -93,13 +108,16 @@ __all__ = [
     "Deadline",
     "DenseSequentialFile",
     "DensityParams",
+    "DirectoryTransport",
     "DiskStore",
     "DuplicateKeyError",
+    "Failover",
     "FairRWLock",
     "FaultPlan",
     "FaultyStore",
     "FileFullError",
     "InvariantViolationError",
+    "JournalShipper",
     "LockProtocolError",
     "JournaledDenseFile",
     "MacroBlockControl2Engine",
@@ -113,16 +131,25 @@ __all__ = [
     "PageFile",
     "PageStore",
     "PersistentDenseFile",
+    "PromotionResult",
+    "QueueTransport",
     "ReadOnlyError",
     "Record",
     "RecordNotFoundError",
+    "ReplicationError",
     "ReproError",
+    "Replica",
     "RetryingStore",
+    "StaleReplicaError",
     "ScrubReport",
     "SimulatedDisk",
+    "SoakConfig",
+    "SoakReport",
+    "StateRecorder",
     "ThreadSafeDenseFile",
     "TransientIOError",
     "UsageError",
+    "bootstrap_replica",
     "build_engine",
     "ceil_log2",
     "ensure_record",
@@ -131,5 +158,6 @@ __all__ = [
     "make_store",
     "macro_params",
     "recommended_j",
+    "run_soak",
     "scrub",
 ]

@@ -18,6 +18,8 @@ Usage (also via ``python -m repro``):
     repro verify  orders.dsf
     repro scrub   orders.dsf        # repair / quarantine corrupt pages
     repro stress  --threads 8 --ops 400 --seed 7   # concurrency torture
+    repro stress  --replica-reads   # readers on a WAL-shipped replica
+    repro soak    --seconds 20 --seed 7   # primary+replica SLO soak
     repro bench   --quick --baseline BENCH_PR4.json  # perf matrix + gate
     repro demo                      # replay the paper's Example 5.2
 
@@ -215,6 +217,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the harness's negative controls (seeded race, "
         "lock-order deadlock) and require they are detected",
     )
+    stress.add_argument(
+        "--replica-reads", action="store_true", dest="replica_reads",
+        help="replication schedule instead: writers on a journaled "
+        "primary, readers on a WAL-shipped replica, every snapshot "
+        "checked prefix-consistent against the primary's commit digests",
+    )
+    stress.add_argument(
+        "--readers", type=int, default=2,
+        help="replica reader threads for --replica-reads",
+    )
+
+    soak = commands.add_parser(
+        "soak",
+        help="long-soak SLO runner: a primary+replica pair under mixed "
+        "load, seeded crashes, torn writes and bit flips, with "
+        "promote-on-crash failovers and scrub healing; writes a "
+        "repro-bench/1 JSON report (exit 0 clean, 1 findings)",
+    )
+    soak.add_argument(
+        "--seconds", type=float, default=20.0,
+        help="wall-clock soak duration",
+    )
+    soak.add_argument("--seed", type=int, default=7)
+    soak.add_argument(
+        "--transport", choices=["queue", "directory"], default="queue",
+        help="WAL shipping transport: in-process queue or a shipping "
+        "directory of one-file-per-transaction frames",
+    )
+    soak.add_argument(
+        "--workdir", default=None,
+        help="directory for the node files (default: a fresh temp dir)",
+    )
+    soak.add_argument(
+        "--out", default=None,
+        help="write the repro-bench/1 JSON report here",
+    )
+    soak.add_argument(
+        "--crash-every", type=int, default=200, dest="crash_every",
+        help="mean writes between seeded primary crashes",
+    )
+    soak.add_argument(
+        "--corrupt-every", type=int, default=450, dest="corrupt_every",
+        help="mean writes between torn-write/bit-flip corruption rounds",
+    )
+    soak.add_argument(
+        "--op-timeout", type=float, default=2.0, dest="op_timeout",
+        help="per-operation deadline budget, seconds",
+    )
 
     bench = commands.add_parser(
         "bench",
@@ -368,6 +418,9 @@ def _dispatch(args, out) -> int:
     if args.command == "stress":
         return _stress(args, out)
 
+    if args.command == "soak":
+        return _soak(args, out)
+
     if args.command == "demo":
         return _demo(out, backend=args.backend, cache_pages=args.cache_pages)
 
@@ -379,7 +432,20 @@ def _dispatch(args, out) -> int:
 
     if args.command == "info":
         from .storage.ondisk import CorruptPageError
+        from .storage.wal import journal_state
 
+        state = journal_state(args.path)
+        if not state.clean and getattr(args, "backend", "") != "journaled":
+            # A plain backend cannot replay the journal; report the
+            # durable LSN and what recovery would do instead of dying
+            # on the refuse-to-open error path.
+            print(f"journal:   {state.describe()}", file=out)
+            print(
+                "reopen with the journaled backend (default) to replay "
+                "the committed transaction or discard the torn tail",
+                file=out,
+            )
+            return 3
         try:
             with _open_backend(args) as dense:
                 return _dispatch_on_file(args, dense, out)
@@ -399,7 +465,7 @@ def _verify(args, out) -> int:
     """Checksums first (works even when pages are unreadable), then the
     structural invariants through the requested storage stack."""
     from .storage.ondisk import DiskPagedStore
-    from .storage.wal import TransactionJournal
+    from .storage.wal import TransactionJournal, journal_state
 
     with DiskPagedStore.open(args.path) as store:
         corrupt = store.verify_all()
@@ -421,6 +487,18 @@ def _verify(args, out) -> int:
                 file=out,
             )
         return 3
+    state = journal_state(args.path)
+    if not state.clean and getattr(args, "backend", "") != "journaled":
+        # Checksums passed, but recovery work is outstanding and the
+        # requested backend cannot run it: report the durable LSN and
+        # the pending-replay state instead of the refuse-to-open error.
+        print(f"journal:   {state.describe()}", file=out)
+        print(
+            "reopen with the journaled backend (default) to replay the "
+            "committed transaction or discard the torn tail",
+            file=out,
+        )
+        return 3
     with _open_backend(args) as dense:
         dense.validate()
         counters = flatten_counters(dense.store_stats())
@@ -429,6 +507,9 @@ def _verify(args, out) -> int:
         "checksums",
         file=out,
     )
+    state = journal_state(args.path)
+    if state.durable_sequence or not state.clean or state.applied_retained:
+        print(f"journal:   {state.describe()}", file=out)
     interesting = {
         key: value
         for key, value in sorted(counters.items())
@@ -541,6 +622,25 @@ def _stress(args, out) -> int:
         report = self_test(seed=args.seed)
         print(report.summary(), file=out)
         return 0 if report.ok else 1
+    if args.replica_reads:
+        from .concurrent.harness import (
+            ReplicaStressConfig,
+            run_replica_stress,
+        )
+
+        replica_report = run_replica_stress(
+            ReplicaStressConfig(
+                path=os.path.join(
+                    tempfile.mkdtemp(prefix="repro-stress-"), "primary.dsf"
+                ),
+                threads=args.threads,
+                readers=args.readers,
+                total_ops=args.ops,
+                seed=args.seed,
+            )
+        )
+        print(replica_report.summary(), file=out)
+        return 0 if replica_report.ok else 1
     path = None
     if args.stack in ("disk", "buffered"):
         path = os.path.join(
@@ -559,6 +659,35 @@ def _stress(args, out) -> int:
     )
     print(report.summary(), file=out)
     return 0 if report.ok else 1
+
+
+def _soak(args, out) -> int:
+    """Run the replication SLO soak; write the repro-bench/1 report."""
+    import json
+    import tempfile
+
+    from .replication import SoakConfig, run_soak
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-soak-")
+    report = run_soak(
+        SoakConfig(
+            workdir=workdir,
+            seconds=args.seconds,
+            seed=args.seed,
+            transport=args.transport,
+            crash_every=args.crash_every,
+            corrupt_every=args.corrupt_every,
+            op_timeout=args.op_timeout,
+        )
+    )
+    print(report.summary(), file=out)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_bench_report(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}", file=out)
+    return 0 if report.clean else 1
 
 
 def _scrub(args, out) -> int:
@@ -687,6 +816,16 @@ def _dispatch_on_file(args, dense, out) -> int:
                 "commands per fsync)",
                 file=out,
             )
+        from .storage.wal import journal_state
+
+        state = journal_state(dense.path)
+        if (
+            journal is not None
+            or state.durable_sequence
+            or not state.clean
+            or state.applied_retained
+        ):
+            print(f"wal:       {state.describe()}", file=out)
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")

@@ -15,7 +15,9 @@ from .errors import (
     OverloadError,
     ReadOnlyError,
     RecordNotFoundError,
+    ReplicationError,
     ReproError,
+    StaleReplicaError,
     TransientIOError,
     UsageError,
 )
@@ -47,7 +49,9 @@ __all__ = [
     "OverloadError",
     "ReadOnlyError",
     "RecordNotFoundError",
+    "ReplicationError",
     "ReproError",
+    "StaleReplicaError",
     "TransientIOError",
     "UsageError",
     "build_engine",

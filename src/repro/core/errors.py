@@ -115,6 +115,29 @@ class OverloadError(ReproError):
         self.in_flight = in_flight
 
 
+class ReplicationError(ReproError):
+    """A replication-pipeline operation failed.
+
+    Raised by :mod:`repro.replication` for transport faults (an
+    undecodable shipped record, a publish that cannot reach the
+    shipping directory), bootstrap misuse (seeding a replica from a
+    primary with uncommitted dirty pages), and orchestration errors.
+    Carries enough context to decide between retrying the ship and
+    re-seeding the replica.
+    """
+
+
+class StaleReplicaError(ReplicationError):
+    """A replica cannot serve: its applied state is behind or retired.
+
+    Raised when a replay arrives with a sequence gap (records were
+    lost in transport — the replica must be re-seeded, not patched),
+    and on any read against a replica whose store has since been
+    promoted (the new primary owns those pages now; the old handle
+    would observe torn mid-commit states).
+    """
+
+
 class ReadOnlyError(ReproError, PermissionError):
     """A mutation was attempted on a file in read-only degraded mode.
 

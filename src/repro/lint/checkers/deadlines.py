@@ -34,8 +34,12 @@ class DeadlineChecker(Checker):
     hint = "accept and forward the operation's timeout=/deadline= budget"
 
     def applies_to(self, relpath: str) -> bool:
-        """Deadline propagation is a ``concurrent/`` contract."""
-        return in_package(relpath, "concurrent")
+        """Deadline propagation is a ``concurrent/`` + ``replication/``
+        contract — replica reads and catch-up loops serve under the
+        same per-operation budgets as the primary front-end."""
+        return in_package(relpath, "concurrent") or in_package(
+            relpath, "replication"
+        )
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         """Flag blocking calls that drop the timeout/deadline budget."""

@@ -30,6 +30,7 @@ Example
 
 from __future__ import annotations
 
+import os
 from typing import Iterator, List, Optional
 
 from .core.control2 import Control2Engine
@@ -58,9 +59,18 @@ def _wrap_threadsafe(opened):
 class PersistentDenseFile:
     """Durable ``(d, D)``-dense sequential file with CONTROL 2 updates."""
 
+    #: Whether the first mutation retires a retained ``.journal.applied``
+    #: image beside the file.  True for plain write-through files: once
+    #: this class writes pages the retained images (left by an earlier
+    #: journaled session) describe a superseded state and must not be
+    #: used as a heal source.  :class:`JournaledDenseFile` overrides
+    #: this — its own commits keep the applied image current.
+    _retires_applied = True
+
     def __init__(self, dense: DenseSequentialFile):
         self.dense = dense
         self.engine = dense.engine
+        self._applied_retired = False
         #: Read-only degraded mode: set when the file was opened over
         #: quarantined (unrepairable) pages.  Mutations raise
         #: :class:`~repro.core.errors.ReadOnlyError`; intact ranges stay
@@ -150,8 +160,6 @@ class PersistentDenseFile:
         ``threadsafe=True`` wraps the opened file in a
         :class:`~repro.concurrent.ThreadSafeDenseFile`.
         """
-        import os
-
         if on_corruption not in ("raise", "degrade"):
             raise ConfigurationError(
                 f"on_corruption must be 'raise' or 'degrade', "
@@ -272,6 +280,14 @@ class PersistentDenseFile:
                 f"pages {list(self.quarantined)}); run `repro scrub` or "
                 "restore from backup before writing"
             )
+        if self._retires_applied and not self._applied_retired:
+            # First mutation through the plain (write-through) path: any
+            # retained applied-journal image now describes a stale state
+            # and must stop being a heal source.  Read-only flows keep it.
+            self._applied_retired = True
+            applied = self.path + ".journal.applied"
+            if os.path.exists(applied):
+                os.unlink(applied)
 
     def close(self) -> None:
         """Flush every layer and close the backing store."""
@@ -444,6 +460,10 @@ class JournaledDenseFile(PersistentDenseFile):
     reopen from disk.
     """
 
+    #: Journaled commits keep the retained applied image current; never
+    #: retire it (it is this class's own durable-LSN/heal-source record).
+    _retires_applied = False
+
     def __init__(self, dense: DenseSequentialFile, injector=None):
         from .storage.wal import TransactionJournal
 
@@ -506,14 +526,14 @@ class JournaledDenseFile(PersistentDenseFile):
         from .storage.wal import TransactionJournal
 
         journal = TransactionJournal(path + ".journal")
-        committed = journal.read_committed()
+        committed = journal.recover()
         if committed is not None:
             store = DiskPagedStore.open(path)
-            for page, payload in committed.items():
+            for page, payload in sorted(committed.items()):
                 store.write_page_payload(page, payload)
             store.flush()
             store.close()
-        journal.clear()
+            journal.mark_applied()
         plain = PersistentDenseFile.open(path, write_through=False)
         opened = cls(plain.dense, injector=injector)
         return _wrap_threadsafe(opened) if threadsafe else opened
@@ -543,7 +563,7 @@ class JournaledDenseFile(PersistentDenseFile):
         for page, payload in payloads.items():
             store.raw.write_page_payload(page, payload)
         store.raw.flush()
-        self.journal.clear()
+        self.journal.mark_applied()
         store.dirty.clear()
 
     def _transactional(self, operation):
@@ -637,6 +657,11 @@ class JournaledDenseFile(PersistentDenseFile):
         stats = super().store_stats()
         stats["journal"] = self.journal.counters()
         return stats
+
+    @property
+    def durable_sequence(self) -> int:
+        """LSN of the last durably committed transaction (0 when none)."""
+        return self.journal.sequence
 
     # ------------------------------------------------------------------
     # validation

@@ -1,0 +1,306 @@
+"""Replica: replays shipped transaction records onto its own store.
+
+A replica owns a full copy of the primary's file plus its own
+:class:`~repro.storage.wal.TransactionJournal`.  Every shipped record
+is applied with the same journal-then-apply-then-retire protocol the
+primary uses (journal the pages under the *primary's* sequence number,
+fsync, write the pages, rename the journal to the applied slot) — so a
+replica crash at any point recovers exactly like a primary crash, and
+the applied LSN is always durable on the replica's own disk.
+
+Reads run under a :class:`~repro.concurrent.FairRWLock` with deadline
+budgets, against a lazily (re)built read view: the replica applies raw
+page images without interpreting them, and mounts a fresh
+:class:`~repro.persistent.PersistentDenseFile` over the store when a
+reader first arrives after an apply.  Because applies are whole
+committed transactions, every view — and every
+:meth:`Replica.snapshot` — is a *prefix-consistent* state: exactly the
+primary's state at some committed sequence, never a mid-transaction
+mixture.
+
+:meth:`Replica.promote` turns the replica into a writable primary: it
+runs the standard journal recovery (discard a torn tail, replay to the
+last durable commit) via :meth:`JournaledDenseFile.open` and retires
+this object — further reads raise
+:class:`~repro.core.errors.StaleReplicaError`, because the promoted
+primary now owns the pages and a stale handle could observe its
+mid-commit states.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..concurrent import Deadline, FairRWLock
+from ..core.errors import ReplicationError, StaleReplicaError
+from ..persistent import JournaledDenseFile, PersistentDenseFile
+from ..records import Record
+from ..storage.ondisk import DiskPagedStore
+from ..storage.wal import TransactionJournal, TransactionRecord
+
+
+class Replica:
+    """A warm standby applying shipped records, readable at any prefix."""
+
+    def __init__(
+        self,
+        path: str,
+        op_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.path = path
+        self.op_timeout = op_timeout
+        self._clock = clock
+        self._lock = FairRWLock(clock=clock)
+        self.journal = TransactionJournal(path + ".journal")
+        # Crash recovery: a committed journal left by a replica that
+        # died mid-apply is replayed (idempotent redo), a torn one is
+        # discarded — identical to primary recovery.
+        committed = self.journal.recover()
+        if committed is not None:
+            with DiskPagedStore.open(path) as store:
+                for page, payload in sorted(committed.items()):
+                    store.write_page_payload(page, payload)
+                store.flush()
+            self.journal.mark_applied()
+        self._store: Optional[DiskPagedStore] = DiskPagedStore.open(path)
+        self._view: Optional[PersistentDenseFile] = None
+        self._promoted = False
+        #: Shipped records applied by this object (duplicates excluded).
+        self.records_applied = 0
+        #: Already-applied records skipped idempotently.
+        self.duplicates_skipped = 0
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def applied_sequence(self) -> int:
+        """LSN of the last transaction applied to this replica."""
+        return self.journal.sequence
+
+    def lag(self, primary_sequence: int) -> int:
+        """Committed primary transactions this replica has not applied."""
+        return max(0, primary_sequence - self.applied_sequence)
+
+    def _budget(
+        self, timeout: Optional[float], deadline: Optional[Deadline]
+    ) -> Deadline:
+        return Deadline.resolve(
+            timeout, deadline, self.op_timeout, self._clock
+        )
+
+    def _check_serving(self) -> None:
+        if self._promoted:
+            raise StaleReplicaError(
+                f"replica {self.path} was promoted; this handle is "
+                "retired — read from the promoted primary instead"
+            )
+        if self._store is None:
+            raise ReplicationError(f"replica {self.path} is closed")
+
+    # ------------------------------------------------------------------
+    # applying shipped records
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        record: TransactionRecord,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> bool:
+        """Apply one shipped record; False for an idempotent duplicate.
+
+        Records must arrive in sequence order: a gap means the
+        transport lost records, and patching over it would silently
+        fork the replica from the primary's history — that raises
+        :class:`~repro.core.errors.StaleReplicaError` (re-seed the
+        replica from a fresh copy).
+        """
+        budget = self._budget(timeout, deadline)
+        with self._lock.write_locked(budget):
+            self._check_serving()
+            assert self._store is not None
+            applied = self.journal.sequence
+            if record.sequence <= applied:
+                self.duplicates_skipped += 1
+                return False
+            if record.sequence != applied + 1:
+                raise StaleReplicaError(
+                    f"replica {self.path} is at sequence {applied} but "
+                    f"record {record.sequence} arrived — records "
+                    f"{applied + 1}..{record.sequence - 1} were lost in "
+                    "transport; re-seed the replica"
+                )
+            self.journal.write_transaction(
+                record.pages, sequence=record.sequence
+            )
+            for page, payload in sorted(record.pages.items()):
+                self._store.write_page_payload(page, payload)
+            self._store.flush()
+            self.journal.mark_applied()
+            self._invalidate_view_locked()
+            self.records_applied += 1
+            return True
+
+    def catch_up(
+        self,
+        transport: Any,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+        batch: int = 64,
+    ) -> int:
+        """Poll and apply every available record; returns applies done."""
+        budget = self._budget(timeout, deadline)
+        applied = 0
+        while True:
+            records = transport.poll(self.applied_sequence, limit=batch)
+            if not records:
+                return applied
+            for record in records:
+                if self.apply(record, deadline=budget):
+                    applied += 1
+            transport.ack(self.applied_sequence)
+            budget.check("replica catch-up")
+
+    # ------------------------------------------------------------------
+    # reading (prefix-consistent snapshots)
+    # ------------------------------------------------------------------
+
+    def _invalidate_view_locked(self) -> None:
+        if self._view is not None:
+            self._view.close()
+            self._view = None
+
+    def _with_view(self, budget: Deadline, reader: Callable[..., Any]) -> Any:
+        """Run ``reader(view)`` under the read lock, building if needed."""
+        while True:
+            with self._lock.read_locked(budget):
+                self._check_serving()
+                if self._view is not None:
+                    return reader(self._view)
+            with self._lock.write_locked(budget):
+                self._check_serving()
+                if self._view is None:
+                    self._view = PersistentDenseFile.open(
+                        self.path, write_through=False
+                    )
+            budget.check("replica read")
+
+    def snapshot(
+        self,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Tuple[int, Tuple[Tuple[Any, Any], ...]]:
+        """``(applied_sequence, records)`` as one atomic observation.
+
+        The pair is taken under a single read-lock hold, so the record
+        stream is exactly the primary's committed state at that
+        sequence — the property the replica-reads stress schedule
+        checks against the primary-side digest recorder.
+        """
+        budget = self._budget(timeout, deadline)
+
+        def _read(view: PersistentDenseFile) -> Tuple[int, Tuple]:
+            records = tuple(
+                (record.key, record.value)
+                for record in view.engine.pagefile.iter_all()
+            )
+            return (self.journal.sequence, records)
+
+        return self._with_view(budget, _read)
+
+    def search(
+        self,
+        key: Any,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> Optional[Record]:
+        """Point lookup against the current prefix-consistent view."""
+        budget = self._budget(timeout, deadline)
+        return self._with_view(budget, lambda view: view.search(key))
+
+    def scan(
+        self,
+        start_key: Any,
+        count: int,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> List[Record]:
+        """Ordered scan against the current prefix-consistent view."""
+        budget = self._budget(timeout, deadline)
+        return self._with_view(
+            budget, lambda view: view.scan(start_key, count)
+        )
+
+    def __len__(self) -> int:
+        budget = self._budget(None, None)
+        return int(self._with_view(budget, len))
+
+    # ------------------------------------------------------------------
+    # promotion
+    # ------------------------------------------------------------------
+
+    def promote(
+        self,
+        injector: Any = None,
+        timeout: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> JournaledDenseFile:
+        """Recover and reopen this replica as a writable primary.
+
+        Runs the standard journal recovery (discard a torn tail, replay
+        to the last durable commit) and rebuilds the full engine state
+        from disk.  This handle is retired: subsequent reads raise
+        :class:`~repro.core.errors.StaleReplicaError`.
+        """
+        budget = self._budget(timeout, deadline)
+        with self._lock.write_locked(budget):
+            self._check_serving()
+            assert self._store is not None
+            self._invalidate_view_locked()
+            self._store.close()
+            self._store = None
+            self._promoted = True
+        return JournaledDenseFile.open(self.path, injector=injector)
+
+    def close(self) -> None:
+        """Release file handles (idempotent)."""
+        budget = self._budget(None, None)
+        with self._lock.write_locked(budget):
+            self._invalidate_view_locked()
+            if self._store is not None:
+                self._store.close()
+                self._store = None
+
+
+def bootstrap_replica(
+    primary: JournaledDenseFile,
+    replica_path: str,
+    op_timeout: float = 5.0,
+    clock: Callable[[], float] = time.monotonic,
+) -> Replica:
+    """Seed a new replica from a full copy of ``primary``'s file.
+
+    The primary must be quiescent for the copy: no uncommitted dirty
+    pages (commit or roll back the open transaction first) and no
+    concurrent writers until this returns.  The copied file already
+    holds every page through the primary's durable sequence, so the
+    replica's journal is stamped with that LSN and shipping resumes
+    from there.
+    """
+    if primary._dirty:
+        raise ReplicationError(
+            "cannot bootstrap a replica from a primary with an "
+            "uncommitted transaction; commit or close the group first"
+        )
+    primary._raw.flush()
+    shutil.copyfile(primary.path, replica_path)
+    if primary.durable_sequence > 0:
+        TransactionJournal(replica_path + ".journal").stamp_applied(
+            primary.durable_sequence
+        )
+    return Replica(replica_path, op_timeout=op_timeout, clock=clock)

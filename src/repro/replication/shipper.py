@@ -1,0 +1,80 @@
+"""JournalShipper: tail a primary's journal onto a transport.
+
+The shipper subscribes to the primary's
+:class:`~repro.storage.wal.TransactionJournal`, so it sees every
+committed :class:`~repro.storage.wal.TransactionRecord` on the
+committing thread, immediately after the commit fsync and before the
+main-store apply.  That ordering is the whole correctness argument: a
+transaction that reaches the shipper is durable on the primary, and a
+crash before the fsync reaches neither the primary's disk nor the
+replica — there is no window where the replica runs ahead of what the
+primary would recover to (the replica may be *behind*, which is what
+:meth:`JournalShipper.lag_records` measures and
+:meth:`~repro.replication.Failover.sync` drains).
+
+Publish failures (a full disk under a
+:class:`~repro.replication.DirectoryTransport`, say) must not fail the
+primary's commit: the record stays in an ordered pending queue and is
+retried on the next commit or an explicit :meth:`JournalShipper.flush`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque
+
+from ..core.errors import ReproError
+from ..storage.wal import TransactionJournal, TransactionRecord
+
+
+class JournalShipper:
+    """Streams committed journal records onto a transport, in order."""
+
+    def __init__(self, journal: TransactionJournal, transport) -> None:
+        self.journal = journal
+        self.transport = transport
+        self._lock = threading.Lock()
+        self._pending: Deque[TransactionRecord] = deque()
+        #: Records successfully handed to the transport.
+        self.shipped = 0
+        #: Publish attempts that failed (record retained for retry).
+        self.publish_failures = 0
+        self.detached = False
+        journal.subscribe(self._on_commit)
+
+    def _on_commit(self, record: TransactionRecord) -> None:
+        """Journal subscriber: enqueue and opportunistically drain."""
+        with self._lock:
+            self._pending.append(record)
+            self._drain_locked()
+
+    def _drain_locked(self) -> None:
+        while self._pending:
+            record = self._pending[0]
+            try:
+                self.transport.publish(record)
+            except (OSError, ReproError):
+                # The commit itself already succeeded on the primary;
+                # keep the record queued (order preserved) and surface
+                # the problem through the failure counter and lag.
+                self.publish_failures += 1
+                return
+            self._pending.popleft()
+            self.shipped += 1
+
+    def flush(self) -> bool:
+        """Retry any queued publishes; True when fully drained."""
+        with self._lock:
+            self._drain_locked()
+            return not self._pending
+
+    def lag_records(self) -> int:
+        """Committed records not yet handed to the transport."""
+        with self._lock:
+            return len(self._pending)
+
+    def detach(self) -> None:
+        """Stop tailing the journal (idempotent; queue is kept)."""
+        self.journal.unsubscribe(self._on_commit)
+        self.detached = True

@@ -1,0 +1,157 @@
+"""Transports carrying committed transaction records to a replica.
+
+A transport is a tiny ordered mailbox of encoded
+:class:`~repro.storage.wal.TransactionRecord` frames with three
+operations: ``publish`` (primary side), ``poll`` (replica side, records
+strictly after a sequence number, in order) and ``ack`` (prune records
+the replica has durably applied).  Two implementations:
+
+* :class:`QueueTransport` — an in-process, lock-guarded list.  Zero
+  configuration; the default for tests and single-process soaks.
+* :class:`DirectoryTransport` — a "shipping directory" of one file per
+  record, named by zero-padded sequence so a plain sorted listing *is*
+  the log order.  Each file is written to a temp name and
+  ``os.replace``d in, so a reader never observes a half-written record;
+  torn or tampered files fail their CRC on decode and surface as
+  :class:`~repro.core.errors.ReplicationError` rather than being
+  replayed.  Works across processes (and, with a network filesystem,
+  across hosts).
+
+Both are single-consumer: ``ack`` physically discards records, so one
+replica owns a transport.  Fan-out wants one transport per replica.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import List
+
+from ..core.errors import ReplicationError
+from ..storage.ondisk import StorageError
+from ..storage.wal import TransactionRecord
+
+RECORD_SUFFIX = ".txn"
+_SEQ_WIDTH = 20  # zero-padded u64 — lexicographic order == numeric order
+
+
+class QueueTransport:
+    """In-process transport: a lock-guarded ordered record buffer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[TransactionRecord] = []
+        #: Records ever published (survives ack pruning).
+        self.published = 0
+
+    def publish(self, record: TransactionRecord) -> None:
+        """Append one committed record to the buffer."""
+        with self._lock:
+            self._records.append(record)
+            self.published += 1
+
+    def poll(
+        self, after_sequence: int, limit: int = 64
+    ) -> List[TransactionRecord]:
+        """Up to ``limit`` records with sequence > ``after_sequence``."""
+        with self._lock:
+            pending = [
+                record
+                for record in self._records
+                if record.sequence > after_sequence
+            ]
+        pending.sort(key=lambda record: record.sequence)
+        return pending[:limit]
+
+    def ack(self, sequence: int) -> None:
+        """Discard records with sequence <= ``sequence`` (applied)."""
+        with self._lock:
+            self._records = [
+                record
+                for record in self._records
+                if record.sequence > sequence
+            ]
+
+    def latest_sequence(self) -> int:
+        """Highest sequence currently held (0 when empty)."""
+        with self._lock:
+            if not self._records:
+                return 0
+            return max(record.sequence for record in self._records)
+
+
+class DirectoryTransport:
+    """File-per-record transport over a shipping directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.published = 0
+
+    def _path(self, sequence: int) -> str:
+        return os.path.join(
+            self.directory, f"{sequence:0{_SEQ_WIDTH}d}{RECORD_SUFFIX}"
+        )
+
+    def _sequences(self) -> List[int]:
+        sequences = []
+        for name in os.listdir(self.directory):
+            stem, ext = os.path.splitext(name)
+            if ext == RECORD_SUFFIX and stem.isdigit():
+                sequences.append(int(stem))
+        sequences.sort()
+        return sequences
+
+    def publish(self, record: TransactionRecord) -> None:
+        """Durably write one record file (atomic rename, fsynced)."""
+        scratch = self._path(record.sequence) + ".tmp"
+        with open(scratch, "wb") as handle:
+            handle.write(record.encode())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, self._path(record.sequence))
+        self.published += 1
+
+    def poll(
+        self, after_sequence: int, limit: int = 64
+    ) -> List[TransactionRecord]:
+        """Decode up to ``limit`` records after ``after_sequence``.
+
+        A file that fails to decode (torn copy, bit rot in transit) is a
+        :class:`~repro.core.errors.ReplicationError`: the replica must
+        stop at the gap rather than replay a damaged or out-of-order
+        record.
+        """
+        records: List[TransactionRecord] = []
+        for sequence in self._sequences():
+            if sequence <= after_sequence:
+                continue
+            if len(records) >= limit:
+                break
+            path = self._path(sequence)
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            try:
+                record = TransactionRecord.decode(raw)
+            except StorageError as error:
+                raise ReplicationError(
+                    f"shipped record {path} is undecodable: {error}"
+                ) from error
+            if record.sequence != sequence:
+                raise ReplicationError(
+                    f"shipped record {path} carries sequence "
+                    f"{record.sequence}, expected {sequence}"
+                )
+            records.append(record)
+        return records
+
+    def ack(self, sequence: int) -> None:
+        """Delete record files with sequence <= ``sequence``."""
+        for existing in self._sequences():
+            if existing <= sequence:
+                os.unlink(self._path(existing))
+
+    def latest_sequence(self) -> int:
+        """Highest sequence currently shipped (0 when empty)."""
+        sequences = self._sequences()
+        return sequences[-1] if sequences else 0

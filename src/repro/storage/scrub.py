@@ -9,9 +9,14 @@ can no longer be trusted (a torn write, a bit-flip, a crash mid-apply):
 2. **Repair** — if a *committed* transaction journal sits beside the
    file, replay it (redo is idempotent): any damaged page whose image
    was journaled gets its last committed contents back.  The journal is
-   then cleared, exactly as crash recovery would.
-3. **Quarantine** — pages still corrupt after redo have no surviving
-   committed image; they are recorded in the report and left untouched
+   then retired exactly as crash recovery would (renamed to the
+   ``.applied`` slot, preserving the durable sequence).  Pages still
+   corrupt afterwards get a second chance from the *retained applied*
+   journal image — the last applied transaction's pages are already on
+   the main store, so rewriting them is an idempotent heal for a torn
+   or bit-flipped apply write.
+3. **Quarantine** — pages still corrupt after both passes have no
+   surviving committed image; they are recorded in the report and left untouched
    on disk (no destructive zeroing — the operator may still salvage
    bytes).  Opening the file afterwards requires
    ``PersistentDenseFile.open(path, on_corruption="degrade")``, which
@@ -44,6 +49,8 @@ class ScrubReport:
     journal_replayed: bool = False
     #: Corrupt pages healed by the journal redo.
     repaired: Tuple[int, ...] = ()
+    #: Corrupt pages healed from the retained applied-journal image.
+    healed: Tuple[int, ...] = ()
     #: Pages still corrupt after redo (no committed image survives).
     quarantined: Tuple[int, ...] = ()
     #: Structural-invariant failures found on the repaired file.
@@ -66,8 +73,9 @@ class ScrubReport:
         lines = list(self.log)
         if self.healthy:
             verdict = "healthy"
-            if self.repaired:
-                verdict += f" (repaired pages {list(self.repaired)})"
+            mended = sorted(set(self.repaired) | set(self.healed))
+            if mended:
+                verdict += f" (repaired pages {mended})"
         elif self.quarantined:
             verdict = (
                 f"DEGRADED: pages {list(self.quarantined)} quarantined; "
@@ -105,31 +113,52 @@ def scrub(path: str) -> ScrubReport:
         )
 
         journal = TransactionJournal(path + ".journal")
-        committed = journal.read_committed()
+        had_torn = journal.exists() and journal.read_committed() is None
+        committed = journal.recover()
         if committed is not None:
             for page, payload in sorted(committed.items()):
                 raw.write_page_payload(page, payload)
             raw.flush()
+            journal.mark_applied()
             report.journal_replayed = True
             report.log.append(
                 f"replayed committed journal ({len(committed)} page images)"
             )
-        elif journal.exists():
+        elif had_torn:
             report.log.append("discarded torn (uncommitted) journal")
-        if journal.exists():
-            journal.clear()
 
         still_corrupt = (
             tuple(raw.verify_all())
             if report.corrupt or report.journal_replayed
             else ()
         )
-        report.quarantined = still_corrupt
         report.repaired = tuple(
             page for page in report.corrupt if page not in still_corrupt
         )
         if report.repaired:
             report.log.append(f"repaired pages {list(report.repaired)}")
+
+        if still_corrupt:
+            applied = journal.read_applied()
+            if applied:
+                healed = []
+                for page in still_corrupt:
+                    payload = applied.get(page)
+                    if payload is not None:
+                        raw.write_page_payload(page, payload)
+                        healed.append(page)
+                if healed:
+                    raw.flush()
+                    still_corrupt = tuple(raw.verify_all())
+                    report.healed = tuple(
+                        page for page in healed if page not in still_corrupt
+                    )
+                    report.log.append(
+                        "healed pages "
+                        f"{list(report.healed)} from the retained "
+                        "applied-journal image"
+                    )
+        report.quarantined = still_corrupt
         if report.quarantined:
             report.log.append(
                 f"quarantined pages {list(report.quarantined)}: no "

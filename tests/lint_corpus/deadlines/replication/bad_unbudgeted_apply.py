@@ -1,0 +1,7 @@
+"""LNT006 fixture: replication code that drops the budget."""
+
+
+def apply_forever(self, worker):
+    self._lock.write_locked()  # finding: no deadline
+    self._cond.wait()  # finding: unbounded sleep
+    worker.join()  # finding: hangs on a wedged applier

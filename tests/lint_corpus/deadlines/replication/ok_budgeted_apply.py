@@ -1,0 +1,8 @@
+"""LNT006 negative control: replication code carrying the budget."""
+
+
+def apply_bounded(self, worker, budget):
+    with self._lock.write_locked(budget):
+        self._cond.wait(budget.wait_budget())
+    worker.join(10.0)
+    return worker.is_alive()

@@ -267,3 +267,106 @@ class TestPhysicalCorruptionLadder:
                     refused()
             degraded.validate()
             degraded.close()
+
+
+class TestGroupCommitBoundaryFaults:
+    """Faults landing exactly at the group-commit record boundary of
+    ``transaction()``: the group must commit whole or not at all."""
+
+    PRELOAD = range(0, 40, 2)
+    GROUP_INSERTS = (101, 103, 105)
+    GROUP_DELETES = (0, 4)
+
+    def _run_group(self, dense):
+        with dense.transaction():
+            for key in self.GROUP_INSERTS:
+                dense.insert(key)
+            for key in self.GROUP_DELETES:
+                dense.delete(key)
+
+    def _expected_after(self, before):
+        return sorted(
+            (set(before) | set(self.GROUP_INSERTS))
+            - set(self.GROUP_DELETES)
+        )
+
+    @given(crash_point=st.integers(0, 40), seed=st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_crash_inside_group_commit_is_all_or_nothing(
+        self, crash_point, seed
+    ):
+        """A crash at any check boundary of the group's journal write or
+        apply recovers to exactly the pre-group or post-group state —
+        never a partial subset of the group's commands."""
+        with tempfile.TemporaryDirectory() as directory:
+            path = os.path.join(directory, "group.dsf")
+            plan = FaultPlan(seed=seed)
+            dense = JournaledDenseFile.create(
+                path, num_pages=16, d=8, D=28, injector=plan
+            )
+            dense.insert_many(self.PRELOAD)
+            before = [r.key for r in dense.range(-1, 10**9)]
+            plan.arm(crash_point)
+            crashed = False
+            try:
+                self._run_group(dense)
+            except SimulatedCrash:
+                crashed = True
+            plan.disarm()
+            dense._raw.close()
+            reopened = JournaledDenseFile.open(path)
+            state = [r.key for r in reopened.range(-1, 10**9)]
+            assert state in (before, self._expected_after(before))
+            if not crashed:
+                assert state == self._expected_after(before)
+            reopened.validate()
+            reopened.close()
+
+    @given(
+        offset=st.integers(0, 12),
+        torn=st.booleans(),
+        seed=st.integers(0, 300),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_torn_or_flipped_group_apply_heals_to_whole_group(
+        self, offset, torn, seed
+    ):
+        """Tear (or bit-flip) the Nth physical frame of the group's
+        apply phase — any page of the commit, including the first and
+        last record boundary.  The journal retains the whole group's
+        images, so scrub must heal back to the complete post-group
+        state; the group is never observed partially applied."""
+        with tempfile.TemporaryDirectory() as directory:
+            path = os.path.join(directory, "group.dsf")
+            plan = FaultPlan(seed=seed)
+            dense = JournaledDenseFile.create(
+                path, num_pages=16, d=8, D=28, injector=plan
+            )
+            dense.insert_many(self.PRELOAD)
+            before = [r.key for r in dense.range(-1, 10**9)]
+            with dense.transaction():
+                for key in self.GROUP_INSERTS:
+                    dense.insert(key)
+                for key in self.GROUP_DELETES:
+                    dense.delete(key)
+                # Arm now: the group's pages are written at block exit,
+                # so this lands the corruption on the (offset mod n)-th
+                # frame of the apply — a precise record boundary of the
+                # group commit.
+                group_pages = len(dense._dirty)
+                target = plan.physical_writes + (offset % group_pages)
+                if torn:
+                    plan.torn_write_at = target
+                else:
+                    plan.bitflip_at = target
+            assert plan.torn_writes + plan.bitflips == 1
+            dense._raw.close()
+
+            report = scrub(path)
+            assert report.healthy, report.summary()
+            healed = set(report.repaired) | set(report.healed)
+            assert healed == set(plan.corrupted_pages)
+            with JournaledDenseFile.open(path) as reopened:
+                state = [r.key for r in reopened.range(-1, 10**9)]
+                assert state == self._expected_after(before)
+                reopened.validate()

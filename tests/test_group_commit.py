@@ -137,8 +137,10 @@ class TestCounterPlumbing:
             "pages_journaled",
             "bytes_journaled",
             "fsyncs",
+            "sequence",
         }
         assert counters["transactions"] == 1
+        assert counters["sequence"] == 1
         assert counters["pages_journaled"] >= 1
         assert counters["bytes_journaled"] > 0
         dense.close()

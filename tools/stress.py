@@ -16,6 +16,11 @@ the report prints a schedule digest so a failure replays exactly.
 with the lock deliberately bypassed must be *detected*, and a lock-
 order deadlock must surface as ``OperationTimeout`` instead of a hang.
 
+``--replica-reads`` swaps in the replication schedule: writer threads
+on a journaled primary, reader threads snapshotting a WAL-shipped
+replica, every snapshot checked prefix-consistent against the
+primary's commit-time digests.
+
 Exit codes: 0 clean, 1 violation/deadlock, 2 failed self-test.
 """
 
@@ -83,6 +88,12 @@ def main() -> int:
                         help="per-operation deadline in seconds")
     parser.add_argument("--self-test", action="store_true",
                         help="run the positive + negative controls and exit")
+    parser.add_argument("--replica-reads", action="store_true",
+                        dest="replica_reads",
+                        help="replication schedule: writers on the primary, "
+                        "prefix-consistency-checked readers on a replica")
+    parser.add_argument("--readers", type=int, default=2,
+                        help="replica reader threads for --replica-reads")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args()
 
@@ -90,6 +101,26 @@ def main() -> int:
         report = self_test(seed=args.seed or 0)
         print(report.summary())
         return 0 if report.ok else 2
+
+    if args.replica_reads:
+        from repro.concurrent.harness import (  # noqa: E402
+            ReplicaStressConfig,
+            run_replica_stress,
+        )
+
+        report = run_replica_stress(
+            ReplicaStressConfig(
+                path=os.path.join(
+                    tempfile.mkdtemp(prefix="repro-stress-"), "primary.dsf"
+                ),
+                threads=args.threads,
+                readers=args.readers,
+                total_ops=args.ops,
+                seed=args.seed if args.seed is not None else 0,
+            )
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
 
     if args.seed is not None:
         report = run_stress(build_config(args, args.seed))

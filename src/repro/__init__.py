@@ -20,11 +20,14 @@ from .concurrent import (
     AdmissionGate,
     Deadline,
     FairRWLock,
+    RetryPolicy,
     ThreadSafeDenseFile,
 )
 from .core import (
     AdaptiveControl2Engine,
     CalibratorTree,
+    CircuitOpenError,
+    ClusterError,
     ConfigurationError,
     Control1Engine,
     Control2Engine,
@@ -44,9 +47,12 @@ from .core import (
     RecordNotFoundError,
     ReplicationError,
     ReproError,
+    ShardUnavailableError,
     StaleReplicaError,
     TransientIOError,
+    TransientNetworkError,
     UsageError,
+    WireProtocolError,
     build_engine,
     ceil_log2,
     macro_block_factor,
@@ -90,6 +96,20 @@ from .storage import (
     scrub,
 )
 
+# The cluster package sits on top of concurrent + storage; importing it
+# last keeps the storage.faults -> concurrent.retry submodule import
+# free of a partially-initialized-package cycle.
+from .cluster import (
+    ChaosChannel,
+    CircuitBreaker,
+    ClusterClient,
+    ClusterServer,
+    NetFaultPlan,
+    ScanResult,
+    ShardMap,
+    ShardedDenseFile,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -100,6 +120,12 @@ __all__ = [
     "BackoffPolicy",
     "BufferedStore",
     "CalibratorTree",
+    "ChaosChannel",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ClusterClient",
+    "ClusterError",
+    "ClusterServer",
     "ConfigurationError",
     "Control1Engine",
     "Control2Engine",
@@ -123,6 +149,7 @@ __all__ = [
     "MacroBlockControl2Engine",
     "MemoryStore",
     "Moment",
+    "NetFaultPlan",
     "MomentRecorder",
     "OperationLog",
     "OperationTimeout",
@@ -139,7 +166,12 @@ __all__ = [
     "ReplicationError",
     "ReproError",
     "Replica",
+    "RetryPolicy",
     "RetryingStore",
+    "ScanResult",
+    "ShardMap",
+    "ShardUnavailableError",
+    "ShardedDenseFile",
     "StaleReplicaError",
     "ScrubReport",
     "SimulatedDisk",
@@ -148,7 +180,9 @@ __all__ = [
     "StateRecorder",
     "ThreadSafeDenseFile",
     "TransientIOError",
+    "TransientNetworkError",
     "UsageError",
+    "WireProtocolError",
     "bootstrap_replica",
     "build_engine",
     "ceil_log2",

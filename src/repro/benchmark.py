@@ -50,7 +50,10 @@ from .workloads.generators import DELETE, INSERT, mixed_workload
 SCHEMA = "repro-bench/1"
 
 SCENARIOS = ("bulk_load", "insert_burst", "mixed", "stream_scan")
-BACKENDS = ("memory", "buffered", "disk")
+#: ``cluster`` runs the workload through a real TCP round trip per
+#: operation against a loopback :class:`~repro.cluster.server.ClusterServer`
+#: over a 4-shard store — the networked cost of the same algorithms.
+BACKENDS = ("memory", "buffered", "disk", "cluster")
 
 #: Default knobs; ``quick`` mode shrinks ops for CI smoke jobs.
 DEFAULT_OPS = 4000
@@ -145,6 +148,8 @@ def _run_scenario(
     cache_pages: int,
     readahead: int,
 ) -> dict:
+    if backend == "cluster":
+        return _run_cluster_scenario(scenario, ops, seed)
     geometry = _geometry(ops)
     dense = _make_file(backend, geometry, tmpdir, cache_pages, readahead)
     clock = time.perf_counter
@@ -240,6 +245,111 @@ def _btree_scan(geometry: Dict[str, int], ops: int) -> dict:
         "ops_per_sec": (scanned / elapsed) if elapsed > 0 else 0.0,
         "page_accesses": tree.stats.page_accesses - before,
     }
+
+
+def _run_cluster_scenario(scenario: str, ops: int, seed: int) -> dict:
+    """One scenario through the sharded cluster over loopback TCP.
+
+    Every timed operation is a full client round trip — framing, CRC,
+    socket write, server dispatch, shard update, response — so this
+    cell prices the *network* layer the other backends omit.  Preloads
+    happen server-side (untimed); page accesses are summed across the
+    shards' logical counters, which stay deterministic because loopback
+    TCP injects no faults and therefore no retries.
+    """
+    from .cluster import ClusterClient, ClusterServer, ShardedDenseFile
+
+    key_space = 4 * ops
+    store = ShardedDenseFile.build(
+        num_shards=4, key_space=key_space, capacity_hint=ops
+    )
+    server = ClusterServer(store)
+    host, port = server.start()
+    clock = time.perf_counter
+    latencies: List[float] = []
+    executed = 0
+
+    def accesses_now() -> int:
+        return sum(shard.stats.page_accesses for shard in store.shards)
+
+    try:
+        with ClusterClient.connect(host, port) as client:
+            if scenario == "bulk_load":
+                keys = list(range(0, 2 * ops, 2))
+                before = accesses_now()
+                start = clock()
+                for chunk in _chunks(keys, _CHUNK):
+                    t0 = clock()
+                    for key in chunk:
+                        client.insert(key)
+                    latencies.append((clock() - t0) / len(chunk))
+                    executed += len(chunk)
+                elapsed = clock() - start
+            elif scenario == "insert_burst":
+                for key in range(0, 2 * ops, 4):
+                    store.insert(key)
+                burst = [key + 1 for key in range(0, 2 * ops, 4)]
+                burst = burst[: ops - len(store)]
+                before = accesses_now()
+                start = clock()
+                for chunk in _chunks(burst, _CHUNK):
+                    t0 = clock()
+                    for key in chunk:
+                        client.insert(key)
+                    latencies.append((clock() - t0) / len(chunk))
+                    executed += len(chunk)
+                elapsed = clock() - start
+            elif scenario == "mixed":
+                preload = list(range(0, ops, 2))
+                for key in preload:
+                    store.insert(key)
+                stream = mixed_workload(
+                    ops // 2,
+                    insert_ratio=0.5,
+                    key_space=key_space,
+                    seed=seed,
+                    preloaded=preload,
+                )
+                before = accesses_now()
+                start = clock()
+                for operation in stream:
+                    t0 = clock()
+                    if operation.kind == INSERT:
+                        client.insert(operation.key, operation.value)
+                    elif operation.kind == DELETE:
+                        client.delete(operation.key)
+                    latencies.append(clock() - t0)
+                    executed += 1
+                elapsed = clock() - start
+            elif scenario == "stream_scan":
+                keys = list(range(ops))
+                for key in keys:
+                    store.insert(key)
+                before = accesses_now()
+                start = clock()
+                result = client.range(keys[0], keys[-1])
+                elapsed = clock() - start
+                executed = len(result)
+                latencies.append(elapsed / max(1, executed))
+            else:
+                raise ConfigurationError(
+                    f"unknown scenario {scenario!r}; pick one of {SCENARIOS}"
+                )
+            accesses = accesses_now() - before
+            retries = client.client_stats()["retries"]
+    finally:
+        server.stop()
+        store.close()
+    counters: Dict[str, float] = {
+        "num_shards": float(store.shard_map.num_shards),
+        "requests": float(server.requests),
+        "errors": float(server.errors),
+        "dedup_replays": float(server.dedup_replays),
+        "client_retries": float(retries),
+    }
+    return _result(
+        scenario, "cluster", executed, elapsed, latencies, accesses, counters
+    )
 
 
 def run_bench(

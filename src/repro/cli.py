@@ -21,7 +21,23 @@ Usage (also via ``python -m repro``):
     repro stress  --replica-reads   # readers on a WAL-shipped replica
     repro soak    --seconds 20 --seed 7   # primary+replica SLO soak
     repro bench   --quick --baseline BENCH_PR4.json  # perf matrix + gate
+    repro serve   --shards 4 --port 7421   # sharded cluster over TCP
+    repro chaos   --seed 7          # network chaos sweep (trichotomy)
     repro demo                      # replay the paper's Example 5.2
+
+Exit codes are part of the operator contract (scripts branch on them):
+
+    0   clean — the command succeeded and the file is healthy
+    1   error — bad usage, missing file, or a typed ReproError
+    2   not found — ``get`` on an absent key
+    3   corrupt — checksum failures (``verify``), unhealed pages
+        (``scrub``), or harness findings (``stress``/``chaos``/...)
+    4   regression — ``bench`` exceeded its baseline gate
+    5   degraded — the file serves reads but is quarantined read-only
+        (``verify``/``info`` on a file scrub could not fully heal)
+    6   pending replay — committed journal work is outstanding and the
+        requested backend cannot replay it (``verify``/``info`` with
+        ``--backend disk``/``buffered`` on a dirty journal)
 
 All mutating commands run through the crash-atomic journaled facade.
 ``create``, ``verify`` and ``info`` take ``--backend`` to pick the
@@ -45,6 +61,15 @@ from .analysis.heatmap import fill_summary, occupancy_bar, occupancy_legend
 from .analysis.stats import flatten_counters
 from .core.errors import ReproError
 from .persistent import JournaledDenseFile, PersistentDenseFile
+
+#: The documented exit-code contract (see the module docstring).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_NOT_FOUND = 2
+EXIT_CORRUPT = 3
+EXIT_REGRESSION = 4
+EXIT_DEGRADED = 5
+EXIT_PENDING_REPLAY = 6
 
 
 def parse_key(text: str):
@@ -329,6 +354,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule table and exit",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve a range-sharded in-memory cluster over TCP "
+        "(framed JSON protocol with idempotency tokens and "
+        "deadline budgets)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7421,
+        help="TCP port (0 picks a free one and prints it)",
+    )
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument(
+        "--key-space", type=int, default=100_000, dest="key_space",
+        help="keys are routed across [0, key-space)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=8192,
+        help="records each shard is sized to hold",
+    )
+    serve.add_argument(
+        "--shed-load", action="store_true", dest="shed_load",
+        help="per-shard admission gates reject writes that would queue",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=None, dest="max_in_flight",
+        help="per-shard in-flight operation cap",
+    )
+    serve.add_argument(
+        "--seconds", type=float, default=None,
+        help="serve for N seconds then exit (default: until Ctrl-C)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="network chaos harness: sweep seeded fault schedules "
+        "(drops, delays, duplicates, reorders, truncations, a "
+        "kill-shard drill) against multi-client workloads and prove "
+        "the success / typed-timeout / not-applied trichotomy "
+        "(exit 0 held, 3 violations)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--ops", type=int, default=120,
+        help="operations per profile",
+    )
+    chaos.add_argument("--threads", type=int, default=3)
+    chaos.add_argument(
+        "--profile", default=None,
+        help="run one named profile instead of the full sweep "
+        "(clean, drops, delays, duplicates, reorders, truncates, "
+        "storm, kill-shard)",
+    )
+    chaos.add_argument(
+        "--out", default=None,
+        help="write a repro-chaos/1 JSON report here",
+    )
+
     demo = commands.add_parser("demo", help="replay the paper's Example 5.2")
     demo.add_argument(
         "--backend", choices=["memory", "buffered"], default="memory",
@@ -421,6 +504,12 @@ def _dispatch(args, out) -> int:
     if args.command == "soak":
         return _soak(args, out)
 
+    if args.command == "serve":
+        return _serve(args, out)
+
+    if args.command == "chaos":
+        return _chaos(args, out)
+
     if args.command == "demo":
         return _demo(out, backend=args.backend, cache_pages=args.cache_pages)
 
@@ -445,7 +534,7 @@ def _dispatch(args, out) -> int:
                 "the committed transaction or discard the torn tail",
                 file=out,
             )
-            return 3
+            return EXIT_PENDING_REPLAY
         try:
             with _open_backend(args) as dense:
                 return _dispatch_on_file(args, dense, out)
@@ -455,7 +544,8 @@ def _dispatch(args, out) -> int:
             with PersistentDenseFile.open(
                 args.path, on_corruption="degrade"
             ) as dense:
-                return _dispatch_on_file(args, dense, out)
+                code = _dispatch_on_file(args, dense, out)
+                return EXIT_DEGRADED if code == EXIT_OK else code
 
     with JournaledDenseFile.open(args.path) as dense:
         return _dispatch_on_file(args, dense, out)
@@ -486,7 +576,7 @@ def _verify(args, out) -> int:
                 "will quarantine them (file becomes read-only)",
                 file=out,
             )
-        return 3
+        return EXIT_CORRUPT
     state = journal_state(args.path)
     if not state.clean and getattr(args, "backend", "") != "journaled":
         # Checksums passed, but recovery work is outstanding and the
@@ -498,10 +588,18 @@ def _verify(args, out) -> int:
             "committed transaction or discard the torn tail",
             file=out,
         )
-        return 3
+        return EXIT_PENDING_REPLAY
     with _open_backend(args) as dense:
         dense.validate()
+        degraded = bool(getattr(dense, "read_only", False))
         counters = flatten_counters(dense.store_stats())
+    if degraded:
+        print(
+            "DEGRADED: structure verifies but the file is quarantined "
+            "read-only — run `repro scrub` or restore from backup",
+            file=out,
+        )
+        return EXIT_DEGRADED
     print(
         "ok: sequential order, (d,D)-density, BALANCE(d,D), counters, "
         "checksums",
@@ -606,7 +704,7 @@ def _bench(args, out) -> int:
             print(f"REGRESSION vs {args.baseline}:", file=out)
             for line in regressions:
                 print(f"  {line}", file=out)
-            return 4
+            return EXIT_REGRESSION
         print(f"no regression vs {args.baseline}", file=out)
     return 0
 
@@ -690,13 +788,101 @@ def _soak(args, out) -> int:
     return 0 if report.clean else 1
 
 
+def _serve(args, out) -> int:
+    """Run the sharded cluster server until interrupted (or --seconds)."""
+    import time as _time
+
+    from .cluster import ClusterServer, ShardedDenseFile
+
+    store = ShardedDenseFile.build(
+        num_shards=args.shards,
+        key_space=args.key_space,
+        capacity_hint=args.capacity,
+        shed_load=args.shed_load,
+        max_in_flight=args.max_in_flight,
+    )
+    server = ClusterServer(store)
+    host, port = server.start(args.host, args.port)
+    print(
+        f"serving {args.shards} shards over [0, {args.key_space}) "
+        f"on {host}:{port}",
+        file=out,
+    )
+    for shard_range in store.shard_map.ranges():
+        print(f"  {shard_range.describe()}", file=out)
+    try:
+        if args.seconds is not None:
+            _time.sleep(args.seconds)
+        else:
+            while True:
+                _time.sleep(3600.0)
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=out)
+    finally:
+        server.stop()
+        store.close()
+    print(
+        f"served {server.requests} requests "
+        f"({server.errors} errors, {server.dedup_replays} dedup replays)",
+        file=out,
+    )
+    return EXIT_OK
+
+
+def _chaos(args, out) -> int:
+    """Run the chaos sweep (or one profile) and gate on the trichotomy."""
+    import json
+
+    from .cluster.chaos import SWEEP_PROFILES, run_sweep
+
+    profiles = SWEEP_PROFILES
+    if args.profile is not None:
+        chosen = dict(SWEEP_PROFILES).get(args.profile)
+        if chosen is None:
+            names = ", ".join(name for name, _overrides in SWEEP_PROFILES)
+            raise ReproError(
+                f"unknown chaos profile {args.profile!r}; pick one of {names}"
+            )
+        profiles = ((args.profile, chosen),)
+
+    reports = run_sweep(
+        seed=args.seed,
+        total_ops=args.ops,
+        threads=args.threads,
+        profiles=profiles,
+    )
+    failed = 0
+    for name, report in reports:
+        print(f"[{name}]", file=out)
+        print(report.summary(), file=out)
+        if not report.ok:
+            failed += 1
+    if args.out:
+        payload = {
+            "schema": "repro-chaos/1",
+            "seed": args.seed,
+            "profiles": {name: report.to_dict() for name, report in reports},
+            "ok": failed == 0,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=out)
+    print(
+        f"{len(reports) - failed}/{len(reports)} profiles held the "
+        "trichotomy",
+        file=out,
+    )
+    return EXIT_OK if failed == 0 else EXIT_CORRUPT
+
+
 def _scrub(args, out) -> int:
     """Run the detect/repair/quarantine/verify ladder and report it."""
     from .storage.scrub import scrub
 
     report = scrub(args.path)
     print(report.summary(), file=out)
-    return 0 if report.healthy else 3
+    return EXIT_OK if report.healthy else EXIT_CORRUPT
 
 
 def _dispatch_on_file(args, dense, out) -> int:
@@ -709,7 +895,7 @@ def _dispatch_on_file(args, dense, out) -> int:
         record = dense.search(parse_key(args.key))
         if record is None:
             print("not found", file=out)
-            return 2
+            return EXIT_NOT_FOUND
         print(f"{record.key}\t{record.value}", file=out)
         return 0
 
@@ -826,7 +1012,9 @@ def _dispatch_on_file(args, dense, out) -> int:
             or state.applied_retained
         ):
             print(f"wal:       {state.describe()}", file=out)
-        return 0
+        if getattr(dense, "read_only", False):
+            return EXIT_DEGRADED
+        return EXIT_OK
 
     raise AssertionError(f"unhandled command {args.command}")
 

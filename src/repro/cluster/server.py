@@ -1,0 +1,391 @@
+"""The cluster server: framed requests in, typed outcomes out.
+
+:class:`ClusterServer` owns a :class:`~repro.cluster.store.ShardedDenseFile`
+and exposes it through one bytes-in/bytes-out dispatcher,
+:meth:`ClusterServer.handle_frame`.  The TCP accept loop and the
+in-process :class:`~repro.cluster.transport.LocalChannel` both call
+that same function, so the chaos harness exercises byte-for-byte the
+production request path.
+
+Three properties the dispatcher guarantees:
+
+**At-most-once writes.**  Mutating requests carry an idempotency
+``token``.  The first time a token reaches a *definite* outcome —
+success or a domain error like ``DuplicateKeyError`` — the outcome is
+recorded in the :class:`IdempotencyTable`; a retried request with the
+same token replays the recorded outcome instead of re-executing.
+Outcomes that mean *not applied* (timeout waiting for admission,
+shard down, overload shed) are deliberately **not** recorded, so a
+retry after the fault clears can still succeed.
+
+**Deadline propagation.**  Requests carry the client's remaining
+``budget`` in seconds; the server converts it to a
+:class:`~repro.concurrent.deadline.Deadline` and threads it through
+the store, so work the caller has already abandoned is cut short at
+the next blocking point instead of holding locks for a dead request.
+
+**Typed failure.**  Every :class:`~repro.core.errors.ReproError`
+serializes to an error response carrying its class name and payload
+(affected key ranges, queue depth, retry-after), which the client
+reconstructs into the same exception type — remote failures read
+exactly like local ones.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..concurrent.deadline import Deadline
+from ..core.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    OperationTimeout,
+    OverloadError,
+    ReproError,
+    ShardUnavailableError,
+    WireProtocolError,
+)
+from .store import ShardedDenseFile
+from .wire import decode_bytes, encode_frame, error_response, ok_response
+
+#: Error classes whose outcome means the write was NOT applied — these
+#: are never recorded against an idempotency token, so a retry after
+#: the fault clears can still execute.
+NOT_APPLIED_ERRORS = (
+    "OperationTimeout",
+    "OverloadError",
+    "ShardUnavailableError",
+    "CircuitOpenError",
+    "TransientNetworkError",
+    "WireProtocolError",
+)
+
+#: Operations that mutate state (idempotency tokens apply to these).
+MUTATING_OPS = frozenset({"insert", "delete"})
+
+
+class IdempotencyTable:
+    """Bounded token -> outcome map proving at-most-once application.
+
+    Keeps the most recent ``capacity`` definite outcomes in insertion
+    order; a retried token replays its recorded outcome.  The table is
+    also the chaos harness's ground truth: after a run, a token absent
+    from the table is *proof* the write was never applied.
+    """
+
+    def __init__(self, capacity: int = 8192):
+        if capacity < 1:
+            raise ConfigurationError("idempotency capacity must be positive")
+        self.capacity = capacity
+        self._mutex = threading.Lock()
+        self._outcomes: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.evictions = 0
+
+    def get(self, token: str) -> Optional[Dict[str, Any]]:
+        """The recorded outcome for ``token``, or ``None`` if unseen."""
+        with self._mutex:
+            outcome = self._outcomes.get(token)
+            if outcome is not None:
+                self.hits += 1
+            return outcome
+
+    def peek(self, token: str) -> Optional[Dict[str, Any]]:
+        """Like :meth:`get` but without counting a dedup hit."""
+        with self._mutex:
+            return self._outcomes.get(token)
+
+    def put(self, token: str, outcome: Dict[str, Any]) -> None:
+        """Record a definite outcome, evicting the oldest past capacity."""
+        with self._mutex:
+            self._outcomes[token] = outcome
+            while len(self._outcomes) > self.capacity:
+                self._outcomes.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._outcomes)
+
+
+def _record_to_wire(record: Any) -> Optional[List[Any]]:
+    return None if record is None else [record.key, record.value]
+
+
+def _error_detail(error: ReproError) -> Dict[str, Any]:
+    """The reconstructable payload for a typed error response."""
+    detail: Dict[str, Any] = {}
+    if isinstance(error, ShardUnavailableError):
+        detail["shard_ids"] = list(error.shard_ids)
+        detail["key_ranges"] = [list(pair) for pair in error.key_ranges]
+        detail["mode"] = error.mode
+    elif isinstance(error, CircuitOpenError):
+        detail["shard_id"] = error.shard_id
+        detail["retry_after"] = error.retry_after
+    elif isinstance(error, OverloadError):
+        detail["queue_depth"] = error.queue_depth
+        detail["in_flight"] = error.in_flight
+    return detail
+
+
+class ClusterServer:
+    """Serve a sharded dense file over frames (TCP or in-process)."""
+
+    def __init__(
+        self,
+        store: ShardedDenseFile,
+        idempotency_capacity: int = 8192,
+        max_budget: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.store = store
+        self.tokens = IdempotencyTable(idempotency_capacity)
+        self.max_budget = max_budget
+        self._clock = clock
+        self._mutex = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._workers: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        # Request counters (reads are approximate; writes under GIL).
+        self.requests = 0
+        self.errors = 0
+        self.dedup_replays = 0
+
+    # -- the dispatcher (shared by TCP and LocalChannel) ----------------
+
+    def handle_frame(self, data: bytes) -> bytes:
+        """One framed request in, one framed response out."""
+        try:
+            body = decode_bytes(data)
+        except WireProtocolError as error:
+            # No correlation id is recoverable from a mangled frame.
+            return encode_frame(
+                error_response("?", "WireProtocolError", str(error))
+            )
+        return encode_frame(self.handle_body(body))
+
+    def handle_body(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one decoded request body to the store."""
+        self.requests += 1
+        request_id = str(body.get("id", "?"))
+        op = body.get("op")
+        args = body.get("args") or {}
+        token = body.get("token")
+        budget = body.get("budget")
+
+        if token is not None and op in MUTATING_OPS:
+            recorded = self.tokens.get(token)
+            if recorded is not None:
+                # Replay the definite outcome under the NEW correlation
+                # id: the retry is a different request for the same op.
+                self.dedup_replays += 1
+                replay = dict(recorded)
+                replay["id"] = request_id
+                replay["replayed"] = True
+                return replay
+
+        deadline: Optional[Deadline] = None
+        effective = budget
+        if self.max_budget is not None:
+            effective = (
+                self.max_budget if budget is None
+                else min(budget, self.max_budget)
+            )
+        if effective is not None:
+            deadline = Deadline.after(effective, clock=self._clock)
+
+        try:
+            result = self._dispatch(op, args, deadline)
+        except ReproError as error:
+            self.errors += 1
+            response = error_response(
+                request_id,
+                type(error).__name__,
+                str(error),
+                detail=_error_detail(error),
+            )
+            if (
+                token is not None
+                and op in MUTATING_OPS
+                and type(error).__name__ not in NOT_APPLIED_ERRORS
+            ):
+                # A domain error (duplicate key, missing key) is a
+                # definite outcome: the op executed, record it.
+                self.tokens.put(token, response)
+            return response
+        response = ok_response(request_id, result)
+        if token is not None and op in MUTATING_OPS:
+            self.tokens.put(token, response)
+        return response
+
+    def _dispatch(
+        self, op: Any, args: Dict[str, Any], deadline: Optional[Deadline]
+    ) -> Any:
+        store = self.store
+        if op == "insert":
+            store.insert(args["key"], args.get("value"), deadline=deadline)
+            return None
+        if op == "delete":
+            return _record_to_wire(store.delete(args["key"], deadline=deadline))
+        if op == "search":
+            return _record_to_wire(store.search(args["key"], deadline=deadline))
+        if op == "scan":
+            scan = store.scan(args["key"], args["count"], deadline=deadline)
+            return {
+                "records": [_record_to_wire(r) for r in scan.records],
+                "partial": scan.partial,
+                "unavailable": [list(pair) for pair in scan.unavailable],
+            }
+        if op == "range":
+            scan = store.range(args["lo"], args["hi"], deadline=deadline)
+            return {
+                "records": [_record_to_wire(r) for r in scan.records],
+                "partial": scan.partial,
+                "unavailable": [list(pair) for pair in scan.unavailable],
+            }
+        if op == "count":
+            return store.count_range(args["lo"], args["hi"], deadline=deadline)
+        if op == "len":
+            return len(store)
+        if op == "hello":
+            return {
+                "shard_map": store.shard_map.to_wire(),
+                "num_shards": store.shard_map.num_shards,
+                "health": store.health(),
+            }
+        if op == "health":
+            return store.health()
+        if op == "stats":
+            stats = dict(store.stats())
+            stats["requests"] = self.requests
+            stats["errors"] = self.errors
+            stats["dedup_replays"] = self.dedup_replays
+            stats["tokens_recorded"] = len(self.tokens)
+            return stats
+        if op == "ping":
+            return "pong"
+        if op == "token":
+            # Ground truth for the chaos trichotomy: was this write
+            # ever applied?  Absent => proven not applied.
+            return self.tokens.peek(str(args["token"]))
+        if op == "kill_shard":
+            store.mark_down(int(args["shard_id"]))
+            return {"state": store.state_of(int(args["shard_id"]))}
+        if op == "degrade_shard":
+            store.mark_degraded(int(args["shard_id"]))
+            return {"state": store.state_of(int(args["shard_id"]))}
+        if op == "revive_shard":
+            store.revive(int(args["shard_id"]))
+            return {"state": store.state_of(int(args["shard_id"]))}
+        raise WireProtocolError(f"unknown operation {op!r}")
+
+    # -- TCP serving ----------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; raises if not serving."""
+        with self._mutex:
+            if self._listener is None:
+                raise ConfigurationError("server is not listening")
+            host, port = self._listener.getsockname()[:2]
+            return host, port
+
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and serve on a background thread; returns the address."""
+        with self._mutex:
+            if self._listener is not None:
+                raise ConfigurationError("server is already listening")
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((host, port))
+            listener.listen(64)
+            # A short accept timeout keeps the loop responsive to stop().
+            listener.settimeout(0.2)
+            self._listener = listener
+            self._stopping.clear()
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="cluster-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self.address
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            with self._mutex:
+                listener = self._listener
+            if listener is None:
+                return
+            try:
+                conn, _peer = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us during stop()
+            worker = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="cluster-conn",
+                daemon=True,
+            )
+            with self._mutex:
+                self._workers = [t for t in self._workers if t.is_alive()]
+                self._workers.append(worker)
+            worker.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        from .wire import HEADER, MAGIC, MAX_FRAME
+
+        def recv_exact(count: int) -> bytes:
+            chunks = []
+            remaining = count
+            while remaining > 0:
+                chunk = conn.recv(min(remaining, 65536))
+                if not chunk:
+                    return b"".join(chunks)  # short read = peer left
+                chunks.append(chunk)
+                remaining -= len(chunk)
+            return b"".join(chunks)
+
+        try:
+            conn.settimeout(30.0)
+            while not self._stopping.is_set():
+                header = recv_exact(HEADER.size)
+                if len(header) < HEADER.size:
+                    return  # clean (or mid-header) disconnect
+                magic, length, _crc = HEADER.unpack(header)
+                if magic != MAGIC or length > MAX_FRAME:
+                    return  # unrecoverable stream; drop the connection
+                payload = recv_exact(length)
+                if len(payload) < length:
+                    return
+                conn.sendall(self.handle_frame(header + payload))
+        except OSError:
+            return  # reset/timeout: connection-scoped, server keeps serving
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop accepting, close the listener, join worker threads."""
+        self._stopping.set()
+        with self._mutex:
+            listener, self._listener = self._listener, None
+            accept_thread, self._accept_thread = self._accept_thread, None
+            workers, self._workers = list(self._workers), []
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        budget = Deadline.after(timeout)
+        if accept_thread is not None:
+            accept_thread.join(timeout=budget.wait_budget())
+        for worker in workers:
+            worker.join(timeout=budget.wait_budget())

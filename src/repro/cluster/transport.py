@@ -1,0 +1,165 @@
+"""Client transports: how framed requests reach the cluster server.
+
+Two interchangeable channels implement the same tiny contract —
+``request(frame, timeout) -> response frame`` over a persistent
+connection:
+
+:class:`SocketChannel`
+    A real TCP connection (used by ``repro serve`` deployments and the
+    networked benchmark cell).  Reads are exact-length with a socket
+    timeout, so a stalled peer surfaces as
+    :class:`~repro.core.errors.OperationTimeout` raw material
+    (``socket.timeout``) rather than a hang.
+:class:`LocalChannel`
+    Calls the server's dispatcher in-process, byte-for-byte through the
+    same encode/decode path.  The chaos harness wraps this one in a
+    :class:`~repro.cluster.netfaults.ChaosChannel` so fault schedules
+    are deterministic and wall-clock-free.
+
+Failures that mean *the connection is gone* (reset, refused, truncated
+stream) raise :class:`~repro.core.errors.TransientNetworkError`; the
+client's retry loop reconnects and retries those while the deadline
+budget lasts.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Optional, Protocol
+
+from ..core.errors import TransientNetworkError, WireProtocolError
+from .wire import HEADER, MAGIC, MAX_FRAME
+
+
+class Channel(Protocol):
+    """One request/response exchange over a persistent connection."""
+
+    def request(self, frame: bytes, timeout: Optional[float] = None) -> bytes:
+        """Send ``frame`` and return the complete response frame."""
+        ...
+
+    def close(self) -> None:
+        """Release the underlying connection (idempotent)."""
+        ...
+
+
+class SocketChannel:
+    """A framed exchange over one TCP connection.
+
+    Connects lazily on the first request and reconnects after any
+    failure was surfaced — the caller decides whether to retry.  All
+    socket-level errors are wrapped in :class:`TransientNetworkError`
+    so the client's retry predicate stays a single isinstance check.
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout: float = 5.0):
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self._mutex = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self.connects = 0
+
+    def _connect(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except OSError as error:
+            raise TransientNetworkError(
+                f"connect to {self.host}:{self.port} failed: {error}"
+            ) from error
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.connects += 1
+        return sock
+
+    def _recv_exact(self, sock: socket.socket, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining > 0:
+            chunk = sock.recv(min(remaining, 65536))
+            if not chunk:
+                raise TransientNetworkError(
+                    f"peer closed the connection with {remaining} of "
+                    f"{count} bytes unread"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def request(self, frame: bytes, timeout: Optional[float] = None) -> bytes:
+        """Send one frame, read one framed response, return its bytes.
+
+        ``timeout`` bounds every blocking socket call for this
+        exchange; expiry raises ``socket.timeout`` (an ``OSError``)
+        wrapped as :class:`TransientNetworkError` after the connection
+        is torn down, so the next attempt starts clean.
+        """
+        with self._mutex:
+            if self._sock is None:
+                self._sock = self._connect()
+            sock = self._sock
+            try:
+                sock.settimeout(timeout)
+                sock.sendall(frame)
+                header = self._recv_exact(sock, HEADER.size)
+                magic, length, _crc = HEADER.unpack(header)
+                if magic != MAGIC or length > MAX_FRAME:
+                    raise WireProtocolError(
+                        f"bad response header (magic={magic!r}, len={length})"
+                    )
+                return header + self._recv_exact(sock, length)
+            except TransientNetworkError:
+                self._teardown()
+                raise
+            except OSError as error:
+                # Socket timeouts and resets alike: the connection
+                # state is unknown, so drop it and let the retry path
+                # reconnect instead of reading a stale stream.
+                self._teardown()
+                raise TransientNetworkError(
+                    f"exchange with {self.host}:{self.port} failed: {error}"
+                ) from error
+            except BaseException:
+                self._teardown()
+                raise
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        """Close the connection (safe to call repeatedly)."""
+        with self._mutex:
+            self._teardown()
+
+
+class LocalChannel:
+    """In-process channel: hand the frame straight to a dispatcher.
+
+    The dispatcher is the server's ``handle_frame`` — the exact same
+    bytes-in/bytes-out function the TCP handler uses, so everything
+    above the socket (framing, CRC, correlation, idempotency) is
+    exercised identically with zero network nondeterminism.
+    """
+
+    def __init__(self, dispatcher: Callable[[bytes], bytes]):
+        self._dispatcher = dispatcher
+        self.requests = 0
+        self._closed = False
+
+    def request(self, frame: bytes, timeout: Optional[float] = None) -> bytes:
+        """Dispatch one frame (``timeout`` is accepted for symmetry)."""
+        if self._closed:
+            raise TransientNetworkError("channel is closed")
+        self.requests += 1
+        return self._dispatcher(frame)
+
+    def close(self) -> None:
+        """Mark the channel closed; later requests fail transiently."""
+        self._closed = True

@@ -1,0 +1,165 @@
+"""Length-prefixed wire protocol for the cluster front-end.
+
+One frame = a fixed header + a JSON body::
+
+    +-------+----------+---------+------------------+
+    | magic | body len | CRC-32  | JSON body        |
+    | 2 B   | 4 B BE   | 4 B BE  | body-len bytes   |
+    +-------+----------+---------+------------------+
+
+The header makes every network failure mode *detectable* instead of
+ambiguous: a truncated stream fails the exact-read, a corrupted or
+reordered stream fails the magic/CRC check, and an oversized length
+field is refused before any allocation — all surfacing as
+:class:`~repro.core.errors.WireProtocolError` so the client can drop
+the connection and retry on a fresh one.
+
+Requests and responses both carry a correlation ``id``.  The client
+checks the echoed id on every response; a mismatch (a stale or
+reordered response after chaos) is a :class:`WireProtocolError`, never
+a silently misattributed result.  Mutating requests additionally carry
+an idempotency ``token`` the server deduplicates on, so a retried
+write is applied at most once no matter how the network mangled the
+first attempt.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Callable, Dict, Optional
+
+from ..core.errors import WireProtocolError
+
+#: Frame header: magic, body length, CRC-32 of the body.
+HEADER = struct.Struct(">2sII")
+MAGIC = b"DW"  # dense-file wire
+#: Hard cap on one frame's body; refuse before allocating.
+MAX_FRAME = 8 * 1024 * 1024
+
+
+def encode_frame(body: Dict[str, Any]) -> bytes:
+    """One message as a framed byte string."""
+    payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise WireProtocolError(
+            f"frame body of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte cap"
+        )
+    return HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_frame(reader: Callable[[int], bytes]) -> Dict[str, Any]:
+    """Read one frame via ``reader(n) -> exactly n bytes``.
+
+    ``reader`` must either return exactly ``n`` bytes or raise; a short
+    return means the peer disconnected mid-message and raises
+    :class:`WireProtocolError`.
+    """
+    header = reader(HEADER.size)
+    if len(header) < HEADER.size:
+        raise WireProtocolError(
+            f"connection closed mid-header ({len(header)} of "
+            f"{HEADER.size} bytes)"
+        )
+    magic, length, crc = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireProtocolError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME:
+        raise WireProtocolError(
+            f"frame claims {length} bytes, over the {MAX_FRAME}-byte cap"
+        )
+    payload = reader(length)
+    if len(payload) < length:
+        raise WireProtocolError(
+            f"connection closed mid-body ({len(payload)} of {length} bytes)"
+        )
+    if zlib.crc32(payload) != crc:
+        raise WireProtocolError("frame body failed its CRC-32 check")
+    try:
+        body = json.loads(payload.decode("utf-8"))
+    except ValueError as error:
+        raise WireProtocolError(f"frame body is not valid JSON: {error}") from error
+    if not isinstance(body, dict):
+        raise WireProtocolError("frame body must be a JSON object")
+    return body
+
+
+def decode_bytes(data: bytes) -> Dict[str, Any]:
+    """Decode one frame from a complete byte string."""
+    view = memoryview(data)
+    cursor = 0
+
+    def reader(count: int) -> bytes:
+        nonlocal cursor
+        chunk = bytes(view[cursor : cursor + count])
+        cursor += count
+        return chunk
+
+    return decode_frame(reader)
+
+
+# ----------------------------------------------------------------------
+# request / response bodies
+# ----------------------------------------------------------------------
+
+
+def request(
+    op: str,
+    request_id: str,
+    args: Optional[Dict[str, Any]] = None,
+    token: Optional[str] = None,
+    budget: Optional[float] = None,
+) -> Dict[str, Any]:
+    """A request body: op name, correlation id, args, token, budget.
+
+    ``budget`` is the *remaining* deadline in seconds at send time —
+    the client threads its :class:`~repro.concurrent.deadline.Deadline`
+    through every RPC so the server stops working on an operation the
+    caller has already given up on.
+    """
+    body: Dict[str, Any] = {"op": op, "id": request_id, "args": args or {}}
+    if token is not None:
+        body["token"] = token
+    if budget is not None:
+        body["budget"] = budget
+    return body
+
+
+def ok_response(request_id: str, result: Any) -> Dict[str, Any]:
+    """A success response echoing the correlation id."""
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: str,
+    error: str,
+    message: str,
+    detail: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A typed-error response: exception class name plus its payload."""
+    body: Dict[str, Any] = {
+        "id": request_id,
+        "ok": False,
+        "error": error,
+        "message": message,
+    }
+    if detail:
+        body["detail"] = detail
+    return body
+
+
+def check_correlation(response: Dict[str, Any], request_id: str) -> None:
+    """Reject a response that answers some *other* request.
+
+    Chaos (and real networks) can replay or reorder responses; the
+    correlation id turns that into a typed, retryable failure instead
+    of silently attributing shard A's answer to shard B's question.
+    """
+    echoed = response.get("id")
+    if echoed != request_id:
+        raise WireProtocolError(
+            f"response correlation mismatch: sent {request_id!r}, "
+            f"got {echoed!r} (reordered or stale response)"
+        )

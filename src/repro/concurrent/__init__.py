@@ -18,6 +18,9 @@ ThreadSafeDenseFile``) with a worst-case-minded concurrency stack:
     serving reads.
 :class:`~repro.concurrent.deadline.Deadline`
     The monotonic time budget threaded through one operation.
+:class:`~repro.concurrent.retry.RetryPolicy`
+    The shared capped-backoff-with-seeded-jitter retry shape used by
+    storage retries and cluster network retries alike.
 :mod:`repro.concurrent.harness`
     The deterministic interleaving torture harness (also reachable via
     ``tools/stress.py`` and ``repro stress``).
@@ -26,13 +29,17 @@ ThreadSafeDenseFile``) with a worst-case-minded concurrency stack:
 from .admission import AdmissionGate
 from .deadline import Deadline
 from .file import ThreadSafeDenseFile, find_retrying_stores, reads_are_shareable
+from .retry import RetryCounters, RetryPolicy, retry_call
 from .rwlock import FairRWLock
 
 __all__ = [
     "AdmissionGate",
     "Deadline",
     "FairRWLock",
+    "RetryCounters",
+    "RetryPolicy",
     "ThreadSafeDenseFile",
     "find_retrying_stores",
     "reads_are_shareable",
+    "retry_call",
 ]

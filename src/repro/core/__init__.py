@@ -6,6 +6,8 @@ from .control1 import Control1Engine
 from .control2 import Control2Engine
 from .dense_file import DenseSequentialFile, build_engine
 from .errors import (
+    CircuitOpenError,
+    ClusterError,
     ConfigurationError,
     DuplicateKeyError,
     FileFullError,
@@ -17,9 +19,12 @@ from .errors import (
     RecordNotFoundError,
     ReplicationError,
     ReproError,
+    ShardUnavailableError,
     StaleReplicaError,
     TransientIOError,
+    TransientNetworkError,
     UsageError,
+    WireProtocolError,
 )
 from .macroblock import (
     MacroBlockControl2Engine,
@@ -32,6 +37,8 @@ from .trace import Moment, MomentRecorder, OperationLog
 __all__ = [
     "AdaptiveControl2Engine",
     "CalibratorTree",
+    "CircuitOpenError",
+    "ClusterError",
     "ConfigurationError",
     "Control1Engine",
     "Control2Engine",
@@ -51,9 +58,12 @@ __all__ = [
     "RecordNotFoundError",
     "ReplicationError",
     "ReproError",
+    "ShardUnavailableError",
     "StaleReplicaError",
     "TransientIOError",
+    "TransientNetworkError",
     "UsageError",
+    "WireProtocolError",
     "build_engine",
     "ceil_log2",
     "macro_block_factor",

@@ -138,6 +138,86 @@ class StaleReplicaError(ReplicationError):
     """
 
 
+class ClusterError(ReproError):
+    """A sharded-cluster front-end operation failed.
+
+    Base class for the network layer's taxonomy
+    (:mod:`repro.cluster`): wire-protocol damage, shard outages and
+    client-side circuit breaking all derive from here, so a caller can
+    fence off "the cluster is unhappy" with one ``except`` clause while
+    still branching on the precise failure.
+    """
+
+
+class WireProtocolError(ClusterError, ConnectionError):
+    """A wire frame could not be parsed, or the peer vanished mid-message.
+
+    Raised by :mod:`repro.cluster.wire` for truncated frames, bad
+    magic/checksums, oversized payloads and response/request correlation
+    mismatches (a reordered or stale response).  The connection is
+    poisoned and must be re-established; the *request* is safe to retry
+    on a fresh connection because every mutating request carries an
+    idempotency token the server deduplicates on.
+    """
+
+
+class TransientNetworkError(ClusterError, OSError):
+    """A network operation failed in a way that is safe to retry.
+
+    The cluster analogue of :class:`TransientIOError`: dropped
+    connections, request/response loss and injected chaos faults
+    surface as this type so the client's
+    :class:`~repro.concurrent.retry.RetryPolicy` loop can absorb a
+    bounded number of them.  Mutations stay at-most-once under retry
+    because the idempotency token is reused verbatim.
+    """
+
+
+class ShardUnavailableError(ClusterError):
+    """An operation was routed to a shard that cannot serve it.
+
+    Partial-failure degradation made explicit: a shard that is down, or
+    degraded to read-only (``on_corruption="degrade"``), rejects the
+    operations it cannot serve *immediately* — no queueing, no hanging —
+    while every other shard keeps serving.  Carries the affected key
+    ranges so routers and clients can redirect or shed exactly the
+    traffic that cannot proceed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_ids: tuple = (),
+        key_ranges: tuple = (),
+        mode: str = "down",
+    ):
+        super().__init__(message)
+        #: Shards that refused the operation.
+        self.shard_ids = tuple(shard_ids)
+        #: ``(lo, hi)`` key ranges (inclusive-exclusive) those shards own.
+        self.key_ranges = tuple(key_ranges)
+        #: ``"down"`` (nothing served) or ``"degraded"`` (reads only).
+        self.mode = mode
+
+
+class CircuitOpenError(ClusterError):
+    """The client refused to send: the shard's circuit breaker is open.
+
+    After repeated failures against one shard the client stops sending
+    it traffic for a cooldown window (failing fast locally instead of
+    burning its deadline budget on a shard that is known-bad), then
+    lets a single half-open probe through.  Carries which shard and how
+    long until the next probe so callers can back off intelligently.
+    """
+
+    def __init__(self, message: str, shard_id: int = -1, retry_after: float = 0.0):
+        super().__init__(message)
+        #: The shard whose breaker is open.
+        self.shard_id = shard_id
+        #: Seconds until the breaker will allow a half-open probe.
+        self.retry_after = retry_after
+
+
 class ReadOnlyError(ReproError, PermissionError):
     """A mutation was attempted on a file in read-only degraded mode.
 

@@ -35,10 +35,13 @@ class DeadlineChecker(Checker):
 
     def applies_to(self, relpath: str) -> bool:
         """Deadline propagation is a ``concurrent/`` + ``replication/``
-        contract — replica reads and catch-up loops serve under the
-        same per-operation budgets as the primary front-end."""
-        return in_package(relpath, "concurrent") or in_package(
-            relpath, "replication"
+        + ``cluster/`` contract — replica reads, catch-up loops and
+        cluster RPCs all serve under the same per-operation budgets as
+        the primary front-end."""
+        return (
+            in_package(relpath, "concurrent")
+            or in_package(relpath, "replication")
+            or in_package(relpath, "cluster")
         )
 
     def check(self, source: SourceFile) -> Iterator[Finding]:

@@ -203,8 +203,12 @@ class LockOrderChecker(Checker):
         self._reported: Set[Tuple[str, str]] = set()
 
     def applies_to(self, relpath: str) -> bool:
-        """Lock ordering is checked across every ``concurrent/`` module."""
-        return in_package(relpath, "concurrent")
+        """Lock ordering is checked across every ``concurrent/`` and
+        ``cluster/`` module — breaker and server mutexes join the same
+        global order as the front-end locks."""
+        return in_package(relpath, "concurrent") or in_package(
+            relpath, "cluster"
+        )
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         """Record acquisitions and flag nesting/ordering violations in-file."""

@@ -52,12 +52,11 @@ from __future__ import annotations
 import random
 import threading
 import time
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar
 
+from ..concurrent.retry import RetryPolicy, retry_call
 from ..core.errors import (
     ConfigurationError,
-    OperationTimeout,
     ReproError,
     TransientIOError,
 )
@@ -317,29 +316,16 @@ class FaultyStore(PageStore):
         }
 
 
-@dataclass(frozen=True)
-class BackoffPolicy:
-    """Deterministic bounded exponential backoff for transient faults.
+class BackoffPolicy(RetryPolicy):
+    """The storage spelling of :class:`~repro.concurrent.retry.RetryPolicy`.
 
-    ``delay(attempt)`` is ``base_delay * multiplier**attempt`` capped at
-    ``max_delay`` — a pure function of the attempt number, so retry
-    schedules are reproducible.  The default ``base_delay`` of zero
-    makes retries free (no sleeping), which is what tests want; real
-    deployments pass a small base.
+    Kept as a distinct name for backwards compatibility (every test and
+    stack builder says ``BackoffPolicy``); the fields, validation and
+    ``delay(attempt)`` schedule all come from the shared policy, so
+    store-level and network-level retries can no longer diverge.  The
+    default has no jitter — store retries back off against a local disk,
+    not a thundering herd of clients.
     """
-
-    max_attempts: int = 5
-    base_delay: float = 0.0
-    multiplier: float = 2.0
-    max_delay: float = 1.0
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ConfigurationError("a retry policy needs at least one attempt")
-
-    def delay(self, attempt: int) -> float:
-        """Seconds to wait before retry number ``attempt`` (0-based)."""
-        return min(self.base_delay * self.multiplier**attempt, self.max_delay)
 
 
 class RetryingStore(PageStore):
@@ -404,29 +390,15 @@ class RetryingStore(PageStore):
     # -- retry engine ---------------------------------------------------
 
     def _attempt(self, operation: Callable[[], _T]) -> _T:
-        attempt = 0
-        while True:
-            try:
-                return operation()
-            except TransientIOError as fault:
-                attempt += 1
-                if attempt >= self.policy.max_attempts:
-                    self.giveups += 1
-                    raise
-                delay = self.policy.delay(attempt - 1)
-                budget = self.deadline
-                if budget is not None:
-                    remaining = budget.remaining()
-                    if remaining <= 0.0 or delay >= remaining:
-                        self.deadline_giveups += 1
-                        raise OperationTimeout(
-                            f"retry budget spent after {attempt} attempt(s): "
-                            f"{fault}"
-                        ) from fault
-                self.retries += 1
-                self.backoff_total += delay
-                if delay > 0.0:
-                    self._sleep(delay)
+        return retry_call(
+            operation,
+            self.policy,
+            retryable=(TransientIOError,),
+            deadline=self.deadline,
+            sleep=self._sleep,
+            counters=self,
+            what="store retry",
+        )
 
     # -- the protocol ---------------------------------------------------
 

@@ -1,0 +1,7 @@
+"""LNT006 fixture: cluster RPC paths that drop the budget."""
+
+
+def exchange_forever(self, conn_thread):
+    self._lock.acquire_write()  # finding: no deadline
+    self._cond.wait()  # finding: unbounded sleep for a response
+    conn_thread.join()  # finding: hangs on a wedged connection

@@ -1,0 +1,8 @@
+"""LNT006 negative control: every cluster RPC carries the budget."""
+
+
+def bounded_exchange(self, conn_thread, budget):
+    self._lock.acquire_write(budget)
+    self._cond.wait(budget.wait_budget())
+    conn_thread.join(budget.wait_budget())
+    return conn_thread.is_alive()

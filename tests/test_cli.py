@@ -175,3 +175,85 @@ class TestDemo:
         assert code == 0
         assert "t8: [15, 9, 0, 0, 4, 9, 15, 11]" in output
         assert "matches Figure 4" in output
+
+
+class TestExitCodeContract:
+    """Every exit code in the documented contract, pinned.
+
+    0 clean, 1 error, 2 not-found, 3 corrupt, 4 bench regression,
+    5 degraded read-only, 6 pending journal replay.  Operators script
+    against these numbers; changing one is a breaking change.
+    """
+
+    def test_constants_match_the_documented_table(self):
+        from repro import cli
+
+        assert (
+            cli.EXIT_OK,
+            cli.EXIT_ERROR,
+            cli.EXIT_NOT_FOUND,
+            cli.EXIT_CORRUPT,
+            cli.EXIT_REGRESSION,
+            cli.EXIT_DEGRADED,
+            cli.EXIT_PENDING_REPLAY,
+        ) == (0, 1, 2, 3, 4, 5, 6)
+
+    def test_docstring_documents_every_code(self):
+        from repro import cli
+
+        for line in ("0  clean", "5  ", "6  "):
+            assert any(
+                line.split()[0] in docline
+                for docline in cli.__doc__.splitlines()
+            )
+        assert "degraded" in cli.__doc__
+        assert "pending" in cli.__doc__
+
+    def test_clean_verify_is_0(self, created):
+        run("put", created, "1")
+        assert run("verify", created)[0] == 0
+
+    def test_usage_error_is_1(self, created):
+        assert run("delete", created, "99")[0] == 1
+
+    def test_missing_key_is_2(self, created):
+        assert run("get", created, "42")[0] == 2
+
+
+class TestClusterCli:
+    def test_serve_binds_and_shuts_down(self):
+        code, output = run(
+            "serve", "--seconds", "0.2", "--port", "0", "--shards", "2",
+            "--key-space", "100",
+        )
+        assert code == 0
+        assert "shard 0" in output and "shard 1" in output
+        assert "serving" in output
+
+    def test_chaos_single_profile_holds(self):
+        code, output = run(
+            "chaos", "--ops", "24", "--seed", "2", "--profile", "clean",
+        )
+        assert code == 0
+        assert "TRICHOTOMY HELD" in output
+        assert "1/1 profiles held" in output
+
+    def test_chaos_writes_a_json_artifact(self, tmp_path):
+        artifact = str(tmp_path / "chaos.json")
+        code, output = run(
+            "chaos", "--ops", "24", "--seed", "2", "--profile", "kill-shard",
+            "--out", artifact,
+        )
+        assert code == 0
+        import json
+
+        with open(artifact) as handle:
+            payload = json.load(handle)
+        assert payload["schema"] == "repro-chaos/1"
+        assert payload["ok"] is True
+        assert "kill-shard" in payload["profiles"]
+
+    def test_chaos_rejects_unknown_profile(self):
+        code, output = run("chaos", "--ops", "10", "--profile", "nonsense")
+        assert code == 1
+        assert "unknown chaos profile" in output

@@ -1,0 +1,757 @@
+"""Tests for the fault-tolerant sharded cluster front-end.
+
+Covers the stack bottom-up: shard maps, the wire protocol, circuit
+breakers, the sharded store's partial-failure degradation, the
+client/server RPC path (in-process and over real TCP sockets),
+idempotent retried writes, seeded network faults, and the chaos
+harness's success / typed-failure / provably-not-applied trichotomy.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    ChaosChannel,
+    ChaosConfig,
+    CircuitBreaker,
+    ClusterClient,
+    ClusterServer,
+    IdempotencyTable,
+    LocalChannel,
+    NetFaultPlan,
+    ShardMap,
+    ShardedDenseFile,
+    run_chaos,
+    run_sweep,
+)
+from repro.cluster import wire
+from repro.cluster.chaos import SWEEP_PROFILES
+from repro.concurrent.retry import RetryPolicy
+from repro.core.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    DuplicateKeyError,
+    OperationTimeout,
+    RecordNotFoundError,
+    ShardUnavailableError,
+    TransientNetworkError,
+    WireProtocolError,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self._t = 1000.0
+
+    def __call__(self):
+        return self._t
+
+    def advance(self, seconds):
+        self._t += seconds
+
+
+# ----------------------------------------------------------------------
+# shard maps
+# ----------------------------------------------------------------------
+
+
+class TestShardMap:
+    def test_uniform_partitions_cover_the_key_space(self):
+        shard_map = ShardMap.uniform(4, 1000)
+        assert shard_map.num_shards == 4
+        ranges = shard_map.ranges()
+        assert ranges[0].lo == 0 and ranges[-1].hi == 1000
+        # Interior boundaries chain: each hi is the next lo.
+        for left, right in zip(ranges, ranges[1:]):
+            assert left.hi == right.lo
+
+    def test_routing_is_total_and_ordered(self):
+        shard_map = ShardMap.uniform(4, 1000)
+        owners = [shard_map.shard_for(key) for key in range(0, 1000, 50)]
+        assert owners == sorted(owners)
+        assert set(owners) == {0, 1, 2, 3}
+        # Out-of-envelope keys still route (first/last shards absorb).
+        assert shard_map.shard_for(-5) == 0
+        assert shard_map.shard_for(10**9) == 3
+
+    def test_boundary_key_belongs_to_the_right_shard(self):
+        shard_map = ShardMap.uniform(4, 1000)
+        cut = shard_map.range_of(1).lo
+        # Half-open [lo, hi): the cut key itself lives in shard 1.
+        assert shard_map.shard_for(cut) == 1
+        assert shard_map.shard_for(cut - 1) == 0
+
+    def test_shards_for_range_is_minimal(self):
+        shard_map = ShardMap.uniform(4, 1000)
+        assert shard_map.shards_for_range(0, 100) == [0]
+        assert shard_map.shards_for_range(200, 600) == [0, 1, 2]
+        assert shard_map.shards_for_range(0, 999) == [0, 1, 2, 3]
+
+    def test_wire_round_trip(self):
+        shard_map = ShardMap.uniform(5, 777)
+        clone = ShardMap.from_wire(shard_map.to_wire())
+        assert clone.num_shards == 5
+        for key in (0, 100, 399, 776, -3, 10**6):
+            assert clone.shard_for(key) == shard_map.shard_for(key)
+
+    def test_single_shard_map_has_no_cuts(self):
+        shard_map = ShardMap.uniform(1, 100)
+        assert shard_map.num_shards == 1
+        assert shard_map.shard_for(-1) == 0
+        assert shard_map.shard_for(10**9) == 0
+
+    def test_key_ranges_describe_ownership(self):
+        shard_map = ShardMap.uniform(4, 1000)
+        ((lo, hi),) = shard_map.key_ranges([1])
+        assert shard_map.shard_for(lo) == 1
+        assert shard_map.shard_for(hi - 1) == 1
+        assert shard_map.shard_for(hi) == 2
+
+
+# ----------------------------------------------------------------------
+# the wire protocol
+# ----------------------------------------------------------------------
+
+
+class TestWire:
+    def test_round_trip(self):
+        body = wire.request("insert", "c0:r1", {"key": 7}, token="c0:t1",
+                            budget=0.25)
+        assert wire.decode_bytes(wire.encode_frame(body)) == body
+
+    def test_corrupted_body_fails_crc(self):
+        frame = bytearray(wire.encode_frame({"op": "ping", "id": "x"}))
+        frame[-1] ^= 0xFF
+        with pytest.raises(WireProtocolError, match="CRC"):
+            wire.decode_bytes(bytes(frame))
+
+    def test_bad_magic_is_refused(self):
+        frame = b"XX" + wire.encode_frame({"op": "ping", "id": "x"})[2:]
+        with pytest.raises(WireProtocolError, match="magic"):
+            wire.decode_bytes(frame)
+
+    def test_truncated_frame_is_detected(self):
+        frame = wire.encode_frame({"op": "ping", "id": "x"})
+        with pytest.raises(WireProtocolError, match="mid-"):
+            wire.decode_bytes(frame[: len(frame) // 2])
+
+    def test_oversized_length_refused_before_allocation(self):
+        header = wire.HEADER.pack(wire.MAGIC, wire.MAX_FRAME + 1, 0)
+        with pytest.raises(WireProtocolError, match="cap"):
+            wire.decode_bytes(header)
+
+    def test_correlation_mismatch_is_typed(self):
+        response = wire.ok_response("other-request", None)
+        with pytest.raises(WireProtocolError, match="correlation"):
+            wire.check_correlation(response, "my-request")
+        wire.check_correlation(wire.ok_response("mine", 1), "mine")
+
+
+# ----------------------------------------------------------------------
+# circuit breakers
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(shard_id=2, failure_threshold=3,
+                                 reset_timeout=1.0, clock=clock)
+        assert breaker.state == CLOSED
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError) as info:
+            breaker.allow()
+        assert info.value.shard_id == 2
+        assert 0.0 < info.value.retry_after <= 1.0
+
+    def test_success_resets_the_failure_count(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(1.5)
+        assert breaker.state == HALF_OPEN
+        breaker.allow()  # the probe
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # a second concurrent call is rejected
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.stats()["closes"] == 1
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(0.5)
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+
+
+# ----------------------------------------------------------------------
+# the sharded store: routing + partial-failure degradation
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def store():
+    sharded = ShardedDenseFile.build(num_shards=4, key_space=1000,
+                                     capacity_hint=512)
+    yield sharded
+    sharded.close()
+
+
+@pytest.fixture
+def populated(store):
+    for key in range(0, 1000, 10):
+        store.insert(key, f"v{key}")
+    return store
+
+
+class TestShardedStore:
+    def test_operations_route_across_all_shards(self, populated):
+        assert len(populated) == 100
+        for key in (0, 250, 500, 990):
+            assert populated.search(key).key == key
+        sizes = populated.stats()["records_per_shard"]
+        assert all(size > 0 for size in sizes)
+        assert sum(sizes) == 100
+
+    def test_scan_stitches_shards_in_key_order(self, populated):
+        result = populated.scan(240, 10)
+        assert result.complete and not result.partial
+        assert [record.key for record in result] == list(range(240, 340, 10))
+
+    def test_range_spans_shard_boundaries(self, populated):
+        result = populated.range(200, 600)
+        assert result.complete
+        keys = [record.key for record in result]
+        assert keys == sorted(keys)
+        assert keys[0] == 200 and keys[-1] == 600
+
+    def test_down_shard_rejects_writes_with_its_key_ranges(self, populated):
+        populated.mark_down(1)
+        victim = populated.shard_map.range_of(1)
+        with pytest.raises(ShardUnavailableError) as info:
+            populated.insert(victim.lo, "nope")
+        assert info.value.shard_ids == (1,)
+        assert info.value.mode == "down"
+        ((lo, hi),) = info.value.key_ranges
+        assert lo == victim.lo and hi == victim.hi
+
+    def test_surviving_shards_keep_serving(self, populated):
+        populated.mark_down(1)
+        dead = populated.shard_map.range_of(1)
+        for key in (0, 990):
+            assert populated.search(key).key == key
+        populated.insert(1, "still-writable")
+        assert populated.search(1).value == "still-writable"
+        # The dead shard's reads fail fast and typed.
+        with pytest.raises(ShardUnavailableError):
+            populated.search(dead.lo)
+
+    def test_scan_through_a_hole_reports_partial(self, populated):
+        populated.mark_down(1)
+        dead = populated.shard_map.range_of(1)
+        result = populated.scan(0, 100)
+        assert result.partial and not result.complete
+        assert result.unavailable == ((dead.lo, dead.hi),)
+        # Every returned record is from a live shard.
+        assert all(
+            not (dead.lo <= record.key < dead.hi) for record in result
+        )
+
+    def test_count_range_refuses_rather_than_undercounts(self, populated):
+        populated.mark_down(1)
+        dead = populated.shard_map.range_of(1)
+        with pytest.raises(ShardUnavailableError):
+            populated.count_range(dead.lo - 5, dead.lo + 5)
+        # A range that avoids the hole still counts exactly.
+        assert populated.count_range(0, 99) == 10
+
+    def test_degraded_shard_serves_reads_rejects_writes(self, populated):
+        populated.mark_degraded(2)
+        key = populated.shard_map.range_of(2).lo
+        probe = ((key // 10) + 1) * 10  # a populated key inside shard 2
+        assert populated.search(probe).key == probe
+        with pytest.raises(ShardUnavailableError) as info:
+            populated.insert(key + 3, "nope")
+        assert info.value.mode == "degraded"
+
+    def test_revive_restores_service(self, populated):
+        populated.mark_down(3)
+        populated.revive(3)
+        key = populated.shard_map.range_of(3).lo
+        populated.insert(key + 1, "back")
+        assert populated.search(key + 1).value == "back"
+        health = populated.health()[3]
+        assert health["state"] == "up"
+        assert health["downs"] == 1 and health["revives"] == 1
+
+    def test_len_skips_down_shards(self, populated):
+        before = len(populated)
+        populated.mark_down(0)
+        assert len(populated) < before
+        populated.revive(0)
+        assert len(populated) == before
+
+    def test_duplicate_and_missing_keys_stay_typed(self, populated):
+        with pytest.raises(DuplicateKeyError):
+            populated.insert(0, "again")
+        with pytest.raises(RecordNotFoundError):
+            populated.delete(5)
+
+    def test_build_rejects_nonsense(self):
+        with pytest.raises(ConfigurationError):
+            ShardedDenseFile.build(num_shards=0, key_space=100)
+
+
+# ----------------------------------------------------------------------
+# idempotency table
+# ----------------------------------------------------------------------
+
+
+class TestIdempotencyTable:
+    def test_records_and_replays(self):
+        table = IdempotencyTable()
+        assert table.get("c0:t0") is None
+        table.put("c0:t0", {"ok": True})
+        assert table.get("c0:t0") == {"ok": True}
+        assert table.hits == 1
+
+    def test_peek_does_not_count_a_hit(self):
+        table = IdempotencyTable()
+        table.put("t", {"ok": True})
+        assert table.peek("t") == {"ok": True}
+        assert table.hits == 0
+
+    def test_bounded_capacity_evicts_oldest(self):
+        table = IdempotencyTable(capacity=2)
+        table.put("a", {"n": 1})
+        table.put("b", {"n": 2})
+        table.put("c", {"n": 3})
+        assert len(table) == 2
+        assert table.peek("a") is None
+        assert table.peek("c") == {"n": 3}
+        assert table.evictions == 1
+
+
+# ----------------------------------------------------------------------
+# client <-> server over the in-process channel
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def cluster():
+    sharded = ShardedDenseFile.build(num_shards=3, key_space=300,
+                                     capacity_hint=256)
+    server = ClusterServer(sharded)
+    client = ClusterClient(LocalChannel(server.handle_frame),
+                           retry_policy=RetryPolicy(max_attempts=3))
+    yield sharded, server, client
+    client.close()
+    sharded.close()
+
+
+class TestClientServer:
+    def test_full_operation_surface(self, cluster):
+        _, _, client = cluster
+        assert client.ping() is True
+        for key in range(0, 300, 20):
+            client.insert(key, f"v{key}")
+        assert len(client) == 15
+        assert client.search(40).value == "v40"
+        assert client.search(41) is None
+        removed = client.delete(40)
+        assert removed.key == 40 and removed.value == "v40"
+        assert client.search(40) is None
+        scan = client.scan(0, 5)
+        assert [record.key for record in scan] == [0, 20, 60, 80, 100]
+        window = client.range(100, 200)
+        assert [record.key for record in window] == [100, 120, 140, 160, 180, 200]
+        assert client.count_range(0, 299) == 14
+
+    def test_hello_primes_the_shard_map(self, cluster):
+        sharded, _, client = cluster
+        assert client.shard_map.num_shards == 3
+        for key in (0, 150, 299):
+            assert client.shard_map.shard_for(key) == sharded.shard_map.shard_for(key)
+
+    def test_typed_errors_cross_the_wire(self, cluster):
+        _, _, client = cluster
+        client.insert(7)
+        with pytest.raises(DuplicateKeyError):
+            client.insert(7)
+        with pytest.raises(RecordNotFoundError):
+            client.delete(8)
+
+    def test_shard_unavailable_detail_survives_serialization(self, cluster):
+        sharded, _, client = cluster
+        client.kill_shard(1)
+        victim = sharded.shard_map.range_of(1)
+        with pytest.raises(ShardUnavailableError) as info:
+            client.insert(victim.lo)
+        assert info.value.shard_ids == (1,)
+        assert info.value.key_ranges == ((victim.lo, victim.hi),)
+        assert info.value.mode == "down"
+
+    def test_partial_scan_markers_cross_the_wire(self, cluster):
+        sharded, _, client = cluster
+        for key in range(0, 300, 20):
+            client.insert(key)
+        client.kill_shard(1)
+        dead = sharded.shard_map.range_of(1)
+        result = client.scan(0, 15)
+        assert result.partial
+        assert result.unavailable == ((dead.lo, dead.hi),)
+
+    def test_kill_and_revive_round_trip(self, cluster):
+        _, _, client = cluster
+        assert client.kill_shard(2) == "down"
+        assert client.degrade_shard(0) == "degraded"
+        states = [entry["state"] for entry in client.health()]
+        assert states == ["degraded", "up", "down"]
+        assert client.revive_shard(2) == "up"
+        assert client.revive_shard(0) == "up"
+
+    def test_retried_write_applies_at_most_once(self, cluster):
+        sharded, server, _ = cluster
+        body = wire.request("insert", "c9:r1", {"key": 42, "value": "x"},
+                            token="c9:t1")
+        first = server.handle_body(body)
+        assert first["ok"]
+        # The retry carries the same token under a new correlation id.
+        retry = wire.request("insert", "c9:r2", {"key": 42, "value": "x"},
+                             token="c9:t1")
+        second = server.handle_body(retry)
+        assert second["ok"] and second["replayed"]
+        assert second["id"] == "c9:r2"
+        assert sharded.search(42).value == "x"
+        assert server.dedup_replays == 1
+
+    def test_domain_errors_are_definite_outcomes(self, cluster):
+        _, server, client = cluster
+        client.insert(5)
+        body = wire.request("insert", "r1", {"key": 5}, token="dup:t1")
+        first = server.handle_body(body)
+        assert first["error"] == "DuplicateKeyError"
+        # Replayed, not re-executed: same typed error comes back.
+        second = server.handle_body(
+            wire.request("insert", "r2", {"key": 5}, token="dup:t1")
+        )
+        assert second["error"] == "DuplicateKeyError"
+        assert second["replayed"]
+
+    def test_not_applied_failures_are_never_recorded(self, cluster):
+        _, server, client = cluster
+        client.kill_shard(0)
+        body = wire.request("insert", "r1", {"key": 0}, token="na:t1")
+        response = server.handle_body(body)
+        assert response["error"] == "ShardUnavailableError"
+        # Absence from the table is the proof of non-application — and
+        # leaves the token free to succeed after the shard revives.
+        assert server.tokens.peek("na:t1") is None
+        client.revive_shard(0)
+        retry = server.handle_body(
+            wire.request("insert", "r2", {"key": 0}, token="na:t1")
+        )
+        assert retry["ok"] and "replayed" not in retry
+
+    def test_transient_faults_are_absorbed_by_retry(self, cluster):
+        _, server, _ = cluster
+
+        class FlakyChannel:
+            def __init__(self, inner, failures):
+                self.inner = inner
+                self.failures = failures
+
+            def request(self, frame, timeout=None):
+                if self.failures > 0:
+                    self.failures -= 1
+                    raise TransientNetworkError("injected blip")
+                return self.inner.request(frame, timeout)
+
+            def close(self):
+                self.inner.close()
+
+        client = ClusterClient(
+            FlakyChannel(LocalChannel(server.handle_frame), failures=2),
+            retry_policy=RetryPolicy(max_attempts=4),
+        )
+        client.insert(77, "made-it")
+        assert client.search(77).value == "made-it"
+        assert client.client_stats()["retries"] == 2
+
+    def test_budget_spent_surfaces_as_operation_timeout(self, cluster):
+        _, server, _ = cluster
+
+        class BlackHole:
+            def request(self, frame, timeout=None):
+                raise TransientNetworkError("dropped")
+
+            def close(self):
+                pass
+
+        slept = []
+        client = ClusterClient(
+            BlackHole(),
+            retry_policy=RetryPolicy(max_attempts=10, base_delay=1.0),
+            sleep=slept.append,
+        )
+        client.prime(ShardMap.uniform(3, 300))
+        with pytest.raises(OperationTimeout):
+            client.search(1, timeout=0.2)
+        # The 1s backoff would overrun the 0.2s budget: fail, don't sleep.
+        assert slept == []
+
+    def test_breaker_opens_after_repeated_shard_failures(self, cluster):
+        sharded, server, client = cluster
+        client.kill_shard(1)
+        victim = sharded.shard_map.range_of(1).lo
+        for _ in range(5):
+            with pytest.raises(ShardUnavailableError):
+                client.search(victim)
+        # The breaker now fails fast locally without touching the wire.
+        before = server.requests
+        with pytest.raises(CircuitOpenError) as info:
+            client.search(victim)
+        assert server.requests == before
+        assert info.value.shard_id == 1
+        # Other shards' breakers stay closed and keep serving.
+        client.insert(0, "fine")
+        assert client.search(0).value == "fine"
+
+
+# ----------------------------------------------------------------------
+# client <-> server over real TCP
+# ----------------------------------------------------------------------
+
+
+class TestTcpTransport:
+    def test_end_to_end_over_sockets(self):
+        sharded = ShardedDenseFile.build(num_shards=3, key_space=300)
+        server = ClusterServer(sharded)
+        host, port = server.start()
+        try:
+            with ClusterClient.connect(host, port) as client:
+                assert client.ping() is True
+                for key in range(0, 300, 30):
+                    client.insert(key, f"v{key}")
+                assert len(client) == 10
+                assert client.search(90).value == "v90"
+                assert client.delete(90).key == 90
+                # Admin ops and degradation work over the wire too.
+                client.kill_shard(1)
+                dead = client.shard_map.range_of(1)
+                with pytest.raises(ShardUnavailableError):
+                    client.insert(dead.lo)
+                result = client.scan(0, 10)
+                assert result.partial
+        finally:
+            server.stop()
+            sharded.close()
+
+    def test_two_clients_get_distinct_identities(self):
+        sharded = ShardedDenseFile.build(num_shards=2, key_space=100)
+        server = ClusterServer(sharded)
+        host, port = server.start()
+        try:
+            with ClusterClient.connect(host, port) as a, \
+                    ClusterClient.connect(host, port) as b:
+                assert a.client_id != b.client_id
+                a.insert(1)
+                b.insert(2)
+                assert a.search(2).key == 2
+                assert b.search(1).key == 1
+        finally:
+            server.stop()
+            sharded.close()
+
+    def test_connection_refused_is_transient(self):
+        # Nothing listens on the ephemeral port the kernel just released.
+        sharded = ShardedDenseFile.build(num_shards=1, key_space=10)
+        server = ClusterServer(sharded)
+        host, port = server.start()
+        server.stop()
+        sharded.close()
+        client = ClusterClient(
+            __import__("repro.cluster.transport", fromlist=["SocketChannel"])
+            .SocketChannel(host, port, connect_timeout=0.5),
+            retry_policy=RetryPolicy(max_attempts=2),
+        )
+        client.prime(ShardMap.uniform(1, 10))
+        with pytest.raises(TransientNetworkError):
+            client.ping()
+
+
+# ----------------------------------------------------------------------
+# seeded network faults
+# ----------------------------------------------------------------------
+
+
+class TestNetFaults:
+    def test_plan_replays_byte_identically(self):
+        plan_a = NetFaultPlan(seed=9, drop_rate=0.3, delay_rate=0.3)
+        plan_b = NetFaultPlan(seed=9, drop_rate=0.3, delay_rate=0.3)
+        draws_a = [plan_a.draw() for _ in range(50)]
+        assert draws_a == [plan_b.draw() for _ in range(50)]
+        assert any(kind is not None for kind, _ in draws_a)
+
+    def test_disabled_plan_injects_nothing(self):
+        plan = NetFaultPlan(seed=1)
+        assert not plan.enabled
+        assert all(plan.draw() == (None, 0.0) for _ in range(20))
+
+    def test_drop_loses_the_request_entirely(self, cluster_pair):
+        server, client = cluster_pair(NetFaultPlan(seed=0, drop_rate=1.0,
+                                                   max_faults=1))
+        token = client.new_token()
+        with pytest.raises(TransientNetworkError):
+            client.insert_with_token(3, token=token, timeout=0.5)
+        # The request never reached the server: provably not applied.
+        assert server.tokens.peek(token) is None
+        assert server.store.search(3) is None
+
+    def test_drop_after_delivers_then_loses_the_response(self, cluster_pair):
+        server, client = cluster_pair(NetFaultPlan(seed=0, drop_after_rate=1.0,
+                                                   max_faults=1))
+        token = client.new_token()
+        with pytest.raises(TransientNetworkError):
+            client.insert_with_token(3, token=token, timeout=0.5)
+        # The write WAS applied; the idempotency table is the witness.
+        assert server.tokens.peek(token) is not None
+        assert server.store.search(3).key == 3
+
+    def test_retry_rides_through_drop_after_exactly_once(self, cluster_pair):
+        server, client = cluster_pair(
+            NetFaultPlan(seed=0, drop_after_rate=1.0, max_faults=1),
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        client.insert(3, "once")
+        assert server.store.search(3).value == "once"
+        assert server.dedup_replays == 1  # the retry was replayed, not re-run
+
+    def test_truncated_response_is_a_wire_error_then_retried(self, cluster_pair):
+        server, client = cluster_pair(
+            NetFaultPlan(seed=0, truncate_rate=1.0, max_faults=1),
+            retry_policy=RetryPolicy(max_attempts=3),
+        )
+        client.insert(5)
+        assert server.store.search(5).key == 5
+
+    @pytest.fixture
+    def cluster_pair(self):
+        built = []
+
+        def factory(plan, retry_policy=None):
+            sharded = ShardedDenseFile.build(num_shards=2, key_space=100)
+            server = ClusterServer(sharded)
+            channel = ChaosChannel(LocalChannel(server.handle_frame), plan)
+            client = ClusterClient(
+                channel,
+                retry_policy=retry_policy or RetryPolicy(max_attempts=1),
+            )
+            client.prime(sharded.shard_map)
+            built.append((sharded, client))
+            return server, client
+
+        yield factory
+        for sharded, client in built:
+            client.close()
+            sharded.close()
+
+
+# ----------------------------------------------------------------------
+# the chaos harness
+# ----------------------------------------------------------------------
+
+
+class TestChaosHarness:
+    def test_clean_run_holds_the_trichotomy(self):
+        report = run_chaos(ChaosConfig(seed=11, total_ops=60, threads=2))
+        assert report.ok, report.summary()
+        # The schedule rounds ops up to fill its batches.
+        assert report.ops_issued >= 60
+        assert report.outcomes.get("ok", 0) > 0
+
+    def test_chaos_runs_are_deterministic(self):
+        config = dict(seed=13, total_ops=40, threads=2, drop_rate=0.1,
+                      drop_after_rate=0.1, delay_rate=0.05)
+        a = run_chaos(ChaosConfig(**config))
+        b = run_chaos(ChaosConfig(**config))
+        assert a.digest == b.digest
+        assert a.outcomes == b.outcomes
+        assert a.faults == b.faults
+
+    def test_storm_resolves_every_ambiguous_write(self):
+        report = run_chaos(ChaosConfig(
+            seed=5, total_ops=80, threads=3,
+            drop_rate=0.08, drop_after_rate=0.08, delay_rate=0.08,
+            duplicate_rate=0.08, reorder_rate=0.08, truncate_rate=0.08,
+        ))
+        assert report.ok, report.summary()
+        assert report.ambiguous_writes == (
+            report.resolved_applied + report.proven_not_applied
+        )
+
+    def test_kill_shard_mid_run_degrades_gracefully(self):
+        report = run_chaos(ChaosConfig(
+            seed=7, total_ops=80, threads=3, kill_at=2, kill_shard_id=1,
+        ))
+        assert report.ok, report.summary()
+        # Surviving ranges kept serving after the kill.
+        assert report.post_kill_successes > 0
+
+    def test_sweep_covers_every_fault_family(self):
+        names = [name for name, _ in SWEEP_PROFILES]
+        assert "storm" in names and "kill-shard" in names
+        results = run_sweep(seed=3, total_ops=30, threads=2,
+                            profiles=SWEEP_PROFILES[:2])
+        assert [name for name, _ in results] == names[:2]
+        assert all(report.ok for _, report in results)
+
+    def test_report_is_json_ready(self):
+        report = run_chaos(ChaosConfig(seed=1, total_ops=20, threads=2))
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["ops_issued"] >= 20
+        import json
+
+        json.dumps(payload)  # must not raise
+
+    def test_config_rejects_nonsense(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(threads=0)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(op_timeout=0.0)

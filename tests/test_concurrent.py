@@ -270,6 +270,60 @@ class TestOverload:
         assert report["admission"] is None
         assert report["lock"]["writers_served"] >= 0
 
+    def test_overload_reports_queue_depth_under_concurrent_writers(self):
+        """Shed writes carry an honest snapshot of the congestion.
+
+        With one in-flight slot held and several readers queued, every
+        concurrently shed writer must see ``queue_depth`` equal to the
+        real number of waiters and ``in_flight`` equal to the saturated
+        slot count — the numbers a load balancer would shed on.
+        """
+        from repro.concurrent import AdmissionGate
+
+        gate = AdmissionGate(max_in_flight=1, max_queued=8, shed_load=True)
+        slot = gate.enter("read")
+        readers = []
+        try:
+            # Three readers pile up behind the held slot.
+            budget = Deadline.after(10.0)
+            for _ in range(3):
+                reader = threading.Thread(
+                    target=lambda: gate.enter("read", budget).__exit__(
+                        None, None, None
+                    )
+                )
+                reader.start()
+                readers.append(reader)
+            deadline = time.monotonic() + 5.0
+            while gate.queue_depth < 3:
+                assert time.monotonic() < deadline, "readers never queued"
+                time.sleep(0.005)
+
+            # Concurrent writers are all shed, each with the true depth.
+            errors = []
+
+            def write():
+                try:
+                    gate.enter("write")
+                except OverloadError as error:
+                    errors.append(error)
+
+            writers = [threading.Thread(target=write) for _ in range(4)]
+            for writer in writers:
+                writer.start()
+            for writer in writers:
+                writer.join(5.0)
+            assert len(errors) == 4
+            for error in errors:
+                assert error.queue_depth == 3
+                assert error.in_flight == 1
+            assert gate.stats()["shed_writes"] == 4
+        finally:
+            slot.__exit__(None, None, None)
+            for reader in readers:
+                reader.join(5.0)
+        assert gate.queue_depth == 0 and gate.in_flight == 0
+
 
 class TestDeadlineAwareRetries:
     def test_retry_backoff_stops_at_the_deadline(self):

@@ -53,7 +53,7 @@ CASES = [
     ("lock_order_cycle", "lock-order", "LNT003", 1, "cycle"),
     ("errors", "errors", "LNT004", 4, "bare `except:`"),
     ("determinism", "determinism", "LNT005", 6, "wall-clock"),
-    ("deadlines", "deadlines", "LNT006", 7, "unbounded"),
+    ("deadlines", "deadlines", "LNT006", 10, "unbounded"),
 ]
 
 
@@ -220,7 +220,7 @@ def test_cli_json_format_is_machine_readable():
     code, text = run_cli(corpus_root("deadlines"), "--format=json")
     assert code == 1
     payload = json.loads(text)
-    assert [f["rule"] for f in payload["findings"]] == ["LNT006"] * 7
+    assert [f["rule"] for f in payload["findings"]] == ["LNT006"] * 10
 
 
 def test_cli_rules_filter():

@@ -435,6 +435,6 @@ class TestCliJournalState:
         )
         for command in ("verify", "info"):
             code, text = run_cli(command, journaled, "--backend", "disk")
-            assert code == 3
+            assert code == 6
             assert "pending replay" in text
             assert "journaled backend" in text

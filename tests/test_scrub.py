@@ -193,7 +193,7 @@ class TestCliSurface:
         victim = sorted(payloads)[0]
         corrupt_slot(path, victim)
         code, output = run_cli("info", path)
-        assert code == 0
+        assert code == 5
         assert "DEGRADED (read-only)" in output
         assert str(victim) in output
 
@@ -205,7 +205,7 @@ class TestCliSurface:
         assert run_cli("verify", path)[0] == 3
         assert run_cli("scrub", path)[0] == 3
         code, output = run_cli("info", path)
-        assert code == 0 and "DEGRADED" in output
+        assert code == 5 and "DEGRADED" in output
         # A mutating command surfaces the corruption as a CLI error
         # rather than silently writing through a broken page.
         code, output = run_cli("put", path, "999")

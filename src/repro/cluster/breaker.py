@@ -20,6 +20,16 @@ knowledge with the classic three-state machine:
     breaker re-opens for another full cooldown.  Concurrent calls while
     the probe is out are refused like ``open``.
 
+Every admitted call must report **exactly one** outcome:
+:meth:`~CircuitBreaker.record_success` (the shard answered, even with a
+domain error), :meth:`~CircuitBreaker.record_failure` (the shard could
+not serve), or :meth:`~CircuitBreaker.release` (the attempt ended
+without learning anything about the shard — a connection-scoped fault
+or a client-side abort).  ``release`` exists so inconclusive outcomes
+neither close a half-open breaker nor bias the failure count — and so
+the probe slot can never leak, which would wedge the breaker open
+forever.
+
 The clock is injectable (``time.monotonic`` by default) so tests and
 the chaos harness drive the state machine deterministically.
 """
@@ -64,6 +74,7 @@ class CircuitBreaker:
         self.closes = 0
         self.rejections = 0
         self.probes = 0
+        self.releases = 0
 
     # -- the gate -------------------------------------------------------
 
@@ -131,6 +142,26 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
                 self.opens += 1
 
+    def release(self) -> None:
+        """The admitted call ended inconclusively; free the slot.
+
+        A connection reset or a client-side abort says nothing about
+        the shard behind the connection, so the breaker must neither
+        count a failure nor celebrate a success.  In ``closed`` this is
+        a no-op (state and failure count untouched).  In ``half_open``
+        the probe slot is returned and the breaker re-opens for another
+        full cooldown — the probe was spent without an answer, and
+        leaving the slot marked in-flight would wedge the breaker shut
+        forever.
+        """
+        with self._mutex:
+            self.releases += 1
+            if self._state == HALF_OPEN:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                self.opens += 1
+
     # -- introspection --------------------------------------------------
 
     @property
@@ -155,4 +186,5 @@ class CircuitBreaker:
                 "closes": self.closes,
                 "rejections": self.rejections,
                 "probes": self.probes,
+                "releases": self.releases,
             }

@@ -242,8 +242,13 @@ class ClusterClient:
         budget: Deadline,
         token: Optional[str],
     ) -> Any:
-        """One attempt: frame, send, decode, correlate, raise-or-return."""
-        budget.check(f"cluster {op}")
+        """One attempt: frame, send, decode, correlate, raise-or-return.
+
+        The caller checks the budget *before* breaker admission; by the
+        time we are here an ``OperationTimeout`` can only be the
+        server's answer, so the breaker accounting in ``_call`` may
+        treat it as a shard failure.
+        """
         request_id = self._next_request_id()
         body = request(
             op,
@@ -282,8 +287,18 @@ class ClusterClient:
                 breaker = self._breakers.get(shard_id)
 
         def attempt() -> Any:
+            # A spent client-side budget is not a shard failure: raise
+            # before asking the breaker for admission, so a too-small
+            # budget can never trip the breaker of a shard that was
+            # never contacted.  Past this point an OperationTimeout is
+            # the server's answer.
+            budget.check(f"cluster {op}")
             if breaker is not None:
                 breaker.allow()
+            # The breaker admitted this call, so exactly one outcome
+            # must be reported below — success, failure, or a neutral
+            # release — on every path out, or a half-open probe slot
+            # leaks and the breaker wedges shut forever.
             try:
                 result = self._exchange(op, args, budget, token)
             except (ShardUnavailableError, OperationTimeout):
@@ -294,9 +309,25 @@ class ClusterClient:
                 raise
             except (TransientNetworkError, WireProtocolError):
                 # Connection-scoped, not shard-scoped: release the
-                # probe slot without biasing the failure count.
+                # probe slot without biasing the failure count (and
+                # without closing a half-open breaker — a reset probe
+                # proved nothing about the shard).
+                if breaker is not None:
+                    breaker.release()
+                raise
+            except ReproError:
+                # Any other typed outcome — duplicate key, missing
+                # record, overload shed, a server-side refusal — means
+                # the shard answered: a success as far as shard health
+                # is concerned.
                 if breaker is not None:
                     breaker.record_success()
+                raise
+            except BaseException:
+                # Unexpected (a bug, an interrupt): free the slot
+                # without judging the shard.
+                if breaker is not None:
+                    breaker.release()
                 raise
             if breaker is not None:
                 breaker.record_success()

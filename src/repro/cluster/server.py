@@ -75,6 +75,14 @@ class IdempotencyTable:
     order; a retried token replays its recorded outcome.  The table is
     also the chaos harness's ground truth: after a run, a token absent
     from the table is *proof* the write was never applied.
+
+    At-most-once needs more than a lookup: a retried request can race a
+    *still-executing* first attempt (the client reconnected while the
+    old connection's worker is mid-write), and a check-then-execute
+    window would double-execute.  :meth:`reserve` therefore claims the
+    token atomically **before** dispatch — the first attempt becomes
+    the owner, duplicates wait on its completion event and then replay
+    the recorded outcome — and :meth:`finish` releases the claim.
     """
 
     def __init__(self, capacity: int = 8192):
@@ -83,8 +91,10 @@ class IdempotencyTable:
         self.capacity = capacity
         self._mutex = threading.Lock()
         self._outcomes: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._pending: Dict[str, threading.Event] = {}
         self.hits = 0
         self.evictions = 0
+        self.waits = 0
 
     def get(self, token: str) -> Optional[Dict[str, Any]]:
         """The recorded outcome for ``token``, or ``None`` if unseen."""
@@ -102,10 +112,58 @@ class IdempotencyTable:
     def put(self, token: str, outcome: Dict[str, Any]) -> None:
         """Record a definite outcome, evicting the oldest past capacity."""
         with self._mutex:
-            self._outcomes[token] = outcome
-            while len(self._outcomes) > self.capacity:
-                self._outcomes.popitem(last=False)
-                self.evictions += 1
+            self._record_locked(token, outcome)
+
+    def _record_locked(self, token: str, outcome: Dict[str, Any]) -> None:
+        self._outcomes[token] = outcome
+        while len(self._outcomes) > self.capacity:
+            self._outcomes.popitem(last=False)
+            self.evictions += 1
+
+    def reserve(self, token: str) -> Tuple[str, Any]:
+        """Atomically claim ``token`` for execution.
+
+        Returns one of three claims:
+
+        ``("replay", outcome)``
+            A definite outcome is already recorded — replay it, do not
+            execute.
+        ``("wait", event)``
+            Another attempt for the same token is executing right now.
+            Wait on the :class:`threading.Event`, then call
+            :meth:`reserve` again to pick up its outcome.
+        ``("execute", None)``
+            The caller now owns the token and **must** call
+            :meth:`finish` exactly once, however execution ends.
+        """
+        with self._mutex:
+            outcome = self._outcomes.get(token)
+            if outcome is not None:
+                self.hits += 1
+                return ("replay", outcome)
+            event = self._pending.get(token)
+            if event is not None:
+                self.waits += 1
+                return ("wait", event)
+            self._pending[token] = threading.Event()
+            return ("execute", None)
+
+    def finish(self, token: str, outcome: Optional[Dict[str, Any]]) -> None:
+        """The owner's epilogue: record and release in one atomic step.
+
+        ``outcome`` is the definite response to replay for later
+        retries, or ``None`` when the attempt ended *not applied*
+        (admission timeout, shard down, overload shed) and the token
+        must stay free for a retry to execute.  Either way the pending
+        claim is dropped and any duplicate attempts parked on the
+        event are woken.
+        """
+        with self._mutex:
+            if outcome is not None:
+                self._record_locked(token, outcome)
+            event = self._pending.pop(token, None)
+        if event is not None:
+            event.set()
 
     def __len__(self) -> int:
         with self._mutex:
@@ -170,58 +228,143 @@ class ClusterServer:
         return encode_frame(self.handle_body(body))
 
     def handle_body(self, body: Dict[str, Any]) -> Dict[str, Any]:
-        """Dispatch one decoded request body to the store."""
+        """Dispatch one decoded request body to the store.
+
+        Whatever shape the request is in, the caller gets a response
+        frame back: a malformed body (missing args, non-numeric
+        budget) earns a typed ``WireProtocolError`` answer instead of
+        an escaped exception that would kill the connection thread and
+        leave the client retrying into silence.
+        """
         self.requests += 1
         request_id = str(body.get("id", "?"))
-        op = body.get("op")
-        args = body.get("args") or {}
-        token = body.get("token")
-        budget = body.get("budget")
+        try:
+            op = body.get("op")
+            args = body.get("args") or {}
+            if not isinstance(args, dict):
+                raise WireProtocolError(
+                    f"args must be an object, got {type(args).__name__}"
+                )
+            token = body.get("token")
+            deadline = self._budget_deadline(body.get("budget"))
+            if token is not None and op in MUTATING_OPS:
+                return self._apply_once(
+                    request_id, str(token), op, args, deadline
+                )
+            return self._respond(request_id, op, args, deadline)
+        except ReproError as error:
+            # Typed refusals raised outside _respond's own accounting:
+            # malformed budget/args, a duplicate-token wait that hit
+            # the deadline.  All of them mean "not applied".
+            self.errors += 1
+            return error_response(
+                request_id,
+                type(error).__name__,
+                str(error),
+                detail=_error_detail(error),
+            )
+        except Exception as error:  # lint: allow[errors]
+            # A request whose shape we did not anticipate must still
+            # get a typed answer rather than a dead connection.
+            self.errors += 1
+            return error_response(
+                request_id,
+                "WireProtocolError",
+                f"malformed request: {type(error).__name__}: {error}",
+            )
 
-        if token is not None and op in MUTATING_OPS:
-            recorded = self.tokens.get(token)
-            if recorded is not None:
-                # Replay the definite outcome under the NEW correlation
-                # id: the retry is a different request for the same op.
-                self.dedup_replays += 1
-                replay = dict(recorded)
-                replay["id"] = request_id
-                replay["replayed"] = True
-                return replay
-
-        deadline: Optional[Deadline] = None
+    def _budget_deadline(self, budget: Any) -> Optional[Deadline]:
+        """The request's ``budget`` field as a server-side deadline."""
+        if budget is not None and not isinstance(budget, (int, float)):
+            raise WireProtocolError(
+                f"budget must be a number, got {type(budget).__name__}"
+            )
         effective = budget
         if self.max_budget is not None:
             effective = (
                 self.max_budget if budget is None
                 else min(budget, self.max_budget)
             )
-        if effective is not None:
-            deadline = Deadline.after(effective, clock=self._clock)
+        if effective is None:
+            return None
+        # A non-positive budget is a request that expired in transit:
+        # an already-spent deadline turns it into a typed timeout at
+        # the first blocking point instead of a UsageError.
+        return Deadline.after(max(0.0, effective), clock=self._clock)
 
+    def _respond(
+        self,
+        request_id: str,
+        op: Any,
+        args: Dict[str, Any],
+        deadline: Optional[Deadline],
+    ) -> Dict[str, Any]:
+        """Execute ``op`` and shape the outcome as a response body."""
         try:
             result = self._dispatch(op, args, deadline)
         except ReproError as error:
             self.errors += 1
-            response = error_response(
+            return error_response(
                 request_id,
                 type(error).__name__,
                 str(error),
                 detail=_error_detail(error),
             )
-            if (
-                token is not None
-                and op in MUTATING_OPS
-                and type(error).__name__ not in NOT_APPLIED_ERRORS
-            ):
-                # A domain error (duplicate key, missing key) is a
-                # definite outcome: the op executed, record it.
-                self.tokens.put(token, response)
-            return response
-        response = ok_response(request_id, result)
-        if token is not None and op in MUTATING_OPS:
-            self.tokens.put(token, response)
-        return response
+        return ok_response(request_id, result)
+
+    def _apply_once(
+        self,
+        request_id: str,
+        token: str,
+        op: Any,
+        args: Dict[str, Any],
+        deadline: Optional[Deadline],
+    ) -> Dict[str, Any]:
+        """Execute a mutating op at most once per idempotency token.
+
+        The token is claimed atomically *before* dispatch, so a retried
+        request that races a still-executing first attempt (the client
+        reconnected while the old connection's worker is mid-write)
+        waits for that attempt's outcome and replays it instead of
+        re-executing — a double-execute would, e.g., turn an applied
+        delete into a spurious ``RecordNotFoundError`` recorded as the
+        token's definite outcome.
+        """
+        while True:
+            claim, payload = self.tokens.reserve(token)
+            if claim == "replay":
+                # Replay the definite outcome under the NEW correlation
+                # id: the retry is a different request for the same op.
+                self.dedup_replays += 1
+                replay = dict(payload)
+                replay["id"] = request_id
+                replay["replayed"] = True
+                return replay
+            if claim == "wait":
+                if not payload.wait(
+                    None if deadline is None else deadline.wait_budget()
+                ):
+                    # The first attempt is still executing at our
+                    # deadline.  Its outcome (applied or not) remains
+                    # owned by that attempt; this retry only times out.
+                    raise OperationTimeout(
+                        f"duplicate of token {token!r} still executing "
+                        f"when the retry's budget expired"
+                    )
+                continue
+            # claim == "execute": this attempt owns the token and must
+            # release it on every path out, or duplicates wait forever.
+            definite: Optional[Dict[str, Any]] = None
+            try:
+                response = self._respond(request_id, op, args, deadline)
+                error_name = response.get("error")
+                if error_name is None or error_name not in NOT_APPLIED_ERRORS:
+                    # Success or a domain error: the op executed, so
+                    # this is the outcome every retry must see.
+                    definite = response
+                return response
+            finally:
+                self.tokens.finish(token, definite)
 
     def _dispatch(
         self, op: Any, args: Dict[str, Any], deadline: Optional[Deadline]

@@ -218,6 +218,35 @@ class TestCircuitBreaker:
         with pytest.raises(CircuitOpenError):
             breaker.allow()
 
+    def test_release_reopens_a_half_open_probe_without_bias(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        breaker.allow()  # the probe is admitted...
+        breaker.release()  # ...but ends inconclusively (connection died)
+        # Neither closed (nothing proved the shard healthy) nor wedged:
+        # another full cooldown, failure streak untouched.
+        assert breaker.state == OPEN
+        assert breaker.stats()["consecutive_failures"] == 1
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()
+        clock.advance(1.5)
+        breaker.allow()  # a fresh probe slot exists: not wedged
+
+    def test_release_in_closed_is_a_no_op(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.allow()
+        breaker.release()
+        stats = breaker.stats()
+        assert stats["state"] == CLOSED
+        # A connection-scoped fault must not reset the failure streak
+        # the way record_success() would.
+        assert stats["consecutive_failures"] == 1
+        assert stats["releases"] == 1
+
 
 # ----------------------------------------------------------------------
 # the sharded store: routing + partial-failure degradation
@@ -365,6 +394,28 @@ class TestIdempotencyTable:
         assert table.peek("a") is None
         assert table.peek("c") == {"n": 3}
         assert table.evictions == 1
+
+    def test_reserve_owns_then_waits_then_replays(self):
+        table = IdempotencyTable()
+        claim, payload = table.reserve("t")
+        assert claim == "execute" and payload is None
+        # A duplicate arriving while the first attempt executes must
+        # wait, never run the op a second time.
+        dup, event = table.reserve("t")
+        assert dup == "wait" and not event.is_set()
+        table.finish("t", {"ok": True})
+        assert event.is_set()
+        assert table.reserve("t") == ("replay", {"ok": True})
+        assert table.waits == 1
+
+    def test_finish_without_outcome_frees_the_token(self):
+        table = IdempotencyTable()
+        claim, _ = table.reserve("t")
+        assert claim == "execute"
+        table.finish("t", None)  # the attempt ended not-applied
+        assert table.peek("t") is None
+        claim, _ = table.reserve("t")
+        assert claim == "execute"  # a retry may still execute
 
 
 # ----------------------------------------------------------------------
@@ -551,6 +602,173 @@ class TestClientServer:
         # Other shards' breakers stay closed and keep serving.
         client.insert(0, "fine")
         assert client.search(0).value == "fine"
+
+    def test_probe_domain_error_closes_instead_of_wedging(self):
+        # Regression: a half-open probe whose outcome is a domain error
+        # (the shard ANSWERED, just unhappily) must report an outcome
+        # to the breaker, or the probe slot leaks and every later call
+        # to a recovered shard raises CircuitOpenError forever.
+        clock = FakeClock()
+        sharded = ShardedDenseFile.build(num_shards=2, key_space=100)
+        server = ClusterServer(sharded)
+        client = ClusterClient(
+            LocalChannel(server.handle_frame),
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker_threshold=1, breaker_reset=1.0, clock=clock,
+        )
+        try:
+            client.prime(sharded.shard_map)
+            sharded.mark_down(0)
+            with pytest.raises(ShardUnavailableError):
+                client.delete(0)
+            assert client.breaker(0).state == OPEN
+            sharded.revive(0)
+            clock.advance(1.5)
+            # The probe is a delete of a missing key: a definite answer
+            # from a healthy shard, so the breaker closes.
+            with pytest.raises(RecordNotFoundError):
+                client.delete(0)
+            assert client.breaker(0).state == CLOSED
+            client.insert(0, "ok")  # would be CircuitOpenError if wedged
+            assert client.search(0).value == "ok"
+        finally:
+            client.close()
+            sharded.close()
+
+    def test_probe_network_error_reopens_instead_of_closing(self):
+        # Regression: a half-open probe that dies with a connection
+        # reset proved nothing — it must NOT close the circuit and
+        # resume full traffic, and must not reset the failure streak.
+        clock = FakeClock()
+        sharded = ShardedDenseFile.build(num_shards=2, key_space=100)
+        server = ClusterServer(sharded)
+
+        class Flaky:
+            def __init__(self, inner):
+                self.inner = inner
+                self.fail_next = False
+
+            def request(self, frame, timeout=None):
+                if self.fail_next:
+                    self.fail_next = False
+                    raise TransientNetworkError("probe reset")
+                return self.inner.request(frame, timeout)
+
+            def close(self):
+                self.inner.close()
+
+        channel = Flaky(LocalChannel(server.handle_frame))
+        client = ClusterClient(
+            channel,
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker_threshold=1, breaker_reset=1.0, clock=clock,
+        )
+        try:
+            client.prime(sharded.shard_map)
+            sharded.mark_down(0)
+            with pytest.raises(ShardUnavailableError):
+                client.search(0)
+            assert client.breaker(0).state == OPEN
+            clock.advance(1.5)
+            channel.fail_next = True
+            with pytest.raises(TransientNetworkError):
+                client.search(0)
+            breaker = client.breaker(0)
+            assert breaker.state == OPEN
+            assert breaker.stats()["consecutive_failures"] == 1
+            with pytest.raises(CircuitOpenError):
+                client.search(0)
+        finally:
+            client.close()
+            sharded.close()
+
+    def test_spent_client_budget_never_touches_the_breaker(self, cluster):
+        # Regression: a budget that expired before any network I/O is
+        # the CLIENT's timeout; feeding it to record_failure() could
+        # trip a healthy shard's breaker without ever contacting it.
+        _, server, client = cluster
+        shard_id = client.shard_map.shard_for(1)
+        before = server.requests
+        with pytest.raises(OperationTimeout):
+            client.search(1, timeout=0.0)
+        stats = client.breaker(shard_id).stats()
+        assert stats["state"] == CLOSED
+        assert stats["consecutive_failures"] == 0
+        assert server.requests == before  # the wire was never touched
+
+    def test_malformed_requests_get_typed_responses(self, cluster):
+        # Regression: a missing args key or a non-numeric budget used
+        # to escape handle_body as KeyError/TypeError and kill the
+        # connection thread with no response at all.
+        _, server, _ = cluster
+        response = server.handle_body({"op": "insert", "id": "r1"})
+        assert response["ok"] is False
+        assert response["error"] == "WireProtocolError"
+        assert response["id"] == "r1"
+        response = server.handle_body(
+            {"op": "ping", "id": "r2", "budget": "soon"}
+        )
+        assert response["error"] == "WireProtocolError"
+        response = server.handle_body({"op": "search", "id": "r3", "args": [1]})
+        assert response["error"] == "WireProtocolError"
+        # A malformed mutating request must not burn its token either.
+        response = server.handle_body(
+            {"op": "insert", "id": "r4", "token": "m:t1"}
+        )
+        assert response["error"] == "WireProtocolError"
+        assert server.tokens.peek("m:t1") is None
+        # The dispatcher survived all of it.
+        assert server.handle_body({"op": "ping", "id": "r5"})["result"] == "pong"
+
+    def test_duplicate_token_waits_for_in_flight_first_attempt(self):
+        # Regression: check-then-execute on the idempotency table let a
+        # retry racing a still-executing first attempt double-execute —
+        # for a delete, the retry then recorded RecordNotFoundError as
+        # the token's definite outcome even though the delete applied.
+        sharded = ShardedDenseFile.build(num_shards=1, key_space=100)
+        server = ClusterServer(sharded)
+        sharded.insert(7, "x")
+        entered = threading.Event()
+        release = threading.Event()
+        original = server._dispatch
+
+        def slow_dispatch(op, args, deadline):
+            if op == "delete":
+                entered.set()
+                assert release.wait(5.0)
+            return original(op, args, deadline)
+
+        server._dispatch = slow_dispatch
+        results = {}
+
+        def run(name, request_id):
+            results[name] = server.handle_body(
+                wire.request("delete", request_id, {"key": 7},
+                             token="race:t1")
+            )
+
+        try:
+            first = threading.Thread(target=run, args=("first", "r1"))
+            first.start()
+            assert entered.wait(5.0)
+            # The retry arrives while the first attempt is mid-execute.
+            second = threading.Thread(target=run, args=("second", "r2"))
+            second.start()
+            time.sleep(0.05)  # let the retry reach the reservation
+            release.set()
+            first.join(5.0)
+            second.join(5.0)
+        finally:
+            release.set()
+            sharded.close()
+        assert results["first"]["ok"]
+        assert results["first"]["result"] == [7, "x"]
+        # The retry replayed the applied delete — it did not re-execute
+        # and fabricate a RecordNotFoundError.
+        assert results["second"]["ok"]
+        assert results["second"]["replayed"]
+        assert results["second"]["id"] == "r2"
+        assert server.dedup_replays == 1
 
 
 # ----------------------------------------------------------------------

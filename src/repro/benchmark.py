@@ -38,8 +38,9 @@ deterministic logical counters are compared with a tight threshold).
 
 from __future__ import annotations
 
+import random
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .analysis.stats import flatten_counters, percentile
 from .baselines.btree import BPlusTree
@@ -68,6 +69,41 @@ _CHUNK = 64
 DEFAULT_MAX_REGRESSION = 30.0
 ACCESS_REGRESSION = 2.0
 
+#: Retained per-operation latency samples per cell.  Collection is a
+#: plain append in the timed loop; runs longer than the cap are
+#: down-sampled afterwards by a seeded reservoir, so the stored sample
+#: is an unbiased, deterministic draw from every observed operation.
+LATENCY_RESERVOIR = 2048
+
+
+def _reservoir(latencies: List[float], seed: int) -> List[float]:
+    """Deterministically down-sample to ``LATENCY_RESERVOIR`` entries.
+
+    Classic reservoir sampling (Algorithm R) over the full observation
+    list, seeded so two runs of the same workload keep the same sample
+    positions.  Runs at or under the cap are returned unchanged.
+    """
+    if len(latencies) <= LATENCY_RESERVOIR:
+        return latencies
+    rng = random.Random(seed ^ 0x5EED)
+    sample = latencies[:LATENCY_RESERVOIR]
+    for index in range(LATENCY_RESERVOIR, len(latencies)):
+        slot = rng.randint(0, index)
+        if slot < LATENCY_RESERVOIR:
+            sample[slot] = latencies[index]
+    return sample
+
+
+#: What one latency observation means, per scenario, for the local
+#: backends (the cluster runner labels its cells separately because its
+#: bulk_load is chunked and its stream_scan is a single round trip).
+_LATENCY_SOURCES = {
+    "bulk_load": "aggregate",
+    "insert_burst": "per_chunk_mean",
+    "mixed": "per_op",
+    "stream_scan": "per_chunk_mean",
+}
+
 
 def _geometry(ops: int) -> Dict[str, int]:
     """Pick a (M, d, D) with room for ~2*ops records at average density.
@@ -88,15 +124,17 @@ def _make_file(
     tmpdir: Optional[str],
     cache_pages: int,
     readahead: int,
+    page_format: str = "packed",
 ) -> DenseSequentialFile:
     if backend == "memory":
-        return DenseSequentialFile(**geometry)
+        return DenseSequentialFile(**geometry, page_format=page_format)
     if backend == "buffered":
         return DenseSequentialFile(
             **geometry,
             backend="buffered",
             cache_pages=cache_pages,
             readahead=readahead,
+            page_format=page_format,
         )
     if backend == "disk":
         import os
@@ -105,7 +143,11 @@ def _make_file(
             raise ConfigurationError("disk backend needs a tmpdir")
         path = os.path.join(tmpdir, f"bench-{backend}.dsf")
         return DenseSequentialFile(
-            **geometry, backend="disk", path=path, overwrite=True
+            **geometry,
+            backend="disk",
+            path=path,
+            overwrite=True,
+            page_format=page_format,
         )
     raise ConfigurationError(f"unknown backend {backend!r}; pick one of {BACKENDS}")
 
@@ -123,8 +165,17 @@ def _result(
     accesses: int,
     counters: Dict[str, float],
     extra: Optional[dict] = None,
+    latency_source: str = "per_op",
+    seed: int = 0,
 ) -> dict:
-    ordered = sorted(latencies)
+    # ``latency_source`` records what one latency sample *is* so the
+    # percentiles can be read honestly: "per_op" samples time a single
+    # command; "per_chunk_mean" (the batched scenarios) average a chunk,
+    # so their p99 understates tail latency by construction; "aggregate"
+    # is one whole-phase measurement.  This is an additive repro-bench/1
+    # schema extension — older reports simply lack the two fields.
+    sample = _reservoir(latencies, seed)
+    ordered = sorted(sample)
     return {
         "scenario": scenario,
         "backend": backend,
@@ -134,6 +185,8 @@ def _result(
         "page_accesses": accesses,
         "latency_p50_us": percentile(ordered, 0.50) * 1e6,
         "latency_p99_us": percentile(ordered, 0.99) * 1e6,
+        "latency_source": latency_source,
+        "latency_samples": len(ordered),
         "counters": counters,
         "extra": extra or {},
     }
@@ -147,11 +200,14 @@ def _run_scenario(
     tmpdir: Optional[str],
     cache_pages: int,
     readahead: int,
+    page_format: str = "packed",
 ) -> dict:
     if backend == "cluster":
         return _run_cluster_scenario(scenario, ops, seed)
     geometry = _geometry(ops)
-    dense = _make_file(backend, geometry, tmpdir, cache_pages, readahead)
+    dense = _make_file(
+        backend, geometry, tmpdir, cache_pages, readahead, page_format
+    )
     clock = time.perf_counter
     latencies: List[float] = []
     executed = 0
@@ -179,24 +235,38 @@ def _run_scenario(
         elif scenario == "mixed":
             preload = list(range(0, ops, 2))
             dense.bulk_load(preload)
-            stream = mixed_workload(
-                ops // 2,
-                insert_ratio=0.5,
-                key_space=4 * ops,
-                seed=seed,
-                preloaded=preload,
-            )
+            # Materialize and pre-dispatch the stream before timing:
+            # the workload generator (and the kind test per operation)
+            # is harness, not the measured structure, and consuming it
+            # inside the loop used to charge its cost to every
+            # operation.
+            calls = [
+                (dense.insert, (operation.key, operation.value))
+                if operation.kind == INSERT
+                else (dense.delete, (operation.key,))
+                for operation in mixed_workload(
+                    ops // 2,
+                    insert_ratio=0.5,
+                    key_space=4 * ops,
+                    seed=seed,
+                    preloaded=preload,
+                )
+            ]
+            append = latencies.append
             before = dense.stats.page_accesses
-            start = clock()
-            for operation in stream:
-                t0 = clock()
-                if operation.kind == INSERT:
-                    dense.insert(operation.key, operation.value)
-                elif operation.kind == DELETE:
-                    dense.delete(operation.key)
-                latencies.append(clock() - t0)
-                executed += 1
-            elapsed = clock() - start
+            # Chained timestamps: one clock read per operation (the end
+            # of op N is the start of op N+1), so the per-op meter costs
+            # half of the naive two-reads-per-op pattern.  The loop's
+            # own unpack/append overhead (~50ns) rides inside each
+            # sample; the timer read it replaces cost more.
+            start = t0 = clock()
+            for call, args in calls:
+                call(*args)
+                t1 = clock()
+                append(t1 - t0)
+                t0 = t1
+            elapsed = t0 - start
+            executed = len(calls)
         elif scenario == "stream_scan":
             keys = list(range(ops))
             dense.bulk_load(keys)
@@ -223,6 +293,7 @@ def _run_scenario(
         return _result(
             scenario, backend, executed, elapsed, latencies, accesses,
             counters, extra,
+            latency_source=_LATENCY_SOURCES[scenario], seed=seed,
         )
     finally:
         dense.close()
@@ -303,16 +374,21 @@ def _run_cluster_scenario(scenario: str, ops: int, seed: int) -> dict:
                 preload = list(range(0, ops, 2))
                 for key in preload:
                     store.insert(key)
-                stream = mixed_workload(
-                    ops // 2,
-                    insert_ratio=0.5,
-                    key_space=key_space,
-                    seed=seed,
-                    preloaded=preload,
+                # Same fix as the local runner: generate the stream
+                # before timing so generator cost is not billed to the
+                # per-operation round trips.
+                operations = list(
+                    mixed_workload(
+                        ops // 2,
+                        insert_ratio=0.5,
+                        key_space=key_space,
+                        seed=seed,
+                        preloaded=preload,
+                    )
                 )
                 before = accesses_now()
                 start = clock()
-                for operation in stream:
+                for operation in operations:
                     t0 = clock()
                     if operation.kind == INSERT:
                         client.insert(operation.key, operation.value)
@@ -347,8 +423,15 @@ def _run_cluster_scenario(scenario: str, ops: int, seed: int) -> dict:
         "dedup_replays": float(server.dedup_replays),
         "client_retries": float(retries),
     }
+    cluster_sources = {
+        "bulk_load": "per_chunk_mean",
+        "insert_burst": "per_chunk_mean",
+        "mixed": "per_op",
+        "stream_scan": "aggregate",
+    }
     return _result(
-        scenario, "cluster", executed, elapsed, latencies, accesses, counters
+        scenario, "cluster", executed, elapsed, latencies, accesses, counters,
+        latency_source=cluster_sources[scenario], seed=seed,
     )
 
 
@@ -360,8 +443,16 @@ def run_bench(
     quick: bool = False,
     cache_pages: int = DEFAULT_CACHE_PAGES,
     readahead: int = DEFAULT_READAHEAD,
+    page_format: str = "packed",
 ) -> dict:
-    """Run the scenario x backend matrix; returns the report dict."""
+    """Run the scenario x backend matrix; returns the report dict.
+
+    ``page_format`` picks the in-core page representation for the local
+    backends (``"packed"`` — the default — or ``"object"``); the
+    ``cluster`` backend builds its own shards and ignores it.  Logical
+    page accesses are identical for both formats; only wall clock
+    differs.
+    """
     import tempfile
 
     if quick:
@@ -378,7 +469,7 @@ def run_bench(
                 results.append(
                     _run_scenario(
                         scenario, backend, ops, seed, tmpdir,
-                        cache_pages, readahead,
+                        cache_pages, readahead, page_format,
                     )
                 )
     return {
@@ -386,9 +477,34 @@ def run_bench(
         "quick": quick,
         "seed": seed,
         "ops": ops,
+        "page_format": page_format,
         "geometry": _geometry(ops),
         "results": results,
     }
+
+
+def run_bench_profiled(profile_top: int = 25, **kwargs) -> "Tuple[dict, str]":
+    """:func:`run_bench` under cProfile; returns ``(report, table)``.
+
+    ``table`` is the ``pstats`` rendering of the ``profile_top`` hottest
+    functions by cumulative time.  The report's wall-clock figures
+    include profiler overhead — use a profiled run to find hot spots,
+    never to record a baseline.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        report = run_bench(**kwargs)
+    finally:
+        profiler.disable()
+    table = io.StringIO()
+    stats = pstats.Stats(profiler, stream=table)
+    stats.sort_stats("cumulative").print_stats(max(1, profile_top))
+    return report, table.getvalue()
 
 
 # ----------------------------------------------------------------------
@@ -423,13 +539,18 @@ def validate_report(report: dict) -> List[str]:
                 problems.append(f"results[{index}] missing {fieldname!r}")
         for numeric in (
             "ops", "elapsed_s", "ops_per_sec", "page_accesses",
-            "latency_p50_us", "latency_p99_us",
+            "latency_p50_us", "latency_p99_us", "latency_samples",
         ):
             value = cell.get(numeric)
             if value is not None and not isinstance(value, (int, float)):
                 problems.append(
                     f"results[{index}].{numeric} is not numeric"
                 )
+        # Optional fields (added after the first reports were recorded;
+        # absent in e.g. BENCH_PR4.json, so absence is not a problem).
+        source = cell.get("latency_source")
+        if source is not None and not isinstance(source, str):
+            problems.append(f"results[{index}].latency_source is not a string")
         if "counters" in cell and not isinstance(cell["counters"], dict):
             problems.append(f"results[{index}].counters is not an object")
     return problems

@@ -20,7 +20,7 @@ Usage (also via ``python -m repro``):
     repro stress  --threads 8 --ops 400 --seed 7   # concurrency torture
     repro stress  --replica-reads   # readers on a WAL-shipped replica
     repro soak    --seconds 20 --seed 7   # primary+replica SLO soak
-    repro bench   --quick --baseline BENCH_PR4.json  # perf matrix + gate
+    repro bench   --quick --baseline BENCH_PR9.json  # perf matrix + gate
     repro serve   --shards 4 --port 7421   # sharded cluster over TCP
     repro chaos   --seed 7          # network chaos sweep (trichotomy)
     repro demo                      # replay the paper's Example 5.2
@@ -304,7 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="records per scenario (default 4000)")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument(
-        "--out", default="BENCH_PR4.json",
+        "--out", default="BENCH_PR9.json",
         help="write the JSON report here ('-' to skip writing)",
     )
     bench.add_argument(
@@ -324,6 +324,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--max-regression", type=float, default=None,
         help="allowed throughput drop vs --baseline, percent (default 30)",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="run the matrix under cProfile; print the hottest functions "
+        "(cumulative time) to stderr",
+    )
+    bench.add_argument(
+        "--profile-out", default=None, metavar="FILE",
+        help="write the profile table to FILE instead of stderr "
+        "(implies --profile)",
+    )
+    bench.add_argument(
+        "--profile-top", type=int, default=25, metavar="N",
+        help="number of functions in the profile table (default 25)",
     )
 
     lint = commands.add_parser(
@@ -678,7 +692,24 @@ def _bench(args, out) -> int:
     )
     if args.ops is not None:
         kwargs["ops"] = args.ops
-    report = benchmark.run_bench(**kwargs)
+    if args.profile or args.profile_out is not None:
+        import sys
+
+        report, table = benchmark.run_bench_profiled(
+            profile_top=args.profile_top, **kwargs
+        )
+        if args.profile_out:
+            with open(args.profile_out, "w") as handle:
+                handle.write(table)
+            print(f"profile written to {args.profile_out}", file=out)
+        else:
+            sys.stderr.write(table)
+        print(
+            "note: wall-clock figures below include cProfile overhead",
+            file=out,
+        )
+    else:
+        report = benchmark.run_bench(**kwargs)
     print(benchmark.render_report(report), file=out)
     if args.out and args.out != "-":
         with open(args.out, "w") as handle:

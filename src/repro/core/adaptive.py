@@ -114,3 +114,19 @@ class AdaptiveControl2Engine(Control2Engine):
             self._notify(STEP_4B)
             self._lower_flags_if_sparse(changed)
             self._notify(STEP_4C)
+
+    # Control2Engine binds its after-hooks to its own mainline function
+    # (not through dynamic dispatch) and fuses the counter bump into
+    # the step-3 scan with a full-budget step 4, so an override of the
+    # mainline must re-bind the hooks and restore the unfused pair
+    # (the adaptive budget choice lives in the mainline).
+    _after_insert = _run_steps_2_to_4
+    _after_delete = _run_steps_2_to_4
+
+    def _apply_insert(self, page: int) -> None:
+        self.calibrator.add(page, 1)
+        self._run_steps_2_to_4(page)
+
+    def _apply_delete(self, page: int) -> None:
+        self.calibrator.add(page, -1)
+        self._run_steps_2_to_4(page)

@@ -41,8 +41,25 @@ class CalibratorTree:
         self.count: List[int] = []
         self.flag: List[bool] = []
         self.flags_below: List[int] = []  # flagged nodes in subtree, incl. self
+        #: The currently flagged node ids as a set.  CONTROL 2 keeps at
+        #: most a handful of warnings alive at a time, so SELECT-style
+        #: queries scan this set instead of walking the tree.
+        self.flagged_set: set = set()
         self.leaf_of_page: List[int] = [-1] * (num_pages + 1)
         self._build(1, num_pages, parent=-1, depth=0)
+        #: Leaf-to-root path per page, leaf first, as immutable tuples.
+        #: The tree's shape never changes after construction, so the
+        #: paths are precomputed once; ``path_from_leaf`` and ``add``
+        #: (both on the per-command hot path) read them instead of
+        #: chasing ``parent`` pointers on every call.
+        self.paths: List[Tuple[int, ...]] = [()] * (num_pages + 1)
+        for page in range(1, num_pages + 1):
+            node = self.leaf_of_page[page]
+            path = []
+            while node >= 0:
+                path.append(node)
+                node = self.parent[node]
+            self.paths[page] = tuple(path)
 
     def _build(self, lo: int, hi: int, parent: int, depth: int) -> int:
         node = len(self.lo)
@@ -103,12 +120,7 @@ class CalibratorTree:
 
     def path_from_leaf(self, page: int) -> List[int]:
         """Node ids from the page's leaf up to (and including) the root."""
-        node = self.leaf_of_page[page]
-        path = []
-        while node >= 0:
-            path.append(node)
-            node = self.parent[node]
-        return path
+        return list(self.paths[page])
 
     def nodes_separating(self, dest_page: int, source_page: int) -> List[int]:
         """The paper's ``UP`` set for a SHIFT.
@@ -118,44 +130,65 @@ class CalibratorTree:
         path of ``dest_page`` strictly below the least common ancestor
         of the two pages, ordered leaf-first.
         """
+        # Hot inside SHIFT: the range test is inlined (same predicate as
+        # contains_page) so the walk costs no method calls per level.
         nodes = []
+        lo = self.lo
+        hi = self.hi
+        parent = self.parent
         node = self.leaf_of_page[dest_page]
-        while node >= 0 and not self.contains_page(node, source_page):
+        while node >= 0 and not lo[node] <= source_page <= hi[node]:
             nodes.append(node)
-            node = self.parent[node]
+            node = parent[node]
         return nodes
 
     # ------------------------------------------------------------------
     # rank counters
     # ------------------------------------------------------------------
 
-    def add(self, page: int, delta: int) -> List[int]:
-        """Add ``delta`` records at ``page``; return the updated node ids.
+    def add(self, page: int, delta: int) -> None:
+        """Add ``delta`` records at ``page``.
 
         Updates every counter on the leaf-to-root path (the counters the
         paper says "require change"), leaf first.
         """
-        path = self.path_from_leaf(page)
-        for node in path:
-            self.count[node] += delta
-            if self.count[node] < 0:
+        count = self.count
+        if delta >= 0:
+            for node in self.paths[page]:
+                count[node] += delta
+            return
+        for node in self.paths[page]:
+            updated = count[node] + delta
+            if updated < 0:
                 raise UsageError(f"negative rank counter at node {node}")
-        return path
+            count[node] = updated
 
-    def transfer(self, source_page: int, dest_page: int, moved: int) -> List[int]:
+    def transfer(
+        self,
+        source_page: int,
+        dest_page: int,
+        moved: int,
+        dest_nodes: Optional[List[int]] = None,
+    ) -> List[int]:
         """Account for ``moved`` records moving between two pages.
 
         Returns the node ids whose counters changed (those on exactly one
-        of the two leaf-to-root paths).
+        of the two leaf-to-root paths).  ``dest_nodes`` lets a caller
+        that already computed ``nodes_separating(dest_page, source_page)``
+        (SHIFT does, for its guards) pass it in instead of walking the
+        tree a second time.
         """
-        changed = []
-        for node in self.nodes_separating(dest_page, source_page):
-            self.count[node] += moved
-            changed.append(node)
+        count = self.count
+        if dest_nodes is None:
+            dest_nodes = self.nodes_separating(dest_page, source_page)
+        changed = list(dest_nodes)
+        for node in dest_nodes:
+            count[node] += moved
         for node in self.nodes_separating(source_page, dest_page):
-            self.count[node] -= moved
-            if self.count[node] < 0:
+            updated = count[node] - moved
+            if updated < 0:
                 raise UsageError(f"negative rank counter at node {node}")
+            count[node] = updated
             changed.append(node)
         return changed
 
@@ -172,7 +205,12 @@ class CalibratorTree:
         if self.flag[node] == value:
             return
         self.flag[node] = value
-        delta = 1 if value else -1
+        if value:
+            self.flagged_set.add(node)
+            delta = 1
+        else:
+            self.flagged_set.discard(node)
+            delta = -1
         cursor = node
         while cursor >= 0:
             self.flags_below[cursor] += delta
@@ -183,14 +221,15 @@ class CalibratorTree:
         for node in range(len(self.flag)):
             self.flag[node] = False
             self.flags_below[node] = 0
+        self.flagged_set.clear()
 
     def any_flagged(self) -> bool:
         """Whether any node currently holds a raised flag."""
         return self.flags_below[self.root] > 0
 
     def flagged_nodes(self) -> List[int]:
-        """List of node ids currently flagged."""
-        return [node for node in self.iter_nodes() if self.flag[node]]
+        """List of node ids currently flagged, in id order."""
+        return sorted(self.flagged_set)
 
     def lowest_ancestor_with_flagged_proper_descendant(
         self, page: int
@@ -213,26 +252,32 @@ class CalibratorTree:
     def deepest_flagged_descendant(self, node: int) -> Optional[int]:
         """SELECT step 2: the deepest flagged node in ``node``'s subtree.
 
-        Ties on depth break toward the smaller page range start, which
-        the left-first traversal below produces naturally.  Only subtrees
-        that contain flags are visited, so the cost is proportional to
-        the number of flagged root-to-node paths, not the tree size.
+        Ties on depth break toward the smaller page range start (the
+        paper's smallest-``A-`` rule).  The scan runs over the current
+        flagged set — CONTROL 2 holds only a handful of warnings at a
+        time — rather than traversing the subtree; at equal depth the
+        ranges of two nodes are disjoint, so (depth desc, lo asc) picks
+        the same unique winner the left-first tree walk used to find.
         """
+        lo = self.lo
+        hi = self.hi
+        depth = self.depth
+        node_lo = lo[node]
+        node_hi = hi[node]
         best = -1
         best_depth = -1
-        stack = [node]
-        while stack:
-            current = stack.pop()
-            if self.flags_below[current] == 0:
-                continue
-            if self.flag[current] and self.depth[current] > best_depth:
-                best = current
-                best_depth = self.depth[current]
-            if not self.is_leaf(current):
-                # Push right first so the left child is examined first,
-                # giving the smallest-A- tie-break deterministically.
-                stack.append(self.right[current])
-                stack.append(self.left[current])
+        best_lo = 0
+        for candidate in self.flagged_set:
+            candidate_lo = lo[candidate]
+            if candidate_lo < node_lo or hi[candidate] > node_hi:
+                continue  # not in the subtree
+            candidate_depth = depth[candidate]
+            if candidate_depth > best_depth or (
+                candidate_depth == best_depth and candidate_lo < best_lo
+            ):
+                best = candidate
+                best_depth = candidate_depth
+                best_lo = candidate_lo
         return best if best >= 0 else None
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ Orientation conventions (matching the paper):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..storage.cost import CostModel, PAGE_ACCESS_MODEL
 from ..storage.disk import SimulatedDisk
@@ -55,6 +55,53 @@ class Control2Engine(BaseEngine):
         #: Optional callback ``(moment_type, engine)`` fired after each
         #: algorithm step; used by the MomentRecorder.
         self.moment_listener: Optional[Callable[[str, "Control2Engine"], None]] = None
+        self._precompute_thresholds()
+
+    def _precompute_thresholds(self) -> None:
+        """Reduce every ``g(v, r)`` comparison to one integer compare.
+
+        The calibrator's shape (depth and page span per node id) is
+        fixed at construction, so for each node and each ``thirds`` in
+        {0..3} the exact tests of :class:`DensityParams` collapse to a
+        precomputed per-node record-count threshold:
+
+        * ``p(v) >= g(v, thirds/3)``  iff  ``N_v >= ceil(rhs / 3L)``
+        * ``p(v) <= g(v, thirds/3)``  iff  ``N_v <= floor(rhs / 3L)``
+
+        with ``rhs = coefficient(depth, thirds) * M_v`` and ``3L > 0``.
+        Both reductions are exact for integer ``N_v``, so the control
+        decisions stay bit-identical to the un-flattened predicates.
+        """
+        tree = self.calibrator
+        params = self.params
+        denominator = 3 * params.log_m
+        nodes = len(tree.lo)
+        self._ge_thresholds: List[List[int]] = []
+        self._le_thresholds: List[List[int]] = []
+        for thirds in range(4):
+            at_least = [0] * nodes
+            at_most = [0] * nodes
+            for node in range(nodes):
+                rhs = params._coefficient(tree.depth[node], thirds) * (
+                    tree.hi[node] - tree.lo[node] + 1
+                )
+                at_least[node] = -(-rhs // denominator)
+                at_most[node] = rhs // denominator
+            self._ge_thresholds.append(at_least)
+            self._le_thresholds.append(at_most)
+        #: ``params.threshold_count(M_v, depth, 0)`` per node — the SHIFT
+        #: step-2 guard capacity (clamped at zero, like the original).
+        self._guard_limits = [max(0, limit) for limit in self._ge_thresholds[0]]
+        self._shift_budget = params.shift_budget
+        #: Per page, the step-3 scan pre-resolved: ``(node, g(v, 2/3))``
+        #: for every non-root node on the page's leaf-to-root path (the
+        #: root is the last entry of each path and is never activated).
+        #: Step 3 then needs one count lookup per node and nothing else.
+        warn_at = self._ge_thresholds[2]
+        self._step3_pairs: List[Tuple[Tuple[int, int], ...]] = [
+            tuple((node, warn_at[node]) for node in path[:-1])
+            for path in tree.paths
+        ]
 
     # ------------------------------------------------------------------
     # moments
@@ -73,16 +120,10 @@ class Control2Engine(BaseEngine):
         return self.calibrator.flag[node]
 
     def _density_at_least(self, node: int, thirds: int) -> bool:
-        tree = self.calibrator
-        return self.params.density_at_least(
-            tree.count[node], tree.pages_in(node), tree.depth[node], thirds
-        )
+        return self.calibrator.count[node] >= self._ge_thresholds[thirds][node]
 
     def _density_at_most(self, node: int, thirds: int) -> bool:
-        tree = self.calibrator
-        return self.params.density_at_most(
-            tree.count[node], tree.pages_in(node), tree.depth[node], thirds
-        )
+        return self.calibrator.count[node] <= self._le_thresholds[thirds][node]
 
     def _lower_flag(self, node: int) -> None:
         self.calibrator.set_flag(node, False)
@@ -91,8 +132,14 @@ class Control2Engine(BaseEngine):
 
     def _lower_flags_if_sparse(self, nodes) -> None:
         """Figure 2 steps 2 / 4c: drop flags where ``p <= g(., 1/3)``."""
+        tree = self.calibrator
+        if not tree.flags_below[0]:
+            return  # no flag anywhere -> nothing can be lowered
+        flag = tree.flag
+        count = tree.count
+        sparse_at = self._le_thresholds[1]
         for node in nodes:
-            if self.calibrator.flag[node] and self._density_at_most(node, 1):
+            if flag[node] and count[node] <= sparse_at[node]:
                 self._lower_flag(node)
 
     # ------------------------------------------------------------------
@@ -155,6 +202,18 @@ class Control2Engine(BaseEngine):
         warning descendant of ``alpha`` (smallest ``A-`` on depth ties).
         Returns ``None`` when no node is in a warning state.
         """
+        flagged = self.calibrator.flagged_set
+        if len(flagged) == 1:
+            # With exactly one warning node W (not the root, which
+            # ACTIVATE never flags), SELECT provably returns W for
+            # every leaf: alpha exists (the root has W as a proper
+            # descendant, and the leaf-to-root walk reaches it) and W
+            # is the only candidate in any alpha's subtree.  This skips
+            # the two tree walks on the commonest step-4 state — the
+            # single warning step 3 just raised.
+            for node in flagged:
+                if node:
+                    return node
         alpha = self.calibrator.lowest_ancestor_with_flagged_proper_descendant(
             leaf_page
         )
@@ -200,12 +259,11 @@ class Control2Engine(BaseEngine):
 
         # --- step 2: bounded record movement ------------------------------
         guards = tree.nodes_separating(dest, source)  # the paper's UP(v)
+        limits = self._guard_limits
+        count = tree.count
         headroom = None
         for guard in guards:
-            limit = self.params.threshold_count(
-                tree.pages_in(guard), tree.depth[guard], 0
-            )
-            room = limit - tree.count[guard]
+            room = limits[guard] - count[guard]
             if headroom is None or room < headroom:
                 headroom = room
         movable = min(self.pagefile.page_len(source), max(0, headroom))
@@ -213,12 +271,15 @@ class Control2Engine(BaseEngine):
         if movable > 0:
             moved = self.pagefile.move_records(source, dest, movable)
             self.records_moved_total += moved
-            changed = tree.transfer(source, dest, moved)
+            # ``guards`` is exactly nodes_separating(dest, source), so
+            # transfer can reuse it instead of re-walking the tree.
+            changed = tree.transfer(source, dest, moved, dest_nodes=guards)
 
         # --- step 3: advance DEST past the saturated guard ----------------
         saturated = None
+        full_at = self._ge_thresholds[0]
         for guard in reversed(guards):  # shallowest first
-            if self._density_at_least(guard, 0):
+            if count[guard] >= full_at[guard]:  # p(x) >= g(x, 0)
                 saturated = guard
                 break
         if saturated is not None:
@@ -233,48 +294,139 @@ class Control2Engine(BaseEngine):
     # ------------------------------------------------------------------
 
     def _run_steps_2_to_4(self, page: int) -> None:
+        # This is the per-command maintenance loop — the single hottest
+        # code path in the repository — so it trades a little repetition
+        # for flatness: the moment listener is guarded inline instead of
+        # through _notify, and the density tests read the precomputed
+        # per-node thresholds directly.
         tree = self.calibrator
-        path = tree.path_from_leaf(page)
-        self._notify(STEP_1)
+        path = tree.paths[page]
+        listener = self.moment_listener
+        if listener is not None:
+            listener(STEP_1, self)
 
         # Step 2: lower warning flags that fell to p <= g(., 1/3).
-        self._lower_flags_if_sparse(path)
-        self._notify(STEP_2)
+        flag = tree.flag
+        count = tree.count
+        if tree.flags_below[0]:
+            sparse_at = self._le_thresholds[1]
+            for node in path:
+                if flag[node] and count[node] <= sparse_at[node]:
+                    self._lower_flag(node)
+        if listener is not None:
+            listener(STEP_2, self)
 
         # Step 3: raise warnings (deepest first, as in Example 5.2) for
-        # non-root, non-warning nodes that reached p >= g(., 2/3).
-        for node in path:
-            if tree.parent[node] < 0:
-                continue
-            if not tree.flag[node] and self._density_at_least(node, 2):
+        # non-root, non-warning nodes that reached p >= g(., 2/3).  The
+        # pairs pre-resolve both the root exclusion and the per-node
+        # threshold; the count test runs first because it is the one
+        # that is almost always False.
+        for node, warn_limit in self._step3_pairs[page]:
+            if count[node] >= warn_limit and not flag[node]:
                 self._activate(node)
-        self._notify(STEP_3)
+        if listener is not None:
+            listener(STEP_3, self)
 
         # Step 4: J iterations of SELECT / SHIFT / flag-lowering.  The
-        # calibrator's O(1) any_flagged() skips the O(log M) SELECT walk
+        # calibrator's O(1) flags_below[0] skips the O(log M) SELECT walk
         # in the (common) flag-free steady state; the moment sequence is
         # unchanged because SELECT returns None exactly then.
-        for _ in range(self.params.shift_budget):
-            target = self._select(page) if tree.any_flagged() else None
-            self._notify(STEP_4A)
+        flags_below = tree.flags_below
+        if listener is None and not flags_below[0]:
+            # Flag-free steady state with nobody observing moments:
+            # the first SELECT would return None and break immediately.
+            return
+        for _ in range(self._shift_budget):
+            target = self._select(page) if flags_below[0] else None
+            if listener is not None:
+                listener(STEP_4A, self)
             if target is None:
                 break
             changed = self._shift(target)
-            self._notify(STEP_4B)
+            if listener is not None:
+                listener(STEP_4B, self)
             self._lower_flags_if_sparse(changed)
-            self._notify(STEP_4C)
+            if listener is not None:
+                listener(STEP_4C, self)
 
-    def _after_insert(self, page: int) -> None:
-        self._run_steps_2_to_4(page)
+    # Both after-hooks *are* the Figure 2 mainline; aliasing (rather
+    # than delegating) saves a stack frame on every command.  A subclass
+    # that overrides _run_steps_2_to_4 must restate these two aliases
+    # and the fused _apply_insert/_apply_delete pair below.
+    _after_insert = _run_steps_2_to_4
+    _after_delete = _run_steps_2_to_4
 
-    def _after_delete(self, page: int) -> None:
-        self._run_steps_2_to_4(page)
+    # -- fused counter bump + maintenance ------------------------------
+    #
+    # In the flag-free steady state (the overwhelmingly common one: a
+    # warning raised by step 3 is resolved by step 4 within the same
+    # command) the unfused sequence walks the calibrator path twice —
+    # once in ``add`` and once in the step-3 scan — and steps 2 and 4
+    # are no-ops.  The overrides below do both walks in one, with the
+    # same node order (leaf first, root last) and the same state
+    # transitions; any entry flag or attached moment listener falls
+    # back to the verbatim sequence.
+
+    def _apply_insert(self, page: int) -> None:
+        tree = self.calibrator
+        if self.moment_listener is not None or tree.flags_below[0]:
+            tree.add(page, 1)
+            self._run_steps_2_to_4(page)
+            return
+        count = tree.count
+        flag = tree.flag
+        activated = False
+        for node, warn_limit in self._step3_pairs[page]:
+            updated = count[node] + 1
+            count[node] = updated
+            if updated >= warn_limit and not flag[node]:
+                self._activate(node)
+                activated = True
+        count[0] += 1  # the root: on every path, never activated
+        if activated:
+            self._run_step_4_quiet(page)
+
+    def _apply_delete(self, page: int) -> None:
+        tree = self.calibrator
+        if self.moment_listener is not None or tree.flags_below[0]:
+            tree.add(page, -1)
+            self._run_steps_2_to_4(page)
+            return
+        count = tree.count
+        flag = tree.flag
+        activated = False
+        for node, warn_limit in self._step3_pairs[page]:
+            updated = count[node] - 1
+            if updated < 0:
+                raise UsageError(f"negative rank counter at node {node}")
+            count[node] = updated
+            if updated >= warn_limit and not flag[node]:
+                self._activate(node)
+                activated = True
+        updated = count[0] - 1
+        if updated < 0:
+            raise UsageError("negative rank counter at node 0")
+        count[0] = updated
+        if activated:
+            self._run_step_4_quiet(page)
+
+    def _run_step_4_quiet(self, page: int) -> None:
+        """Figure 2 step 4 with no listener attached (fused-path tail)."""
+        flags_below = self.calibrator.flags_below
+        for _ in range(self._shift_budget):
+            if not flags_below[0]:
+                break
+            target = self._select(page)
+            if target is None:
+                break
+            changed = self._shift(target)
+            self._lower_flags_if_sparse(changed)
 
     def _after_bulk_delete(self, touched_pages) -> None:
         """Bulk analogue of step 2: lower flags over every touched path."""
         seen = set()
         for page in touched_pages:
-            for node in self.calibrator.path_from_leaf(page):
+            for node in self.calibrator.paths[page]:
                 if node in seen:
                     break
                 seen.add(node)

@@ -37,6 +37,7 @@ def build_engine(
     cache_pages: Optional[int] = None,
     overwrite: bool = False,
     readahead: int = 0,
+    page_format: str = "packed",
 ):
     """Construct the maintenance engine for the requested geometry.
 
@@ -81,6 +82,7 @@ def build_engine(
             overwrite=overwrite,
             model=model,
             readahead=readahead,
+            page_format=page_format,
         )
     elif store.num_pages != engine_params.num_pages:
         raise ConfigurationError(
@@ -152,6 +154,7 @@ class DenseSequentialFile:
         cache_pages: Optional[int] = None,
         overwrite: bool = False,
         readahead: int = 0,
+        page_format: str = "packed",
     ):
         self.engine = build_engine(
             num_pages,
@@ -167,8 +170,16 @@ class DenseSequentialFile:
             cache_pages=cache_pages,
             overwrite=overwrite,
             readahead=readahead,
+            page_format=page_format,
         )
         self.algorithm = algorithm
+        # Hot-path aliases: bind insert/delete straight to the engine's
+        # bound methods so the per-command loop skips one wrapper frame.
+        # Only for this exact class — a subclass overriding either
+        # method keeps normal dynamic dispatch.
+        if type(self) is DenseSequentialFile:
+            self.insert = self.engine.insert
+            self.delete = self.engine.delete
 
     # ------------------------------------------------------------------
     # construction helpers

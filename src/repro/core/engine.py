@@ -49,6 +49,12 @@ class BaseEngine:
         self.disk = disk
         self.pagefile = PageFile(params.num_pages, disk=disk, store=store)
         self.calibrator = CalibratorTree(params.num_pages)
+        # params is frozen; cache the derived cap so the per-command
+        # admission check does not recompute the property each time.
+        self._max_records = params.max_records
+        # First-insert landing page for an empty file (growth stays
+        # symmetric when the file starts in the middle).
+        self._middle_page = (params.num_pages + 1) // 2
         self.size = 0
         self.commands_executed = 0
         self.records_moved_total = 0
@@ -68,6 +74,19 @@ class BaseEngine:
 
     def _after_delete(self, page: int) -> None:
         raise NotImplementedError
+
+    # The rank-counter bump and the after-hook always run back to back,
+    # so they are routed through one overridable seam: CONTROL 2 fuses
+    # the two walks over the calibrator path into one (identical state
+    # transitions), everything else uses this default pair.
+
+    def _apply_insert(self, page: int) -> None:
+        self.calibrator.add(page, 1)
+        self._after_insert(page)
+
+    def _apply_delete(self, page: int) -> None:
+        self.calibrator.add(page, -1)
+        self._after_delete(page)
 
     # ------------------------------------------------------------------
     # loading
@@ -158,7 +177,7 @@ class BaseEngine:
         located = self.pagefile.locate(key)
         if located is None:
             # Empty file: start in the middle so growth is symmetric.
-            return (self.params.num_pages + 1) // 2
+            return self._middle_page
         return located
 
     def _begin_command(self, label: str) -> None:
@@ -170,13 +189,17 @@ class BaseEngine:
     def _end_command(self) -> None:
         self.commands_executed += 1
         if self.operation_log is not None:
-            delta = self.disk.stats.delta("op")
-            self.operation_log.append(
-                accesses=delta.page_accesses,
-                moved=self.records_moved_total - self._moved_mark,
-                cost=delta.cost,
-                label=self._op_label,
-            )
+            self._append_op_log()
+
+    def _append_op_log(self) -> None:
+        """Flush one command's deltas to the operation log."""
+        delta = self.disk.stats.delta("op")
+        self.operation_log.append(
+            accesses=delta.page_accesses,
+            moved=self.records_moved_total - self._moved_mark,
+            cost=delta.cost,
+            label=self._op_label,
+        )
 
     # ------------------------------------------------------------------
     # public update API
@@ -184,17 +207,23 @@ class BaseEngine:
 
     def insert(self, key, value=None) -> None:
         """Insert a record (paper command ``Z`` of insertion type)."""
-        if self.size >= self.params.max_records:
+        if self.size >= self._max_records:
             raise FileFullError(
                 f"file already holds N = {self.params.max_records} records"
             )
-        self._begin_command("insert")
-        page = self._target_page_for_insert(key)
-        self.pagefile.insert_record(page, Record(key, value))
-        self.calibrator.add(page, 1)
+        # The mainline below is the unfused sequence _target_page_for_
+        # insert + insert_kv + add, flattened through the page file's
+        # fused command path (identical charges, state and exceptions) —
+        # this is the single hottest loop of ``repro bench``.
+        logging = self.operation_log is not None
+        if logging:
+            self._begin_command("insert")
+        page = self.pagefile.command_insert(key, value, self._middle_page)
         self.size += 1
-        self._after_insert(page)
-        self._end_command()
+        self._apply_insert(page)
+        self.commands_executed += 1
+        if logging:
+            self._append_op_log()
 
     def insert_at_page(self, page: int, key, value=None) -> None:
         """Insert directly into ``page``, bypassing the key search.
@@ -203,33 +232,34 @@ class BaseEngine:
         record into the page 8"); the caller is responsible for choosing
         a page consistent with sequential key order.
         """
-        if self.size >= self.params.max_records:
+        if self.size >= self._max_records:
             raise FileFullError(
                 f"file already holds N = {self.params.max_records} records"
             )
         self._begin_command("insert")
-        self.pagefile.insert_record(page, Record(key, value))
-        self.calibrator.add(page, 1)
+        self.pagefile.insert_kv(page, key, value)
         self.size += 1
-        self._after_insert(page)
+        self._apply_insert(page)
         self._end_command()
 
     def delete(self, key) -> Record:
         """Delete the record with ``key`` (command ``Z`` of deletion type)."""
-        self._begin_command("delete")
-        page = self.pagefile.locate(key)
-        if page is None:
-            self._end_command()
-            raise RecordNotFoundError(key)
+        logging = self.operation_log is not None
+        if logging:
+            self._begin_command("delete")
         try:
-            record = self.pagefile.remove_record(page, key)
+            page, record = self.pagefile.command_delete(key)
         except RecordNotFoundError:
+            # Same contract as the unfused path: a miss still counts as
+            # an executed (and logged) command, with whatever partial
+            # charges accrued before the failure.
             self._end_command()
             raise
-        self.calibrator.add(page, -1)
         self.size -= 1
-        self._after_delete(page)
-        self._end_command()
+        self._apply_delete(page)
+        self.commands_executed += 1
+        if logging:
+            self._append_op_log()
         return record
 
     # ------------------------------------------------------------------
@@ -271,7 +301,7 @@ class BaseEngine:
         index = 0
         dest: Optional[int] = None
         while index < total:
-            if self.size >= self.params.max_records:
+            if self.size >= self._max_records:
                 raise FileFullError(
                     f"file already holds N = {self.params.max_records} records"
                 )
@@ -285,15 +315,14 @@ class BaseEngine:
                 while index < total:
                     record = records[index]
                     self._begin_command("insert")
-                    pagefile.group_insert(dest, record)
-                    self.calibrator.add(dest, 1)
+                    pagefile.group_insert_kv(dest, record.key, record.value)
                     self.size += 1
-                    self._after_insert(dest)
+                    self._apply_insert(dest)
                     self._end_command()
                     index += 1
                     if index >= total:
                         break
-                    if self.size >= self.params.max_records:
+                    if self.size >= self._max_records:
                         # Re-checked (and raised) at the top of the outer
                         # loop, after this group's write-back.
                         break

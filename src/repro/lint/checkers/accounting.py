@@ -21,24 +21,34 @@ from typing import Iterator
 
 from ..framework import Checker, Finding, SourceFile, attribute_chain, in_package
 
-#: PageStore/backend primitives that touch a page when called.
+#: PageStore/backend primitives that touch a page when called.  The
+#: packed-page surface added uncharged variants of its own: the fused
+#: double read (``get_page2``), the raw column move helper
+#: (``move_between``), and the image codec entry points that hand back
+#: page bytes without metering the touch.
 STORE_PRIMITIVES = frozenset(
     {
         "get_page",
+        "get_page2",
         "put_page",
         "peek",
         "move_records",
+        "move_between",
         "prefetch",
         "read_page",
         "write_page",
+        "encode_page_image",
+        "decode_page_image",
     }
 )
 
 #: Receiver names that identify a raw store/backend object.  ``PageFile``
 #: methods of the same name (``read_page``, ``move_records``) remain
 #: allowed because their receiver chain (``self.pages``) carries none of
-#: these markers.
-STORE_RECEIVERS = frozenset({"store", "raw", "backend", "inner", "pool"})
+#: these markers.  ``packed`` covers the byte-image module itself
+#: (``packed.decode_page_image(...)`` reconstructs a page with no
+#: charge).
+STORE_RECEIVERS = frozenset({"store", "raw", "backend", "inner", "pool", "packed"})
 
 
 class AccountingChecker(Checker):

@@ -552,11 +552,13 @@ class JournaledDenseFile(PersistentDenseFile):
             return  # group commit: deferred to transaction() exit
         if not self._dirty:
             return
-        from .storage.codec import encode_page
-
         store = self._disk_store
+        # Serialize in the file's own format version (packed images on
+        # version-2 files, legacy codec on version-1); journal frames and
+        # redo replay treat the payload as opaque bytes either way.
+        encode_image = store.raw.encode_page_image
         payloads = {
-            page: encode_page(self.engine.pagefile.page(page).records())
+            page: encode_image(self.engine.pagefile.page(page))
             for page in sorted(store.dirty)
         }
         self.journal.write_transaction(payloads)

@@ -52,6 +52,7 @@ from ..records import Record
 from .bufferpool import BufferPool, PoolStats
 from .cost import CostModel, PAGE_ACCESS_MODEL
 from .disk import SimulatedDisk
+from .packed import PackedPage
 from .page import Page
 from .tracing import READ, WRITE
 
@@ -62,6 +63,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 DEFAULT_CACHE_PAGES = 16
 
 BACKENDS = ("memory", "disk", "buffered")
+
+#: In-core page representations selectable via ``make_store(page_format=)``.
+PAGE_CLASSES = {"packed": PackedPage, "object": Page}
 
 
 @dataclass
@@ -76,7 +80,7 @@ class StoreStats:
 
 def move_between(
     source_page: Page, dest_page: Page, source: int, dest: int, count: int
-) -> List[Record]:
+) -> int:
     """Move up to ``count`` records between two materialized pages.
 
     Moves the records *nearest to the destination* in key order: when
@@ -84,14 +88,20 @@ def move_between(
     are appended above the destination's keys; otherwise the
     highest-keyed records move below the destination's keys.  Shared by
     every backend so SHIFT semantics cannot drift between them.
+    Returns the number of records moved.
     """
+    if type(source_page) is PackedPage and type(dest_page) is PackedPage:
+        # Column slice moves; same validation and result as below.
+        if dest < source:
+            return source_page.take_lowest_into(dest_page, count)
+        return source_page.take_highest_into(dest_page, count)
     if dest < source:
         moved = source_page.take_lowest(count)
         dest_page.extend_high(moved)
     else:
         moved = source_page.take_highest(count)
         dest_page.extend_low(moved)
-    return moved
+    return len(moved)
 
 
 class PageStore:
@@ -124,12 +134,26 @@ class PageStore:
         """One logical write: the page from :meth:`get_page` was mutated."""
         raise NotImplementedError
 
-    def move_records(self, source: int, dest: int, count: int) -> List[Record]:
+    def get_page2(self, page_number: int) -> Page:
+        """Two consecutive :meth:`get_page` calls on one page, fused.
+
+        The store-side twin of ``SimulatedDisk.read2``: every one-page
+        update command touches its page twice (step-1 verification,
+        then mutation).  The default delegates so stateful backends
+        (cache hit/miss counters, LRU order) observe both touches
+        exactly as before; simple backends may override with one
+        counter bump.
+        """
+        self.get_page(page_number)
+        return self.get_page(page_number)
+
+    def move_records(self, source: int, dest: int, count: int) -> int:
         """Move up to ``count`` records from ``source`` to ``dest``.
 
         The default reads the source, mutates both pages and writes
         destination then source — one source read plus two writes, the
-        cost the paper charges a SHIFT step.
+        cost the paper charges a SHIFT step.  Returns the number of
+        records moved.
         """
         source_page = self.get_page(source)
         dest_page = self.peek(dest)
@@ -179,11 +203,12 @@ class MemoryStore(PageStore):
 
     name = "memory"
 
-    def __init__(self, num_pages: int):
+    def __init__(self, num_pages: int, page_class: type = PackedPage):
         if num_pages < 1:
             raise ConfigurationError("a page store needs at least one page")
         self.num_pages = num_pages
-        self._pages: List[Page] = [Page() for _ in range(num_pages + 1)]
+        self.page_class = page_class
+        self._pages: List[Page] = [page_class() for _ in range(num_pages + 1)]
         self._stats = StoreStats()
 
     def peek(self, page_number: int) -> Page:
@@ -191,6 +216,12 @@ class MemoryStore(PageStore):
 
     def get_page(self, page_number: int) -> Page:
         self._stats.gets += 1
+        return self._pages[page_number]
+
+    def get_page2(self, page_number: int) -> Page:
+        # get_page has no side effect beyond the counter, so the fused
+        # double touch is one bump of two.
+        self._stats.gets += 2
         return self._pages[page_number]
 
     def put_page(self, page_number: int) -> None:
@@ -218,7 +249,12 @@ class DiskStore(PageStore):
 
     name = "disk"
 
-    def __init__(self, raw: "DiskPagedStore", write_through: bool = True):
+    def __init__(
+        self,
+        raw: "DiskPagedStore",
+        write_through: bool = True,
+        page_class: type = PackedPage,
+    ):
         from .ondisk import DiskPagedStore  # cycle guard
 
         if not isinstance(raw, DiskPagedStore):
@@ -226,12 +262,15 @@ class DiskStore(PageStore):
         self.raw = raw
         self.num_pages = raw.num_pages
         self.write_through = write_through
+        self.page_class = page_class
         #: Pages touched since the last flush (write-back mode only).
         self.dirty: set = set()
         #: Pages whose slot failed its CRC during a tolerant
         #: :meth:`load` — treated as empty in core and never rewritten.
         self.quarantined: set = set()
-        self._pages: List[Page] = [Page() for _ in range(self.num_pages + 1)]
+        self._pages: List[Page] = [
+            page_class() for _ in range(self.num_pages + 1)
+        ]
         self._stats = StoreStats()
 
     # -- lifecycle ------------------------------------------------------
@@ -247,8 +286,15 @@ class DiskStore(PageStore):
         slot_capacity: int = 0,
         overwrite: bool = False,
         write_through: bool = True,
+        version: int = 0,
+        page_class: type = PackedPage,
     ) -> "DiskStore":
-        """Create a fresh on-disk file with empty pages."""
+        """Create a fresh on-disk file with empty pages.
+
+        ``version`` picks the on-disk format (0 = the current default);
+        version 1 files carry only the generic object codec, version 2
+        files carry self-describing packed page images.
+        """
         from .ondisk import DiskPagedStore
 
         raw = DiskPagedStore.create(
@@ -259,8 +305,9 @@ class DiskStore(PageStore):
             j=j,
             slot_capacity=slot_capacity,
             overwrite=overwrite,
+            version=version,
         )
-        return cls(raw, write_through=write_through)
+        return cls(raw, write_through=write_through, page_class=page_class)
 
     @classmethod
     def open(
@@ -268,6 +315,7 @@ class DiskStore(PageStore):
         path: str,
         write_through: bool = True,
         tolerate_corruption: bool = False,
+        page_class: type = PackedPage,
     ) -> "DiskStore":
         """Open an existing file and materialize every stored page.
 
@@ -279,7 +327,7 @@ class DiskStore(PageStore):
         from .ondisk import DiskPagedStore
 
         raw = DiskPagedStore.open(path)
-        store = cls(raw, write_through=write_through)
+        store = cls(raw, write_through=write_through, page_class=page_class)
         store.load(tolerate_corruption=tolerate_corruption)
         return store
 
@@ -335,9 +383,9 @@ class DiskStore(PageStore):
     def put_page(self, page_number: int) -> None:
         self._stats.puts += 1
         if self.write_through:
-            self.raw.write_page(
-                page_number, self._pages[page_number].records()
-            )
+            # One serialization pass straight off the page columns; no
+            # intermediate record-list copy on version-2 files.
+            self.raw.write_page_image(page_number, self._pages[page_number])
             self._stats.physical_writes += 1
         else:
             self.dirty.add(page_number)
@@ -346,9 +394,7 @@ class DiskStore(PageStore):
         """Write back dirty pages (write-back mode), then fsync."""
         written = 0
         for page_number in sorted(self.dirty):
-            self.raw.write_page(
-                page_number, self._pages[page_number].records()
-            )
+            self.raw.write_page_image(page_number, self._pages[page_number])
             self._stats.physical_writes += 1
             written += 1
         self.dirty.clear()
@@ -447,7 +493,7 @@ class BufferedStore(PageStore):
                     faulted += 1
         return faulted
 
-    def move_records(self, source: int, dest: int, count: int) -> List[Record]:
+    def move_records(self, source: int, dest: int, count: int) -> int:
         # Same touch sequence the logical meter records (read source,
         # write dest, write source), intercepted so the inner store only
         # sees traffic on faults and write-backs.
@@ -509,6 +555,7 @@ def make_store(
     overwrite: bool = False,
     model: CostModel = PAGE_ACCESS_MODEL,
     readahead: int = 0,
+    page_format: str = "packed",
 ) -> PageStore:
     """Build a backend from a ``"memory" | "disk" | "buffered"`` spec.
 
@@ -518,13 +565,26 @@ def make_store(
     requires ``path`` and creates a fresh file (pass ``overwrite=True``
     to clobber); opening an existing file goes through
     :meth:`DiskStore.open` or the persistent facade.
+
+    ``page_format`` picks the in-core page representation: ``"packed"``
+    (the default) uses the columnar
+    :class:`~repro.storage.packed.PackedPage`; ``"object"`` uses the
+    record-list :class:`~repro.storage.page.Page`.  Behaviour and
+    logical accounting are identical either way — the knob exists for
+    the parity suite and A/B benchmarks.
     """
     if backend not in BACKENDS:
         raise ConfigurationError(
             f"unknown backend {backend!r}; pick one of {BACKENDS}"
         )
+    if page_format not in PAGE_CLASSES:
+        raise ConfigurationError(
+            f"unknown page format {page_format!r}; "
+            f"pick one of {tuple(PAGE_CLASSES)}"
+        )
+    page_class = PAGE_CLASSES[page_format]
     if backend == "memory":
-        return MemoryStore(num_pages)
+        return MemoryStore(num_pages, page_class=page_class)
     if backend == "disk" or path is not None:
         if path is None:
             raise ConfigurationError(
@@ -538,9 +598,10 @@ def make_store(
             j=j,
             slot_capacity=slot_capacity,
             overwrite=overwrite,
+            page_class=page_class,
         )
     else:
-        inner = MemoryStore(num_pages)
+        inner = MemoryStore(num_pages, page_class=page_class)
     if backend == "disk":
         return inner
     return BufferedStore(

@@ -33,6 +33,17 @@ _TAG_DICT = 10
 
 _U32 = struct.Struct("<I")
 _F64 = struct.Struct("<d")
+#: Tag byte + u32 header, packed in one call ('<' means no padding, so
+#: the five bytes are identical to a tag append plus a length append).
+_TAG_U32 = struct.Struct("<BI")
+
+#: The fixed single-byte encodings, precomputed once — the encoder used
+#: to allocate a fresh ``bytes([tag])`` object per value.
+_NONE_BYTES = bytes([_TAG_NONE])
+_FALSE_BYTES = bytes([_TAG_FALSE])
+_TRUE_BYTES = bytes([_TAG_TRUE])
+_FLOAT_BYTES = bytes([_TAG_FLOAT])
+_FRACTION_BYTES = bytes([_TAG_FRACTION])
 
 
 class CodecError(ValueError):
@@ -43,50 +54,44 @@ def _encode_int(number: int, out: List[bytes]) -> None:
     payload = number.to_bytes(
         (number.bit_length() + 8) // 8 or 1, "little", signed=True
     )
-    out.append(bytes([_TAG_INT]))
-    out.append(_U32.pack(len(payload)))
+    out.append(_TAG_U32.pack(_TAG_INT, len(payload)))
     out.append(payload)
 
 
 def encode_value(value: Any, out: List[bytes]) -> None:
     """Append the encoding of one value to ``out``."""
     if value is None:
-        out.append(bytes([_TAG_NONE]))
+        out.append(_NONE_BYTES)
     elif value is True:
-        out.append(bytes([_TAG_TRUE]))
+        out.append(_TRUE_BYTES)
     elif value is False:
-        out.append(bytes([_TAG_FALSE]))
+        out.append(_FALSE_BYTES)
     elif isinstance(value, int):
         _encode_int(value, out)
     elif isinstance(value, float):
-        out.append(bytes([_TAG_FLOAT]))
+        out.append(_FLOAT_BYTES)
         out.append(_F64.pack(value))
     elif isinstance(value, str):
         raw = value.encode("utf-8")
-        out.append(bytes([_TAG_STR]))
-        out.append(_U32.pack(len(raw)))
+        out.append(_TAG_U32.pack(_TAG_STR, len(raw)))
         out.append(raw)
     elif isinstance(value, bytes):
-        out.append(bytes([_TAG_BYTES]))
-        out.append(_U32.pack(len(raw := value)))
-        out.append(raw)
+        out.append(_TAG_U32.pack(_TAG_BYTES, len(value)))
+        out.append(value)
     elif isinstance(value, Fraction):
-        out.append(bytes([_TAG_FRACTION]))
+        out.append(_FRACTION_BYTES)
         _encode_int(value.numerator, out)
         _encode_int(value.denominator, out)
     elif isinstance(value, tuple):
-        out.append(bytes([_TAG_TUPLE]))
-        out.append(_U32.pack(len(value)))
+        out.append(_TAG_U32.pack(_TAG_TUPLE, len(value)))
         for item in value:
             encode_value(item, out)
     elif isinstance(value, list):
-        out.append(bytes([_TAG_LIST]))
-        out.append(_U32.pack(len(value)))
+        out.append(_TAG_U32.pack(_TAG_LIST, len(value)))
         for item in value:
             encode_value(item, out)
     elif isinstance(value, dict):
-        out.append(bytes([_TAG_DICT]))
-        out.append(_U32.pack(len(value)))
+        out.append(_TAG_U32.pack(_TAG_DICT, len(value)))
         for item_key, item_value in value.items():
             encode_value(item_key, out)
             encode_value(item_value, out)
@@ -173,9 +178,12 @@ def decode_record(buffer: bytes, offset: int) -> Tuple[Record, int]:
 
 def encode_page(records: List[Record]) -> bytes:
     """Serialize a whole page payload (count-prefixed record list)."""
+    # One flat chunk list and a single join for the whole page — the
+    # per-record encode_record/join round trip doubled the allocations.
     out: List[bytes] = [_U32.pack(len(records))]
     for record in records:
-        out.append(encode_record(record))
+        encode_value(record.key, out)
+        encode_value(record.value, out)
     return b"".join(out)
 
 

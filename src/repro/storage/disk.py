@@ -47,6 +47,13 @@ class SimulatedDisk:
         self.stats = AccessStats()
         self.trace = trace if trace is not None else AccessTrace()
         self._arm = -1  # -1 = arm parked / position unknown
+        # CostModel is frozen; flatten its fields onto the instance so
+        # the per-access accounting below costs one attribute hop each.
+        self._transfer_cost = model.transfer_cost
+        self._seek_base = model.seek_base
+        self._seek_per_page = model.seek_per_page
+        self._seek_max = model.seek_max
+        self._window = model.contiguous_window
 
     @property
     def arm_position(self) -> int:
@@ -76,20 +83,177 @@ class SimulatedDisk:
             return True
         return abs(page - self._arm) > self.model.contiguous_window
 
+    def _charge(self, page: int) -> "tuple[float, bool]":
+        """Shared inline accounting for one access: ``(cost, moved)``.
+
+        Equivalent to ``model.access_cost`` + ``_moved`` but flattened
+        into one pass — read/write sit on the hot path of every logical
+        page touch, so the three method calls are folded away.  The
+        returned values are byte-identical to the un-flattened pair.
+        """
+        model = self.model
+        arm = self._arm
+        if arm < 0:
+            return model.transfer_cost + model.seek_base, True
+        distance = page - arm
+        if distance < 0:
+            distance = -distance
+        if distance <= model.contiguous_window:
+            return model.transfer_cost, False
+        seek = model.seek_base + model.seek_per_page * distance
+        seek_max = model.seek_max
+        if seek_max > 0 and seek > seek_max:
+            seek = seek_max
+        return model.transfer_cost + seek, True
+
     def read(self, page: int) -> None:
         """Charge one read of ``page``."""
-        self._check(page)
-        cost = self.model.access_cost(self._arm, page)
-        self.stats.record_read(cost, self._moved(page))
-        self.trace.record(READ, page)
+        if not 1 <= page <= self.num_pages:
+            self._check(page)
+        stats = self.stats
+        stats.reads += 1
+        # _charge, inlined: read/write sit on the hot path of every
+        # logical page touch, so the model math is folded in here (the
+        # resulting meters are byte-identical to the method pair).
+        arm = self._arm
+        if arm < 0:
+            stats.cost += self._transfer_cost + self._seek_base
+            stats.seeks += 1
+        else:
+            distance = page - arm
+            if distance < 0:
+                distance = -distance
+            if distance <= self._window:
+                stats.cost += self._transfer_cost
+            else:
+                seek = self._seek_base + self._seek_per_page * distance
+                seek_max = self._seek_max
+                if seek_max > 0 and seek > seek_max:
+                    seek = seek_max
+                stats.cost += self._transfer_cost + seek
+                stats.seeks += 1
+        if self.trace.enabled:
+            self.trace.record(READ, page)
         self._arm = page
+
+    def read2(self, page: int) -> None:
+        """Charge two consecutive reads of ``page`` in one call.
+
+        The exact pattern of every one-page update command (the step-1
+        verification read followed by the mutation read).  After the
+        first access the arm sits on ``page``, so the second read is a
+        pure transfer; every meter and trace entry matches two separate
+        :meth:`read` calls bit for bit.
+        """
+        if not 1 <= page <= self.num_pages:
+            self._check(page)
+        stats = self.stats
+        stats.reads += 2
+        arm = self._arm
+        if arm < 0:
+            stats.cost += self._transfer_cost + self._seek_base
+            stats.seeks += 1
+        else:
+            distance = page - arm
+            if distance < 0:
+                distance = -distance
+            if distance <= self._window:
+                stats.cost += self._transfer_cost
+            else:
+                seek = self._seek_base + self._seek_per_page * distance
+                seek_max = self._seek_max
+                if seek_max > 0 and seek > seek_max:
+                    seek = seek_max
+                stats.cost += self._transfer_cost + seek
+                stats.seeks += 1
+        stats.cost += self._transfer_cost  # second read: distance 0
+        trace = self.trace
+        if trace.enabled:
+            trace.record(READ, page)
+            trace.record(READ, page)
+        self._arm = page
+
+    def move_charge(self, source: int, dest: int) -> None:
+        """Charge ``read(source); write(dest); write(source)`` in one call.
+
+        The exact access pattern of a one-hop record move (SHIFT's
+        workhorse): read the source, write the moved records into the
+        destination, write the shrunk source back.  The two writes sit
+        at the same distance ``|dest - source|``, so their seek cost is
+        computed once and applied twice; every meter, seek count and
+        trace entry matches the three separate calls bit for bit, and
+        the arm ends on ``source`` exactly as the unfused sequence
+        leaves it.
+        """
+        if not 1 <= source <= self.num_pages:
+            self._check(source)
+        if not 1 <= dest <= self.num_pages:
+            self._check(dest)
+        stats = self.stats
+        stats.reads += 1
+        stats.writes += 2
+        arm = self._arm
+        if arm < 0:
+            stats.cost += self._transfer_cost + self._seek_base
+            stats.seeks += 1
+        else:
+            distance = source - arm
+            if distance < 0:
+                distance = -distance
+            if distance <= self._window:
+                stats.cost += self._transfer_cost
+            else:
+                seek = self._seek_base + self._seek_per_page * distance
+                seek_max = self._seek_max
+                if seek_max > 0 and seek > seek_max:
+                    seek = seek_max
+                stats.cost += self._transfer_cost + seek
+                stats.seeks += 1
+        distance = dest - source
+        if distance < 0:
+            distance = -distance
+        if distance <= self._window:
+            stats.cost += 2 * self._transfer_cost
+        else:
+            seek = self._seek_base + self._seek_per_page * distance
+            seek_max = self._seek_max
+            if seek_max > 0 and seek > seek_max:
+                seek = seek_max
+            stats.cost += 2 * (self._transfer_cost + seek)
+            stats.seeks += 2
+        trace = self.trace
+        if trace.enabled:
+            trace.record(READ, source)
+            trace.record(WRITE, dest)
+            trace.record(WRITE, source)
+        self._arm = source
 
     def write(self, page: int) -> None:
         """Charge one write of ``page``."""
-        self._check(page)
-        cost = self.model.access_cost(self._arm, page)
-        self.stats.record_write(cost, self._moved(page))
-        self.trace.record(WRITE, page)
+        if not 1 <= page <= self.num_pages:
+            self._check(page)
+        stats = self.stats
+        stats.writes += 1
+        # Same inlined accounting as read; see the comment there.
+        arm = self._arm
+        if arm < 0:
+            stats.cost += self._transfer_cost + self._seek_base
+            stats.seeks += 1
+        else:
+            distance = page - arm
+            if distance < 0:
+                distance = -distance
+            if distance <= self._window:
+                stats.cost += self._transfer_cost
+            else:
+                seek = self._seek_base + self._seek_per_page * distance
+                seek_max = self._seek_max
+                if seek_max > 0 and seek > seek_max:
+                    seek = seek_max
+                stats.cost += self._transfer_cost + seek
+                stats.seeks += 1
+        if self.trace.enabled:
+            self.trace.record(WRITE, page)
         self._arm = page
 
     def reset_stats(self) -> None:

@@ -43,9 +43,23 @@ from typing import Any, List
 from ..core.errors import ReproError
 from ..records import Record
 from .codec import decode_page, encode_page
+from .packed import (
+    decode_page_image,
+    encode_page_image,
+    encode_records_image,
+)
+from .page import Page
 
 MAGIC = b"DSF1"
-FORMAT_VERSION = 1
+#: Default format for newly created files.  Version 1 slots hold the
+#: generic tag-codec page body verbatim; version 2 slots hold the
+#: self-describing format-byte images of :mod:`repro.storage.packed`
+#: (packed binary for homogeneous pages, the same tag codec behind
+#: format byte 0 otherwise).  Both versions open and verify; a store
+#: keeps serializing in the version its file was created with, so old
+#: files stay readable *and* writable.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 HEADER = struct.Struct("<4sIIIIIII")  # magic, ver, M, d, D, J, slot, reserved
 SLOT_HEADER = struct.Struct("<II")  # payload length, crc32
 
@@ -66,7 +80,10 @@ class DiskPagedStore:
     """Fixed-geometry slotted page store over one OS file."""
 
     def __init__(self, path: str, file_object: Any, num_pages: int, d: int,
-                 D: int, j: int, slot_capacity: int):
+                 D: int, j: int, slot_capacity: int,
+                 version: int = FORMAT_VERSION):
+        if version not in SUPPORTED_VERSIONS:
+            raise StorageError(f"unsupported format version {version}")
         self.path = path
         self._file = file_object
         self.num_pages = num_pages
@@ -74,6 +91,9 @@ class DiskPagedStore:
         self.D = D
         self.j = j
         self.slot_capacity = slot_capacity
+        #: On-disk format version; fixed at creation and honoured by
+        #: every read *and* write for the life of the file.
+        self.version = version
         #: Optional :class:`~repro.storage.faults.FaultInjector` (or full
         #: :class:`~repro.storage.faults.FaultPlan`) consulted before and
         #: during every physical page write: ``check()`` may crash,
@@ -94,15 +114,22 @@ class DiskPagedStore:
         j: int = 0,
         slot_capacity: int = 0,
         overwrite: bool = False,
+        version: int = 0,
     ) -> "DiskPagedStore":
         """Create a fresh store with empty pages.
 
         ``slot_capacity`` of 0 sizes slots for ``D`` integer-keyed
         records with small payloads (64 bytes per record plus framing);
         pass a larger value for bigger values or exotic keys.
+        ``version`` of 0 means the current :data:`FORMAT_VERSION`; pass
+        1 explicitly to author a legacy object-codec file.
         """
         if num_pages < 1:
             raise StorageError("num_pages must be positive")
+        if version == 0:
+            version = FORMAT_VERSION
+        if version not in SUPPORTED_VERSIONS:
+            raise StorageError(f"unsupported format version {version}")
         if slot_capacity <= 0:
             slot_capacity = SLOT_HEADER.size + 4 + 64 * max(1, D)
         if os.path.exists(path) and not overwrite:
@@ -110,14 +137,18 @@ class DiskPagedStore:
         file_object = open(path, "w+b")
         file_object.write(
             HEADER.pack(
-                MAGIC, FORMAT_VERSION, num_pages, d, D, j, slot_capacity, 0
+                MAGIC, version, num_pages, d, D, j, slot_capacity, 0
             )
         )
         empty = encode_page([])
+        if version >= 2:
+            empty = bytes([0]) + empty  # object format byte 0
         for _ in range(num_pages):
             cls._write_slot_raw(file_object, empty, slot_capacity)
         file_object.flush()
-        return cls(path, file_object, num_pages, d, D, j, slot_capacity)
+        return cls(
+            path, file_object, num_pages, d, D, j, slot_capacity, version
+        )
 
     @classmethod
     def open(cls, path: str) -> "DiskPagedStore":
@@ -131,12 +162,12 @@ class DiskPagedStore:
         if magic != MAGIC:
             file_object.close()
             raise CorruptPageError(f"{path}: bad magic {magic!r}")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             file_object.close()
             raise StorageError(
                 f"{path}: unsupported format version {version}"
             )
-        return cls(path, file_object, num_pages, d, D, j, slot)
+        return cls(path, file_object, num_pages, d, D, j, slot, version)
 
     def close(self) -> None:
         """Flush and close the backing OS file (idempotent)."""
@@ -203,9 +234,31 @@ class DiskPagedStore:
         self._file.seek(self._slot_offset(page_number))
         self._file.write(frame + b"\x00" * (self.slot_capacity - len(frame)))
 
+    def encode_page_image(self, page: Page) -> bytes:
+        """Serialize one materialized page in this file's format version.
+
+        Version 2 emits the self-describing format-byte image (one
+        buffer copy for packed-eligible pages); version 1 emits the
+        legacy tag-codec body so old files keep their encoding on
+        rewrite.
+        """
+        if self.version >= 2:
+            return encode_page_image(page)
+        return encode_page(page.records())
+
+    def encode_records_image(self, records: List[Record]) -> bytes:
+        """:meth:`encode_page_image` over a plain record list."""
+        if self.version >= 2:
+            return encode_records_image(records)
+        return encode_page(records)
+
     def write_page(self, page_number: int, records: List[Record]) -> None:
         """Serialize and write-through one page."""
-        self._write_slot(page_number, encode_page(records))
+        self._write_slot(page_number, self.encode_records_image(records))
+
+    def write_page_image(self, page_number: int, page: Page) -> None:
+        """Serialize and write-through a materialized page (no copy)."""
+        self._write_slot(page_number, self.encode_page_image(page))
 
     def write_page_payload(self, page_number: int, payload: bytes) -> None:
         """Write an already-encoded page image (journal redo path)."""
@@ -225,6 +278,8 @@ class DiskPagedStore:
             raise CorruptPageError(f"page {page_number}: truncated payload")
         if zlib.crc32(payload) != checksum:
             raise CorruptPageError(f"page {page_number}: checksum mismatch")
+        if self.version >= 2:
+            return decode_page_image(payload)
         return decode_page(payload)
 
     def flush(self) -> None:

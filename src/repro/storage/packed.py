@@ -1,0 +1,431 @@
+"""Packed pages: columnar in-core layout plus binary page images.
+
+Two related pieces live here.
+
+:class:`PackedPage` is the hot-path page representation.  Where the
+object :class:`~repro.storage.page.Page` keeps a parallel list of
+:class:`~repro.records.Record` NamedTuples next to its key list, a
+``PackedPage`` keeps *columns* — one plain list of keys and one of
+values — and materializes ``Record`` objects only when a caller actually
+asks for them (scans, deletes returning the victim, snapshots).  Every
+mutation is a ``bisect`` plus C-level list surgery with no per-record
+object allocation, and batch moves between two packed pages
+(``take_*_into``) are single slice operations.  The class accepts any
+key type the object page accepts — heterogeneous keys (Fractions,
+tuples) live in the columns just fine — so behaviour is identical; only
+the representation differs.  The Hypothesis parity suite in
+``tests/test_packed_parity.py`` holds the two classes state- and
+counter-identical.
+
+:func:`encode_page_image` / :func:`decode_page_image` are the binary
+serialization used by on-disk format version 2.  A page image is
+self-describing via a leading *page-format byte*:
+
+=======  ==========================================================
+byte 0   image body
+=======  ==========================================================
+0        object fallback: the generic tag codec page of
+         :mod:`repro.storage.codec`, verbatim
+1        packed ``int64`` keys (one 8-byte little-endian slot each)
+2        packed ``float64`` keys (IEEE-754 little-endian)
+3        packed string keys (fixed-width UTF-8 prefix slots)
+=======  ==========================================================
+
+Packed images (formats 1-3) continue ``<BBHI``: format byte, flags
+(bit 0 = a values section follows), reserved, record count — then the
+key slots, then, when present, ``count`` little-endian u32 value
+lengths (``0xFFFFFFFF`` = ``None``) followed by the concatenated value
+bytes.  Only ``bytes``/``None`` values are packable; anything else —
+like any page whose keys are not homogeneously int64/float64/short-str
+— *demotes to the object format for that write* (format byte 0).  The
+fallback is chosen per page per write, so a packed page that receives a
+``Fraction`` key mid-command simply serializes through the generic
+codec on its next write-back; nothing above the codec notices.
+
+None of this touches logical page-access accounting: the format byte
+lives inside the page payload, which every layer above the raw store
+(journal, replication shipping, scrub repair) already treats as opaque
+CRC-framed bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from bisect import bisect_left
+from typing import Any, Iterable, Iterator, List, Optional
+
+from ..core.errors import DuplicateKeyError, RecordNotFoundError, UsageError
+from ..records import Record
+from .codec import CodecError, decode_page, encode_page
+from .page import Page
+
+PAGE_FORMAT_OBJECT = 0
+PAGE_FORMAT_I64 = 1
+PAGE_FORMAT_F64 = 2
+PAGE_FORMAT_STR = 3
+
+PAGE_FORMATS = (
+    PAGE_FORMAT_OBJECT,
+    PAGE_FORMAT_I64,
+    PAGE_FORMAT_F64,
+    PAGE_FORMAT_STR,
+)
+
+#: format byte, flags, reserved, record count
+_PACKED_HEADER = struct.Struct("<BBHI")
+_FLAG_HAS_VALUES = 0x01
+_NONE_LENGTH = 0xFFFFFFFF
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+#: Maximum UTF-8 length for a fixed-width string key slot (u8 lengths).
+_STR_WIDTH_MAX = 255
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+class PackedPage(Page):
+    """A :class:`Page` storing key and value columns instead of Records.
+
+    Drop-in behavioural replacement: every public method matches the
+    object page (same results, same exceptions), so stores may pick the
+    representation per file without anything above noticing.  The
+    ``_records`` slot inherited from :class:`Page` stays unset — all
+    record-touching methods are overridden to work on the columns.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, records: Optional[Iterable[Record]] = None):
+        self._keys = []
+        self._values = []
+        if records:
+            for record in records:
+                self.insert(record)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[Record]:
+        return map(Record, self._keys, self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PackedPage({len(self._keys)} records)"
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._keys
+
+    def records(self) -> List[Record]:
+        """Materialize the records in key order (a fresh list)."""
+        return list(map(Record, self._keys, self._values))
+
+    def get(self, key: Any) -> Optional[Record]:
+        keys = self._keys
+        index = bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            return Record(key, self._values[index])
+        return None
+
+    def insert(self, record: Record) -> int:
+        return self.insert_kv(record.key, record.value)
+
+    def insert_kv(self, key: Any, value: Any = None) -> int:
+        """Insert without materializing a :class:`Record` (hot path).
+
+        Returns the insertion index (0 means the page minimum changed).
+        """
+        keys = self._keys
+        index = bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            raise DuplicateKeyError(key)
+        keys.insert(index, key)
+        self._values.insert(index, value)
+        return index
+
+    def remove(self, key: Any) -> Record:
+        keys = self._keys
+        index = bisect_left(keys, key)
+        if index >= len(keys) or keys[index] != key:
+            raise RecordNotFoundError(key)
+        del keys[index]
+        return Record(key, self._values.pop(index))
+
+    def replace(self, record: Record) -> Record:
+        keys = self._keys
+        index = bisect_left(keys, record.key)
+        if index >= len(keys) or keys[index] != record.key:
+            raise RecordNotFoundError(record.key)
+        values = self._values
+        old = Record(keys[index], values[index])
+        values[index] = record.value
+        return old
+
+    def take_lowest(self, count: int) -> List[Record]:
+        count = min(count, len(self._keys))
+        taken = list(map(Record, self._keys[:count], self._values[:count]))
+        del self._keys[:count]
+        del self._values[:count]
+        return taken
+
+    def take_highest(self, count: int) -> List[Record]:
+        count = min(count, len(self._keys))
+        if count == 0:
+            return []
+        taken = list(map(Record, self._keys[-count:], self._values[-count:]))
+        del self._keys[-count:]
+        del self._values[-count:]
+        return taken
+
+    def extend_low(self, records: List[Record]) -> None:
+        if not records:
+            return
+        if self._keys and records[-1].key >= self._keys[0]:
+            raise UsageError("extend_low would break key order")
+        self._keys[:0] = [record.key for record in records]
+        self._values[:0] = [record.value for record in records]
+
+    def extend_high(self, records: List[Record]) -> None:
+        if not records:
+            return
+        if self._keys and records[0].key <= self._keys[-1]:
+            raise UsageError("extend_high would break key order")
+        self._keys.extend(record.key for record in records)
+        self._values.extend(record.value for record in records)
+
+    def clear(self) -> List[Record]:
+        taken = list(map(Record, self._keys, self._values))
+        self._keys = []
+        self._values = []
+        return taken
+
+    # -- packed-to-packed batch moves (SHIFT fast path) -----------------
+
+    def take_lowest_into(self, dest: "PackedPage", count: int) -> int:
+        """Move the ``count`` lowest records onto the top of ``dest``.
+
+        Slice-level equivalent of ``dest.extend_high(self.take_lowest(
+        count))`` — same validation, same final state, two C-level slice
+        moves and no :class:`Record` materialization.  Returns the
+        number of records moved.
+        """
+        count = min(count, len(self._keys))
+        if count == 0:
+            return 0
+        keys = self._keys[:count]
+        if dest._keys and keys[0] <= dest._keys[-1]:
+            raise UsageError("extend_high would break key order")
+        dest._keys += keys
+        dest._values += self._values[:count]
+        del self._keys[:count]
+        del self._values[:count]
+        return count
+
+    def take_highest_into(self, dest: "PackedPage", count: int) -> int:
+        """Move the ``count`` highest records under the bottom of ``dest``."""
+        count = min(count, len(self._keys))
+        if count == 0:
+            return 0
+        keys = self._keys[-count:]
+        if dest._keys and keys[-1] >= dest._keys[0]:
+            raise UsageError("extend_low would break key order")
+        dest._keys[:0] = keys
+        dest._values[:0] = self._values[-count:]
+        del self._keys[-count:]
+        del self._values[-count:]
+        return count
+
+
+def page_columns(page: Page) -> "tuple[List[Any], List[Any]]":
+    """Return ``(keys, values)`` columns for either page representation.
+
+    For a :class:`PackedPage` these are the live columns (do not
+    mutate); for an object :class:`Page` they are built from the record
+    list.
+    """
+    if isinstance(page, PackedPage):
+        return page._keys, page._values
+    records = page.records()
+    return [record.key for record in records], [
+        record.value for record in records
+    ]
+
+
+# ----------------------------------------------------------------------
+# binary page images (on-disk format version 2)
+# ----------------------------------------------------------------------
+
+
+def _pack_keys(keys: List[Any]) -> "Optional[tuple[int, bytes]]":
+    """Classify and pack homogeneous keys; ``(format, bytes)`` or ``None``."""
+    kind = type(keys[0])
+    if kind is int:
+        for key in keys:
+            if type(key) is not int or not _I64_MIN <= key <= _I64_MAX:
+                return None
+        if _LITTLE_ENDIAN:
+            from array import array
+
+            return PAGE_FORMAT_I64, array("q", keys).tobytes()
+        return PAGE_FORMAT_I64, struct.pack(f"<{len(keys)}q", *keys)
+    if kind is float:
+        for key in keys:
+            if type(key) is not float:
+                return None
+        if _LITTLE_ENDIAN:
+            from array import array
+
+            return PAGE_FORMAT_F64, array("d", keys).tobytes()
+        return PAGE_FORMAT_F64, struct.pack(f"<{len(keys)}d", *keys)
+    if kind is str:
+        encoded = []
+        for key in keys:
+            if type(key) is not str:
+                return None
+            try:
+                raw = key.encode("utf-8")
+            except UnicodeEncodeError:
+                return None  # lone surrogates etc.: object codec handles
+            if len(raw) > _STR_WIDTH_MAX:
+                return None
+            encoded.append(raw)
+        width = max(len(raw) for raw in encoded)
+        out = bytearray([width])
+        padding = b"\x00" * width
+        for raw in encoded:
+            out.append(len(raw))
+            out += raw
+            out += padding[: width - len(raw)]
+        return PAGE_FORMAT_STR, bytes(out)
+    return None
+
+
+def _pack_values(values: List[Any]) -> Optional[bytes]:
+    """Pack a ``bytes``/``None`` value column; ``b""`` when all ``None``.
+
+    Returns ``None`` when any value is of another type (the page must
+    demote to the object codec for this write).
+    """
+    any_present = False
+    for value in values:
+        if value is None:
+            continue
+        if type(value) is not bytes:
+            return None
+        any_present = True
+    if not any_present:
+        return b""
+    lengths = [
+        _NONE_LENGTH if value is None else len(value) for value in values
+    ]
+    return struct.pack(f"<{len(values)}I", *lengths) + b"".join(
+        value for value in values if value is not None
+    )
+
+
+def encode_page_image(page: Page) -> bytes:
+    """Serialize one page as a self-describing format-byte image.
+
+    Homogeneous pages (int64 / float64 / short-str keys, bytes-or-None
+    values) become one packed buffer copy; anything else falls back to
+    the generic tag codec behind format byte 0.  Decoding with
+    :func:`decode_page_image` always reproduces the exact records.
+    """
+    keys, values = page_columns(page)
+    if keys:
+        packed = _pack_keys(keys)
+        if packed is not None:
+            value_section = _pack_values(values)
+            if value_section is not None:
+                page_format, key_section = packed
+                flags = _FLAG_HAS_VALUES if value_section else 0
+                return (
+                    _PACKED_HEADER.pack(page_format, flags, 0, len(keys))
+                    + key_section
+                    + value_section
+                )
+    if isinstance(page, PackedPage):
+        records = list(map(Record, keys, values))
+    else:
+        records = page.records()
+    return bytes([PAGE_FORMAT_OBJECT]) + encode_page(records)
+
+
+def encode_records_image(records: List[Record]) -> bytes:
+    """:func:`encode_page_image` over a plain record list."""
+    staging = PackedPage()
+    staging._keys = [record.key for record in records]
+    staging._values = [record.value for record in records]
+    return encode_page_image(staging)
+
+
+def _unpack_keys(
+    page_format: int, payload: bytes, offset: int, count: int
+) -> "tuple[List[Any], int]":
+    """Decode a key section; returns ``(keys, next_offset)``."""
+    if page_format == PAGE_FORMAT_I64:
+        end = offset + 8 * count
+        if end > len(payload):
+            raise CodecError("truncated packed int64 keys")
+        return list(struct.unpack_from(f"<{count}q", payload, offset)), end
+    if page_format == PAGE_FORMAT_F64:
+        end = offset + 8 * count
+        if end > len(payload):
+            raise CodecError("truncated packed float64 keys")
+        return list(struct.unpack_from(f"<{count}d", payload, offset)), end
+    # PAGE_FORMAT_STR: u8 slot width, then count slots of u8 len + width bytes
+    if offset >= len(payload):
+        raise CodecError("truncated packed string key header")
+    width = payload[offset]
+    offset += 1
+    stride = 1 + width
+    end = offset + stride * count
+    if end > len(payload):
+        raise CodecError("truncated packed string keys")
+    keys = []
+    view = memoryview(payload)
+    for _ in range(count):
+        length = payload[offset]
+        if length > width:
+            raise CodecError("packed string key overflows its slot")
+        keys.append(str(view[offset + 1 : offset + 1 + length], "utf-8"))
+        offset += stride
+    return keys, end
+
+
+def decode_page_image(payload: bytes) -> List[Record]:
+    """Decode a format-byte page image back into its record list."""
+    if not payload:
+        raise CodecError("empty page image")
+    page_format = payload[0]
+    if page_format == PAGE_FORMAT_OBJECT:
+        return decode_page(payload[1:])
+    if page_format not in (PAGE_FORMAT_I64, PAGE_FORMAT_F64, PAGE_FORMAT_STR):
+        raise CodecError(f"unknown page format byte {page_format}")
+    if len(payload) < _PACKED_HEADER.size:
+        raise CodecError("truncated packed page header")
+    _, flags, _, count = _PACKED_HEADER.unpack_from(payload, 0)
+    offset = _PACKED_HEADER.size
+    keys, offset = _unpack_keys(page_format, payload, offset, count)
+    if flags & _FLAG_HAS_VALUES:
+        end = offset + 4 * count
+        if end > len(payload):
+            raise CodecError("truncated packed value lengths")
+        lengths = struct.unpack_from(f"<{count}I", payload, offset)
+        offset = end
+        values: List[Any] = []
+        for length in lengths:
+            if length == _NONE_LENGTH:
+                values.append(None)
+                continue
+            chunk = payload[offset : offset + length]
+            if len(chunk) != length:
+                raise CodecError("truncated packed value bytes")
+            values.append(chunk)
+            offset += length
+        if offset != len(payload):
+            raise CodecError("trailing garbage after packed page image")
+        return list(map(Record, keys, values))
+    if offset != len(payload):
+        raise CodecError("trailing garbage after packed page image")
+    return [Record(key) for key in keys]

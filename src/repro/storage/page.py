@@ -68,8 +68,11 @@ class Page:
             return self._records[index]
         return None
 
-    def insert(self, record: Record) -> None:
-        """Insert ``record`` preserving key order.
+    def insert(self, record: Record) -> int:
+        """Insert ``record`` preserving key order; return its position.
+
+        The returned index lets the page file skip its directory resync
+        when the insert did not change the page minimum (index > 0).
 
         Raises
         ------
@@ -81,6 +84,16 @@ class Page:
             raise DuplicateKeyError(record.key)
         self._keys.insert(index, record.key)
         self._records.insert(index, record)
+        return index
+
+    def insert_kv(self, key: Any, value: Any = None) -> int:
+        """Insert a record given as its fields; return its position.
+
+        On the object page this just builds the :class:`Record`; the
+        packed page overrides it to skip the tuple entirely, so callers
+        on the hot path use this form unconditionally.
+        """
+        return self.insert(Record(key, value))
 
     def remove(self, key: Any) -> Record:
         """Remove and return the record with ``key``.

@@ -37,7 +37,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
-from ..core.errors import ConfigurationError, UsageError
+from ..core.errors import ConfigurationError, RecordNotFoundError, UsageError
 from ..records import Record
 from .backend import MemoryStore, PageStore
 from .cost import CostModel, PAGE_ACCESS_MODEL
@@ -81,21 +81,22 @@ class PageFile:
 
     def _directory_update(self, page_number: int) -> None:
         """Re-sync the non-empty directory entry for one page."""
-        page = self.store.peek(page_number)
-        index = bisect.bisect_left(self._nonempty, page_number)
-        present = (
-            index < len(self._nonempty) and self._nonempty[index] == page_number
-        )
-        if page.is_empty:
+        # Hot path (runs after every page mutation): read the key column
+        # directly instead of going through the is_empty/min_key
+        # properties — same data, no descriptor calls.
+        keys = self.store.peek(page_number)._keys
+        nonempty = self._nonempty
+        index = bisect.bisect_left(nonempty, page_number)
+        present = index < len(nonempty) and nonempty[index] == page_number
+        if not keys:
             if present:
-                del self._nonempty[index]
+                del nonempty[index]
                 del self._mins[index]
+        elif present:
+            self._mins[index] = keys[0]
         else:
-            if present:
-                self._mins[index] = page.min_key
-            else:
-                self._nonempty.insert(index, page_number)
-                self._mins.insert(index, page.min_key)
+            nonempty.insert(index, page_number)
+            self._mins.insert(index, keys[0])
 
     def rebuild_directory(self) -> int:
         """Re-sync the whole directory with the store's contents.
@@ -307,11 +308,97 @@ class PageFile:
 
     def insert_record(self, page_number: int, record: Record) -> None:
         """Insert ``record`` into ``page_number`` (one read + one write)."""
+        self.insert_kv(page_number, record.key, record.value)
+
+    def insert_kv(self, page_number: int, key: Any, value: Any = None) -> None:
+        """:meth:`insert_record` without materializing the Record.
+
+        Identical charges (one read + one write) and identical state;
+        on a packed page the record tuple is never built at all.
+        """
         self.disk.read(page_number)
-        self.store.get_page(page_number).insert(record)
+        index = self.store.get_page(page_number).insert_kv(key, value)
         self.disk.write(page_number)
         self.store.put_page(page_number)
-        self._directory_update(page_number)
+        if index == 0:
+            # Only an insert at position 0 can change the page minimum
+            # (or turn an empty page non-empty); anywhere else the
+            # directory entry is already correct.
+            self._directory_update(page_number)
+
+    def command_insert(self, key: Any, value: Any, empty_page: int) -> int:
+        """One update command's step 1 + insert, fused; returns the page.
+
+        Exactly equivalent to ``page = locate(key) or empty_page``
+        followed by :meth:`insert_kv` — the same directory bisect, the
+        same charges in the same order (locate's verification read, then
+        the mutation's read + write), the same store touches — but in
+        one call with the directory maintenance inlined.  This is the
+        per-command hot path of ``repro bench``; the engines fall back
+        to the unfused methods everywhere else.
+        """
+        disk = self.disk
+        store = self.store
+        nonempty = self._nonempty
+        if nonempty:
+            mins = self._mins
+            index = bisect.bisect_right(mins, key) - 1
+            if index < 0:
+                index = 0
+            page_number = nonempty[index]
+            disk.read2(page_number)  # step-1 verification read + mutation read
+            position = store.get_page2(page_number).insert_kv(key, value)
+            disk.write(page_number)
+            store.put_page(page_number)
+            if position == 0:
+                # The located page is directory entry ``index``; a
+                # front insert just lowers its recorded minimum.
+                mins[index] = key
+            return page_number
+        # Empty file: no locate charge is possible (locate returns None)
+        # and the caller's fallback page receives the record.
+        disk.read(empty_page)
+        store.get_page(empty_page).insert_kv(key, value)
+        disk.write(empty_page)
+        store.put_page(empty_page)
+        nonempty.append(empty_page)
+        self._mins.append(key)
+        return empty_page
+
+    def command_delete(self, key: Any) -> "Tuple[int, Record]":
+        """One update command's step 1 + remove, fused.
+
+        Equivalent to ``locate(key)`` + :meth:`remove_record` — same
+        charges, same store touches, same exceptions (including the
+        partial charging when the key is missing from the located page:
+        the locate read and the mutation read have already been paid
+        when :class:`RecordNotFoundError` propagates, and the write is
+        not charged, exactly as in the unfused path).  Raises
+        ``RecordNotFoundError(key)`` uncharged when the file is empty.
+        Returns ``(page_number, record)``.
+        """
+        nonempty = self._nonempty
+        if not nonempty:
+            raise RecordNotFoundError(key)
+        disk = self.disk
+        store = self.store
+        mins = self._mins
+        index = bisect.bisect_right(mins, key) - 1
+        if index < 0:
+            index = 0
+        page_number = nonempty[index]
+        disk.read2(page_number)  # step-1 verification read + mutation read
+        page = store.get_page2(page_number)
+        record = page.remove(key)
+        disk.write(page_number)
+        store.put_page(page_number)
+        keys = page._keys
+        if not keys:
+            del nonempty[index]
+            del mins[index]
+        elif mins[index] != keys[0]:
+            mins[index] = keys[0]
+        return page_number, record
 
     # -- batched-write fast path ---------------------------------------
     #
@@ -334,6 +421,14 @@ class PageFile:
         self.store.peek(page_number).insert(record)
         self._directory_update(page_number)
 
+    def group_insert_kv(
+        self, page_number: int, key: Any, value: Any = None
+    ) -> None:
+        """:meth:`group_insert` without materializing the Record."""
+        index = self.store.peek(page_number).insert_kv(key, value)
+        if index == 0:
+            self._directory_update(page_number)
+
     def group_write(self, page_number: int) -> None:
         """Close a batch group on ``page_number`` (one write charge)."""
         self.disk.write(page_number)
@@ -342,10 +437,15 @@ class PageFile:
     def remove_record(self, page_number: int, key: Any) -> Record:
         """Remove ``key`` from ``page_number`` (one read + one write)."""
         self.disk.read(page_number)
-        record = self.store.get_page(page_number).remove(key)
+        page = self.store.get_page(page_number)
+        record = page.remove(key)
         self.disk.write(page_number)
         self.store.put_page(page_number)
-        self._directory_update(page_number)
+        keys = page._keys
+        if not keys or key < keys[0]:
+            # Only removing the page minimum (or emptying the page)
+            # invalidates the directory entry.
+            self._directory_update(page_number)
         return record
 
     def remove_keys(self, page_number: int, keys: Iterable[Any]) -> int:
@@ -390,13 +490,11 @@ class PageFile:
             raise UsageError("source and dest must differ")
         if count <= 0:
             return 0
-        self.disk.read(source)
-        self.disk.write(dest)
-        self.disk.write(source)
+        self.disk.move_charge(source, dest)
         moved = self.store.move_records(source, dest, count)
         self._directory_update(source)
         self._directory_update(dest)
-        return len(moved)
+        return moved
 
     def redistribute(self, lo_page: int, hi_page: int) -> int:
         """Spread all records in pages ``[lo_page, hi_page]`` evenly.

@@ -1,0 +1,20 @@
+"""LNT001 fixture: engine code reaching into the packed-page surface.
+
+The PR 9 packed layout grew uncharged fast paths of its own — the
+fused double read, the raw column move, and the byte-image codec.
+Each must stay behind the counter-bearing PageFile surface.
+"""
+
+
+class PackedEngine:
+    def double_read(self, page):
+        return self.store.get_page2(page)  # finding: fused read, uncharged
+
+    def raw_shift(self, low, high, count):
+        return self.backend.move_between(low, high, 0, 1, count)  # finding
+
+    def snapshot(self, page):
+        import repro.storage.packed as packed
+
+        image = packed.encode_page_image(self.cache[page])  # finding
+        return packed.decode_page_image(image)  # finding

@@ -70,12 +70,14 @@ class TestCrashSafetyOfCli:
     def test_committed_journal_recovered_transparently(self, created):
         """A leftover committed journal is replayed by the next command."""
         from repro.persistent import JournaledDenseFile
-        from repro.storage.codec import encode_page
+        from repro.storage.packed import encode_records_image
 
         with JournaledDenseFile.open(created) as dense:
             page = dense.engine.pagefile.nonempty_pages()[0]
             victims = dense.engine.pagefile.page(page).records()
-            dense.journal.write_transaction({page: encode_page([])})
+            dense.journal.write_transaction(
+                {page: encode_records_image([])}
+            )
         # The journal says "that page is now empty" and is committed;
         # the next CLI command must replay it before serving.
         code, output = run("rank", created, str(10**9))
@@ -85,10 +87,12 @@ class TestCrashSafetyOfCli:
     def test_plain_persistent_refuses_pending_journal(self, created):
         from repro.core.errors import ReproError
         from repro.persistent import JournaledDenseFile, PersistentDenseFile
-        from repro.storage.codec import encode_page
+        from repro.storage.packed import encode_records_image
 
         with JournaledDenseFile.open(created) as dense:
-            dense.journal.write_transaction({1: encode_page([])})
+            dense.journal.write_transaction(
+                {1: encode_records_image([])}
+            )
         with pytest.raises(ReproError, match="journal"):
             PersistentDenseFile.open(created)
         # Cleanup so other tests can reopen.

@@ -105,12 +105,12 @@ class TestBasicAtomicity:
         f = JournaledDenseFile.create(path, num_pages=64, d=8, D=40)
         f.insert(1)
         # Simulate: journal written, apply never happened.
-        from repro.storage.codec import encode_page
+        from repro.storage.packed import encode_records_image
 
-        f.journal.write_transaction({2: encode_page([])})
+        f.journal.write_transaction({2: encode_records_image([])})
         target = f.engine.pagefile.nonempty_pages()[0]
         f.journal.write_transaction(
-            {target: encode_page([])}
+            {target: encode_records_image([])}
         )  # "delete everything on that page" as a fake committed txn
         f.close()
         with JournaledDenseFile.open(path) as g:

@@ -11,8 +11,8 @@ import pytest
 
 from repro import PersistentDenseFile
 from repro.cli import main
-from repro.storage.codec import encode_page
 from repro.storage.ondisk import DiskPagedStore
+from repro.storage.packed import encode_records_image
 from repro.storage.scrub import ScrubReport, scrub
 from repro.storage.wal import TransactionJournal
 
@@ -31,7 +31,7 @@ def populated(tmp_path):
     with PersistentDenseFile.create(path, num_pages=32, d=8, D=40) as dense:
         dense.insert_many(range(120))
         for page in dense.engine.pagefile.nonempty_pages():
-            payloads[page] = encode_page(
+            payloads[page] = encode_records_image(
                 list(dense.engine.pagefile.read_page(page))
             )
     return path, payloads

@@ -243,6 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
         "lock-order deadlock) and require they are detected",
     )
     stress.add_argument(
+        "--sanitize", action="store_true",
+        help="rebuild the stack with the race sanitizer (Eraser-style "
+        "lockset + happens-before + lock-order graph) and fail on any "
+        "finding; with --self-test, also require the planted unlocked "
+        "write and ABBA acquisition are detected",
+    )
+    stress.add_argument(
         "--replica-reads", action="store_true", dest="replica_reads",
         help="replication schedule instead: writers on a journaled "
         "primary, readers on a WAL-shipped replica, every snapshot "
@@ -747,6 +754,12 @@ def _stress(args, out) -> int:
 
     from .concurrent.harness import StressConfig, run_stress, self_test
 
+    if args.self_test and args.sanitize:
+        from .sanitizer import sanitize_self_test
+
+        sanitize_report = sanitize_self_test(seed=args.seed)
+        print(sanitize_report.summary(), file=out)
+        return 0 if sanitize_report.ok else 1
     if args.self_test:
         report = self_test(seed=args.seed)
         print(report.summary(), file=out)
@@ -784,6 +797,7 @@ def _stress(args, out) -> int:
             stack=args.stack,
             transient_rate=args.fault_rate,
             path=path,
+            sanitize=args.sanitize,
         )
     )
     print(report.summary(), file=out)

@@ -63,14 +63,19 @@ def reads_are_shareable(store: Any) -> bool:
     """Whether a store stack's read path touches no shared mutable state.
 
     True only for a :class:`~repro.storage.backend.MemoryStore` base
-    under pass-through decorators (fault injection, retries).  Disk
-    stacks share a seekable file handle and buffered stacks reorder an
-    LRU list on every read, so their reads must be serialized.
+    under pass-through decorators (fault injection, retries, and any
+    :class:`~repro.storage.backend.DelegatingStore` declaring
+    ``passthrough_reads`` — the sanitizer's instrumented store does).
+    Disk stacks share a seekable file handle and buffered stacks
+    reorder an LRU list on every read, so their reads must be
+    serialized.
     """
     while store is not None:
         if isinstance(store, MemoryStore):
             return True
-        if isinstance(store, (FaultyStore, RetryingStore)):
+        if isinstance(store, (FaultyStore, RetryingStore)) or getattr(
+            store, "passthrough_reads", False
+        ):
             store = store.inner
             continue
         return False
@@ -107,6 +112,11 @@ class ThreadSafeDenseFile:
         **Testing only.**  Skips admission and locking entirely so the
         torture harness's negative control can prove it detects the
         resulting races.  Never set this in real use.
+    lock:
+        Inject a pre-built :class:`~repro.concurrent.rwlock.FairRWLock`
+        (or subclass — the sanitizer passes its instrumented
+        :class:`~repro.sanitizer.instrument.SanitizedRWLock`) instead
+        of constructing a plain one.
     """
 
     def __init__(
@@ -119,10 +129,11 @@ class ThreadSafeDenseFile:
         shared_reads: Optional[bool] = None,
         bypass_lock: bool = False,
         clock: Callable[[], float] = time.monotonic,
+        lock: Optional[FairRWLock] = None,
     ):
         self._inner = inner
         self._clock = clock
-        self._lock = FairRWLock(clock=clock)
+        self._lock = lock if lock is not None else FairRWLock(clock=clock)
         self._gate: Optional[AdmissionGate] = None
         if max_in_flight is not None or shed_load:
             self._gate = AdmissionGate(

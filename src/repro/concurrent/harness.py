@@ -55,7 +55,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..core.dense_file import DenseSequentialFile
 from ..core.errors import (
@@ -78,6 +78,9 @@ from ..workloads.generators import INSERT, mixed_workload
 from .deadline import Deadline
 from .file import ThreadSafeDenseFile
 from .rwlock import FairRWLock
+
+if TYPE_CHECKING:  # pragma: no cover - imported lazily at runtime
+    from ..sanitizer import SanitizerRuntime
 
 #: Operation kinds a client thread can issue.
 KINDS = ("insert", "delete", "scan", "search", "count")
@@ -123,6 +126,11 @@ class StressConfig:
     max_in_flight: Optional[int] = None
     shed_load: bool = False
     path: Optional[str] = None
+    #: Rebuild the stack with the race sanitizer's instrumented store
+    #: and lock (see :mod:`repro.sanitizer`); findings land in
+    #: :attr:`StressReport.races`.  Off by default — the plain stack
+    #: runs with zero instrumentation.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.stack not in STACKS:
@@ -145,6 +153,8 @@ class StressReport:
     schedule_digest: str = ""
     violations: List[str] = field(default_factory=list)
     deadlocks: List[str] = field(default_factory=list)
+    races: List[str] = field(default_factory=list)
+    sanitizer_counters: Optional[Dict[str, int]] = None
     timeouts: int = 0
     overloads: int = 0
     errors: Dict[str, int] = field(default_factory=dict)
@@ -156,8 +166,10 @@ class StressReport:
 
     @property
     def ok(self) -> bool:
-        """Clean run: linearizable, no deadlock, nothing corrupted."""
-        return not self.violations and not self.deadlocks
+        """Clean run: linearizable, no deadlock, no race, no corruption."""
+        return (
+            not self.violations and not self.deadlocks and not self.races
+        )
 
     def summary(self) -> str:
         """Human-readable verdict with counters and the replay digest."""
@@ -178,10 +190,20 @@ class StressReport:
                 f"giveups={self.retry_counters['giveups']} "
                 f"deadline_giveups={self.retry_counters['deadline_giveups']}"
             )
+        if self.sanitizer_counters is not None:
+            lines.append(
+                f"  sanitizer: {self.sanitizer_counters['accesses']} "
+                f"accesses / {self.sanitizer_counters['lock_events']} "
+                f"lock events over "
+                f"{self.sanitizer_counters['resources']} resources — "
+                f"{self.sanitizer_counters['findings']} finding(s)"
+            )
         for violation in self.violations:
             lines.append(f"  VIOLATION: {violation}")
         for deadlock in self.deadlocks:
             lines.append(f"  DEADLOCK: {deadlock}")
+        for race in self.races:
+            lines.append(f"  RACE: {race}")
         return "\n".join(lines)
 
 
@@ -384,11 +406,29 @@ def _geometry(config: StressConfig) -> Tuple[int, int, int]:
 
 def build_file(
     config: StressConfig,
+    runtime: Optional["SanitizerRuntime"] = None,
 ) -> Tuple[DenseSequentialFile, Optional[FaultPlan]]:
-    """The dense file (and fault plan, for the ``faulty`` stack)."""
+    """The dense file (and fault plan, for the ``faulty`` stack).
+
+    With a :class:`~repro.sanitizer.SanitizerRuntime` the *outermost*
+    store of whichever stack the config names is wrapped in a
+    :class:`~repro.sanitizer.SanitizedStore`, so the sanitizer observes
+    exactly the logical access sequence the engine issues.
+    """
+
+    def wrap(store: PageStore) -> PageStore:
+        if runtime is None:
+            return store
+        from ..sanitizer import SanitizedStore
+
+        return SanitizedStore(store, runtime)
+
     num_pages, d, D = _geometry(config)
     if config.stack == "memory":
-        return DenseSequentialFile(num_pages, d, D), None
+        if runtime is None:
+            return DenseSequentialFile(num_pages, d, D), None
+        store: PageStore = wrap(MemoryStore(num_pages))
+        return DenseSequentialFile(num_pages, d, D, store=store), None
     if config.stack == "faulty":
         plan = FaultPlan(seed=config.seed, transient_rate=config.transient_rate)
         stack = fault_tolerant_stack(
@@ -396,16 +436,16 @@ def build_file(
             plan,
             BackoffPolicy(max_attempts=100),
         )
-        return DenseSequentialFile(num_pages, d, D, store=stack), plan
+        return DenseSequentialFile(num_pages, d, D, store=wrap(stack)), plan
     if config.path is None:
         raise ConfigurationError(f"stack {config.stack!r} needs a path")
     disk = DiskStore.create(
         config.path, num_pages=num_pages, d=d, D=D, overwrite=True
     )
-    store: PageStore = disk
+    store = disk
     if config.stack == "buffered":
         store = BufferedStore(disk, capacity=8)
-    return DenseSequentialFile(num_pages, d, D, store=store), None
+    return DenseSequentialFile(num_pages, d, D, store=wrap(store)), None
 
 
 # ----------------------------------------------------------------------
@@ -451,13 +491,21 @@ def run_stress(
         schedule_digest=schedule_digest(schedule),
     )
     plan = None
+    runtime: Optional["SanitizerRuntime"] = None
     owns_file = shared is None
     if owns_file:
-        dense, plan = build_file(config)
+        lock: Optional[FairRWLock] = None
+        if config.sanitize:
+            from ..sanitizer import SanitizedRWLock, SanitizerRuntime
+
+            runtime = SanitizerRuntime()
+            lock = SanitizedRWLock(runtime)
+        dense, plan = build_file(config, runtime=runtime)
         shared = ThreadSafeDenseFile(
             dense,
             max_in_flight=config.max_in_flight,
             shed_load=config.shed_load,
+            lock=lock,
         )
     inboxes = [queue.Queue() for _ in range(config.threads)]
     outbox: "queue.Queue" = queue.Queue()
@@ -539,6 +587,12 @@ def run_stress(
             report.retry_counters = layers[0]
         if plan is not None:
             report.faults_injected = plan.transients_injected
+        if runtime is not None:
+            race_report = runtime.report()
+            report.races = [
+                finding.render() for finding in race_report.findings
+            ]
+            report.sanitizer_counters = race_report.counters()
         if owns_file:
             shared.inner.close()
     return report
@@ -547,7 +601,7 @@ def run_stress(
 def _contents_mismatch(
     shared: ThreadSafeDenseFile,
     oracle: SequentialOracle,
-    config: TortureConfig,
+    config: StressConfig,
 ) -> Optional[str]:
     observed = [
         record.key

@@ -1,0 +1,298 @@
+"""A conservative project-wide call graph for interprocedural rules.
+
+The per-file checkers see one module at a time; this module gives them
+the *project*: every function and method across the scanned roots,
+indexed so a call site can be resolved to its definition, plus a
+fixpoint fact propagator.  LNT003 uses it to add "held X while calling
+a function that (transitively) acquires Y" edges to the lock-order
+graph, LNT006 to flag callers that hold a budget but forward none to a
+blocking callee, and LNT007 to follow unguarded paths from a public
+front-end method down to an engine/store mutation buried in a helper —
+in another function or another file, where per-file analysis provably
+cannot see it.
+
+Resolution is deliberately conservative — precision serves soundness of
+the *clean* verdict, not completeness of the graph.  A call site
+resolves only when the target is unambiguous:
+
+* ``self.method(...)`` — the method in the caller's own class (or a
+  base class defined in the project),
+* ``super().method(...)`` — the method in a project-defined base,
+* ``name(...)`` — a module-level function in the same module, or the
+  unique project function a ``from x import name`` names,
+* ``obj.method(...)`` — only when exactly one project function bears
+  that name *and* the name is not a common container/threading method
+  (``put``, ``wait``, ``acquire`` …) that more likely names a stdlib
+  object.
+
+Everything else — duplicate names, dynamic dispatch, builtins — stays
+unresolved, so facts never flow through an edge the analysis is not
+sure about and the live tree cannot pick up findings from a
+mis-resolved stdlib call.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .framework import SourceFile, attribute_chain, call_name
+
+#: Method names too generic to resolve by project-wide uniqueness: they
+#: usually name a stdlib list/dict/queue/threading object, and a lucky
+#: project-unique homonym must not inject facts into unrelated callers.
+COMMON_METHOD_NAMES = frozenset(
+    {
+        "acquire", "add", "append", "clear", "close", "copy", "discard",
+        "extend", "get", "insert", "is_alive", "items", "join", "keys",
+        "notify", "notify_all", "pop", "popleft", "put", "read", "release",
+        "remove", "sort", "start", "update", "values", "wait", "write",
+    }
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition somewhere in the project."""
+
+    qualname: str  #: ``relpath::Class.method`` or ``relpath::function``
+    name: str  #: the bare definition name
+    relpath: str
+    klass: Optional[str]  #: owning class name, ``None`` for module level
+    source: SourceFile
+    node: ast.FunctionDef
+    params: Tuple[str, ...]  #: argument names, ``self``/``cls`` dropped
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: its methods and project-resolvable bases."""
+
+    name: str
+    relpath: str
+    bases: Tuple[str, ...]
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Every node in ``node``'s own scope — nested ``def``s excluded.
+
+    Nested functions get their own :class:`FunctionInfo` and their own
+    pass; walking into them here would attribute their contents (and
+    any facts those imply) to the enclosing function.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def walk_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Every call in ``node``'s own scope — nested ``def``s excluded."""
+    for child in walk_scope(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+class Project:
+    """The scanned sources as one indexed, resolvable call graph."""
+
+    def __init__(self, sources: Sequence[SourceFile]) -> None:
+        #: qualname -> definition, in deterministic scan order.
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: class name -> definition; ``None`` marks an ambiguous name
+        #: (defined in several files) that must not resolve.
+        self._classes: Dict[str, Optional[ClassInfo]] = {}
+        #: relpath -> module-level function name -> definition.
+        self._module_functions: Dict[str, Dict[str, FunctionInfo]] = {}
+        #: relpath -> imported alias -> target bare name.
+        self._imports: Dict[str, Dict[str, str]] = {}
+        #: bare name -> every definition using it.
+        self._by_name: Dict[str, List[FunctionInfo]] = {}
+        #: id(ast node) -> its FunctionInfo, for checker lookups.
+        self._by_node: Dict[int, FunctionInfo] = {}
+        #: qualname -> resolved callee qualnames (for propagation).
+        self._callees: Dict[str, Set[str]] = {}
+        for source in sources:
+            self._index_source(source)
+        for info in self.functions.values():
+            self._callees[info.qualname] = {
+                callee.qualname
+                for _, callee in self.callsites(info)
+                if callee is not None
+            }
+
+    # -- indexing -----------------------------------------------------------
+
+    def _index_source(self, source: SourceFile) -> None:
+        module = self._module_functions.setdefault(source.relpath, {})
+        imports = self._imports.setdefault(source.relpath, {})
+        for node in source.tree.body:
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.FunctionDef):
+                info = self._register(source, node, klass=None)
+                module[node.name] = info
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(source, node)
+
+    def _index_class(self, source: SourceFile, node: ast.ClassDef) -> None:
+        base_chains = [attribute_chain(expr) for expr in node.bases]
+        bases = tuple(chain[-1] for chain in base_chains if chain)
+        klass = ClassInfo(name=node.name, relpath=source.relpath, bases=bases)
+        for child in node.body:
+            if isinstance(child, ast.FunctionDef):
+                klass.methods[child.name] = self._register(
+                    source, child, klass=node.name
+                )
+        if node.name in self._classes:
+            self._classes[node.name] = None  # ambiguous: never resolve
+        else:
+            self._classes[node.name] = klass
+
+    def _register(
+        self, source: SourceFile, node: ast.FunctionDef, klass: Optional[str]
+    ) -> FunctionInfo:
+        prefix = f"{klass}." if klass else ""
+        qualname = f"{source.relpath}::{prefix}{node.name}"
+        params = [arg.arg for arg in node.args.args]
+        params += [arg.arg for arg in node.args.kwonlyargs]
+        if klass and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        info = FunctionInfo(
+            qualname=qualname,
+            name=node.name,
+            relpath=source.relpath,
+            klass=klass,
+            source=source,
+            node=node,
+            params=tuple(params),
+        )
+        self.functions[qualname] = info
+        self._by_name.setdefault(node.name, []).append(info)
+        self._by_node[id(node)] = info
+        return info
+
+    # -- lookups ------------------------------------------------------------
+
+    def function_for(self, node: ast.FunctionDef) -> Optional[FunctionInfo]:
+        """The :class:`FunctionInfo` registered for this exact AST node."""
+        return self._by_node.get(id(node))
+
+    def callsites(
+        self, caller: FunctionInfo
+    ) -> Iterator[Tuple[ast.Call, Optional[FunctionInfo]]]:
+        """``(call node, resolved definition or None)`` for every call."""
+        for call in walk_calls(caller.node):
+            yield call, self.resolve_call(caller, call)
+
+    def resolved_callees(self, qualname: str) -> Set[str]:
+        """Qualnames this function's resolved call sites reach."""
+        return self._callees.get(qualname, set())
+
+    def resolve_call(
+        self, caller: FunctionInfo, call: ast.Call
+    ) -> Optional[FunctionInfo]:
+        """The project definition this call targets, or ``None``."""
+        name = call_name(call)
+        if not name:
+            return None
+        if isinstance(call.func, ast.Attribute):
+            value = call.func.value
+            if (
+                isinstance(value, ast.Call)
+                and call_name(value) == "super"
+                and caller.klass
+            ):
+                return self._method_in_bases(caller.klass, name)
+            receiver = attribute_chain(value)
+            if receiver == ["self"] and caller.klass:
+                found = self._method_in_class(caller.klass, name)
+                if found is not None:
+                    return found
+            return self._unique_method(name)
+        # Bare ``name(...)``: same module, then explicit import, then a
+        # project-unique module-level function.
+        module = self._module_functions.get(caller.relpath, {})
+        if name in module:
+            return module[name]
+        target = self._imports.get(caller.relpath, {}).get(name, name)
+        candidates = [
+            info
+            for info in self._by_name.get(target, [])
+            if info.klass is None
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _method_in_class(
+        self, class_name: str, method: str
+    ) -> Optional[FunctionInfo]:
+        seen: Set[str] = set()
+        queue = [class_name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            klass = self._classes.get(current)
+            if klass is None:
+                continue
+            if method in klass.methods:
+                return klass.methods[method]
+            queue.extend(klass.bases)
+        return None
+
+    def _method_in_bases(
+        self, class_name: str, method: str
+    ) -> Optional[FunctionInfo]:
+        klass = self._classes.get(class_name)
+        if klass is None:
+            return None
+        for base in klass.bases:
+            found = self._method_in_class(base, method)
+            if found is not None:
+                return found
+        return None
+
+    def _unique_method(self, name: str) -> Optional[FunctionInfo]:
+        if name in COMMON_METHOD_NAMES:
+            return None
+        candidates = self._by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # -- fact propagation ---------------------------------------------------
+
+    def propagate(self, direct: Dict[str, Set[str]]) -> Dict[str, Set[str]]:
+        """Transitive closure of per-function facts over the call graph.
+
+        ``result(f) = direct(f) | union(result(g))`` for every resolved
+        callee ``g``; computed to fixpoint, so recursion and mutual
+        calls converge instead of looping.
+        """
+        result: Dict[str, Set[str]] = {
+            qualname: set(direct.get(qualname, ())) for qualname in self.functions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname in self.functions:
+                facts = result[qualname]
+                before = len(facts)
+                for callee in self._callees.get(qualname, ()):
+                    facts |= result.get(callee, set())
+                if len(facts) != before:
+                    changed = True
+        return result

@@ -9,10 +9,13 @@ rule id       pragma slug     what it protects
 ``LNT004``    errors          the ``core.errors`` taxonomy (no bare/builtin raises)
 ``LNT005``    determinism     seeded, reproducible hot paths
 ``LNT006``    deadlines       every blocking call carries a time budget
+``LNT007``    atomicity       lock held on every path to a mutation primitive
+``LNT008``    leaks           handles released on every exception edge
 ============  ==============  ====================================================
 
 ``fresh_checkers()`` builds new instances per run — checkers carry
-cross-file state (the lock-order graph), so instances are single-use.
+cross-file state (the lock-order graph, the call-graph fact tables), so
+instances are single-use.
 """
 
 from __future__ import annotations
@@ -22,9 +25,11 @@ from typing import Dict, List, Optional, Sequence, Type
 from ...core.errors import ConfigurationError
 from ..framework import Checker
 from .accounting import AccountingChecker
+from .atomicity import AtomicityChecker
 from .deadlines import DeadlineChecker
 from .determinism import DeterminismChecker
 from .errors import ErrorTaxonomyChecker
+from .leaks import ResourceLeakChecker
 from .locks import LockDisciplineChecker, LockOrderChecker
 
 #: Registration order is report order for ties on the same line.
@@ -35,6 +40,8 @@ CHECKER_TYPES: Sequence[Type[Checker]] = (
     ErrorTaxonomyChecker,
     DeterminismChecker,
     DeadlineChecker,
+    AtomicityChecker,
+    ResourceLeakChecker,
 )
 
 

@@ -1,0 +1,212 @@
+"""LNT007: no unguarded path from a public front-end method to a mutation.
+
+LNT002 checks the *lexical* rule — a ``ThreadSafe*`` public method may
+touch ``self._inner`` only inside a guarded block.  It deliberately
+skips private helpers (they run under a caller's guard) — which leaves
+a hole: a public method that calls a helper *without* taking the lock,
+where the helper (possibly in another file) performs the mutation.
+Both halves look fine on their own; the composition is a race.
+
+This rule closes the hole interprocedurally.  Using the whole-project
+call graph it computes, per function, whether an **unguarded path**
+reaches a mutation primitive:
+
+* an engine mutator — ``insert`` / ``delete`` / ``update`` /
+  ``insert_many`` / ``delete_range`` / ``compact`` on a receiver chain
+  naming the wrapped engine (``_inner``, ``inner``, ``engine``,
+  ``_engine``, ``_dense``), or
+* a store primitive — ``put_page`` / ``move_records`` on a receiver
+  naming a store (``store``, ``_store``, ``raw``, ``backend``,
+  ``pool``, ``stack``, ``inner``, ``_inner``).
+
+A path is guarded as soon as it passes a lock acquisition: a ``with
+self._guarded(...)`` / ``read_locked`` / ``write_locked`` block or a
+``with``-held internal mutex.  Guarding cuts propagation — everything
+beneath the acquisition runs under the lock, wherever it is defined.
+Entry points are the public methods of ``ThreadSafe*`` classes and of
+the ``cluster/`` front-end classes; helpers themselves are never
+flagged, only the public surface that lets an unguarded path escape.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from ..callgraph import FunctionInfo
+from ..framework import Checker, Finding, SourceFile, attribute_chain, in_package
+from .locks import GUARD_CALLS, classify_acquisition
+
+if TYPE_CHECKING:
+    from ..callgraph import Project
+
+ENGINE_MUTATORS = frozenset(
+    {"insert", "delete", "update", "insert_many", "delete_range", "compact"}
+)
+ENGINE_MARKERS = frozenset({"_inner", "inner", "_engine", "engine", "_dense"})
+STORE_MUTATORS = frozenset({"put_page", "move_records"})
+STORE_MARKERS = frozenset(
+    {"store", "_store", "raw", "backend", "pool", "stack", "inner", "_inner"}
+)
+
+
+def mutation_call(node: ast.Call) -> Optional[str]:
+    """A dotted description when ``node`` is a mutation primitive."""
+    if not isinstance(node.func, ast.Attribute):
+        return None
+    name = node.func.attr
+    receiver = attribute_chain(node.func.value)
+    if not receiver:
+        return None
+    dotted = ".".join(receiver + [name])
+    if name in ENGINE_MUTATORS and any(p in ENGINE_MARKERS for p in receiver):
+        return dotted
+    if name in STORE_MUTATORS and any(p in STORE_MARKERS for p in receiver):
+        return dotted
+    return None
+
+
+def is_lock_guard(expr: ast.expr) -> bool:
+    """Whether a ``with`` item establishes mutual exclusion for its body."""
+    if isinstance(expr, ast.Call):
+        if isinstance(expr.func, ast.Attribute) and expr.func.attr in GUARD_CALLS:
+            return True
+        if isinstance(expr.func, ast.Name) and expr.func.id in GUARD_CALLS:
+            return True
+    classified = classify_acquisition(expr)
+    if classified is None:
+        return False
+    level = classified[0]
+    # The admission gate bounds *load*, not access: it is not a guard.
+    return level == "rwlock" or level.startswith("mutex:")
+
+
+class AtomicityChecker(Checker):
+    rule_id = "LNT007"
+    slug = "atomicity"
+    title = "lock-atomic mutation paths"
+    hint = (
+        "take the lock before the helper call (`with self._guarded(...)`, "
+        "a write_locked block, or the owning mutex) so the whole mutation "
+        "path runs under it"
+    )
+
+    #: Same exemptions as LNT002: lifecycle methods run before/after
+    #: the lock exists.
+    EXEMPT_METHODS = frozenset({"__init__", "__enter__", "__exit__", "__repr__"})
+
+    def __init__(self) -> None:
+        self._project: Optional["Project"] = None
+        #: qualname -> (witness description, line, via-callee qualname).
+        #: ``via is None`` marks a direct mutation; otherwise the
+        #: witness continues at ``via``.
+        self._reach: Dict[str, Tuple[str, int, Optional[str]]] = {}
+
+    def applies_to(self, relpath: str) -> bool:
+        """The front-end surfaces: ``concurrent/`` and ``cluster/``."""
+        return in_package(relpath, "concurrent") or in_package(
+            relpath, "cluster"
+        )
+
+    def prepare(self, project: "Project") -> None:
+        """Fixpoint: which functions reach a mutation unguarded."""
+        self._project = project
+        direct: Dict[str, Tuple[str, int]] = {}
+        unguarded_calls: Dict[str, List[Tuple[str, int]]] = {}
+        for info in project.functions.values():
+            mutations, calls = self._scan(project, info)
+            if mutations:
+                direct[info.qualname] = mutations[0]
+            if calls:
+                unguarded_calls[info.qualname] = calls
+        self._reach = {
+            qualname: (description, line, None)
+            for qualname, (description, line) in direct.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname, calls in unguarded_calls.items():
+                if qualname in self._reach:
+                    continue
+                for callee, line in calls:
+                    if callee in self._reach:
+                        name = project.functions[callee].name
+                        self._reach[qualname] = (f"`{name}(...)`", line, callee)
+                        changed = True
+                        break
+
+    def _scan(
+        self, project: "Project", info: FunctionInfo
+    ) -> Tuple[List[Tuple[str, int]], List[Tuple[str, int]]]:
+        """Unguarded direct mutations and unguarded resolved call sites."""
+        mutations: List[Tuple[str, int]] = []
+        calls: List[Tuple[str, int]] = []
+
+        def visit(node: ast.AST, guarded: bool) -> None:
+            if isinstance(node, ast.With):
+                body_guarded = guarded or any(
+                    is_lock_guard(item.context_expr) for item in node.items
+                )
+                for item in node.items:
+                    visit(item.context_expr, guarded)
+                for child in node.body:
+                    visit(child, body_guarded)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return  # nested defs get their own FunctionInfo (or none)
+            if isinstance(node, ast.Call) and not guarded:
+                description = mutation_call(node)
+                if description is not None:
+                    mutations.append((f"`{description}`", node.lineno))
+                else:
+                    resolved = project.resolve_call(info, node)
+                    if resolved is not None:
+                        calls.append((resolved.qualname, node.lineno))
+            for child in ast.iter_child_nodes(node):
+                visit(child, guarded)
+
+        for statement in info.node.body:
+            visit(statement, False)
+        return mutations, calls
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag entry points whose unguarded paths reach a mutation."""
+        if self._project is None:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not (
+                node.name.startswith("ThreadSafe")
+                or in_package(source.relpath, "cluster")
+            ):
+                continue
+            for method in node.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                if method.name.startswith("_"):
+                    continue  # helpers run under a caller's guard
+                if method.name in self.EXEMPT_METHODS:
+                    continue
+                info = self._project.function_for(method)
+                if info is None or info.qualname not in self._reach:
+                    continue
+                yield self.finding(
+                    source,
+                    method,
+                    f"{node.name}.{method.name} reaches mutation "
+                    f"{self._render_path(info.qualname)} with no lock "
+                    "acquisition anywhere on the path (the mutation is "
+                    "not atomic with the caller's checks)",
+                )
+
+    def _render_path(self, qualname: str) -> str:
+        """``` `helper(...)` -> `self._inner.insert` ``` witness chain."""
+        parts: List[str] = []
+        current: Optional[str] = qualname
+        while current is not None:
+            description, _, via = self._reach[current]
+            parts.append(description)
+            current = via
+        return " -> ".join(parts)

@@ -12,19 +12,31 @@ blocking primitive in the package forwards the budget.  Flagged shapes:
 * ``gate.enter(kind)`` without a deadline (second positional or
   ``deadline=``),
 * ``thread.join()`` with no timeout — a deadlocked worker would hang
-  the caller forever.
+  the caller forever,
+* and — interprocedurally, via the whole-project call graph — a caller
+  that *has* a ``timeout=``/``deadline=`` budget calling a project
+  function that may block and accepts a budget, without forwarding
+  one.  The callee's blocking primitive may sit arbitrarily deep in
+  other modules; per-file analysis sees a perfectly innocent call.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set
 
+from ..callgraph import walk_scope
 from ..framework import Checker, Finding, SourceFile, attribute_chain, in_package
+
+if TYPE_CHECKING:
+    from ..callgraph import Project
 
 LOCK_ACQUIRE = frozenset(
     {"acquire_read", "acquire_write", "read_locked", "write_locked"}
 )
+
+#: Parameter names that carry an operation's time budget.
+BUDGET_PARAMS = frozenset({"timeout", "deadline", "budget", "op_timeout"})
 
 
 class DeadlineChecker(Checker):
@@ -32,6 +44,40 @@ class DeadlineChecker(Checker):
     slug = "deadlines"
     title = "deadline propagation on blocking calls"
     hint = "accept and forward the operation's timeout=/deadline= budget"
+
+    def __init__(self) -> None:
+        self._project: Optional["Project"] = None
+        #: Qualnames of functions that may block, directly or through
+        #: any chain of resolvable calls.
+        self._may_block: Set[str] = set()
+
+    def prepare(self, project: "Project") -> None:
+        """Propagate "may block" through the call graph to a fixpoint."""
+        direct: Dict[str, Set[str]] = {}
+        for info in project.functions.values():
+            for node in walk_scope(info.node):
+                if isinstance(node, ast.Call) and self._is_blocking(node):
+                    direct[info.qualname] = {"blocks"}
+                    break
+        self._project = project
+        facts = project.propagate(direct)
+        self._may_block = {
+            qualname for qualname, fact in facts.items() if fact
+        }
+
+    @staticmethod
+    def _is_blocking(node: ast.Call) -> bool:
+        if not isinstance(node.func, ast.Attribute):
+            return False
+        name = node.func.attr
+        receiver = attribute_chain(node.func.value)
+        if name == "wait" and DeadlineChecker._is_cond(receiver):
+            return True
+        if name in LOCK_ACQUIRE:
+            return True
+        if name == "enter" and any("gate" in part for part in receiver):
+            return True
+        return False
 
     def applies_to(self, relpath: str) -> bool:
         """Deadline propagation is a ``concurrent/`` + ``replication/``
@@ -90,6 +136,50 @@ class DeadlineChecker(Checker):
                     "deadlocked worker",
                     hint="join(timeout) and check is_alive() afterwards",
                 )
+        yield from self._check_budget_forwarding(source)
+
+    def _check_budget_forwarding(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag callers that hold a budget but forward none to a blocker."""
+        if self._project is None:
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            caller = self._project.function_for(node)
+            if caller is None:
+                continue
+            own_budget = sorted(set(caller.params) & BUDGET_PARAMS)
+            if not own_budget:
+                continue
+            for call, resolved in self._project.callsites(caller):
+                if resolved is None:
+                    continue
+                if resolved.qualname not in self._may_block:
+                    continue
+                accepted = sorted(set(resolved.params) & BUDGET_PARAMS)
+                if not accepted:
+                    continue
+                if self._passes_budget(call, resolved.params):
+                    continue
+                yield self.finding(
+                    source,
+                    call,
+                    f"drops the caller's `{own_budget[0]}` budget: "
+                    f"`{resolved.name}` may block and accepts "
+                    f"`{accepted[0]}=`, but this call forwards no budget "
+                    "(the callee then waits unboundedly)",
+                )
+
+    @staticmethod
+    def _passes_budget(call: ast.Call, params) -> bool:
+        if any(kw.arg is None or kw.arg in BUDGET_PARAMS for kw in call.keywords):
+            return True
+        if any(isinstance(arg, ast.Starred) for arg in call.args):
+            return True
+        for index, param in enumerate(params):
+            if param in BUDGET_PARAMS:
+                return len(call.args) > index
+        return False
 
     @staticmethod
     def _is_cond(receiver) -> bool:

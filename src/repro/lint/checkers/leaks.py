@@ -1,0 +1,210 @@
+"""LNT008: acquired handles must survive the exception edges between
+acquisition and release.
+
+The storage and network layers hand out handles that hold real
+resources — ``open(...)`` file objects, page stores from ``create`` /
+``make_store``, sockets from ``socket`` / ``create_connection``.  A
+handle bound to a local variable has exactly three honest fates:
+
+* it **escapes** — returned, yielded, stored on an object, or passed
+  into another call (ownership transfers with it),
+* it is **released** under protection — a ``with`` block, or a
+  ``close()`` / ``release()`` inside a ``try``'s ``finally`` or an
+  exception handler,
+* or it is released on the straight-line path *with no call in
+  between that could raise*.
+
+Anything else leaks on the exception edge: ``h = open(p)`` followed by
+``h.read()`` followed by ``h.close()`` drops the descriptor the moment
+``read`` raises, because nothing runs the ``close``.  The checker
+flags both that shape and the simpler one where a tracked handle is
+never released or handed off at all.
+
+The escape rule is deliberately generous — passing the handle to *any*
+call counts as a transfer — so constructor-wrapping (``cls(raw)``) and
+helper hand-offs stay clean; the rule exists to catch plainly dropped
+descriptors, not to litigate ownership conventions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..callgraph import walk_scope
+from ..framework import (
+    Checker,
+    Finding,
+    SourceFile,
+    attribute_chain,
+    call_name,
+    in_package,
+)
+
+#: Call names that produce a resource-owning handle.
+ACQUIRE_NAMES = frozenset(
+    {
+        "open",
+        "create",
+        "connect",
+        "create_connection",
+        "socket",
+        "make_store",
+        "mkstemp",
+    }
+)
+
+RELEASE_NAMES = frozenset({"close", "release", "shutdown"})
+
+
+class ResourceLeakChecker(Checker):
+    rule_id = "LNT008"
+    slug = "leaks"
+    title = "handles released on every exception edge"
+    hint = (
+        "wrap the handle in `with` (or `contextlib.closing`), or close it "
+        "in a `try`/`finally` that starts right at the acquisition"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Everywhere handles are minted or piped: the storage engine
+        and the layers that stack stores, replicas and sockets on it."""
+        return (
+            in_package(relpath, "storage")
+            or in_package(relpath, "concurrent")
+            or in_package(relpath, "replication")
+            or in_package(relpath, "cluster")
+        )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        """Flag handle acquisitions whose release an exception can skip."""
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.FunctionDef):
+                yield from self._check_function(source, node)
+
+    def _check_function(
+        self, source: SourceFile, function: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        protected = self._protected_calls(function)
+        for statement in walk_scope(function):
+            if not isinstance(statement, ast.Assign):
+                continue
+            if len(statement.targets) != 1 or not isinstance(
+                statement.targets[0], ast.Name
+            ):
+                continue
+            value = statement.value
+            if not isinstance(value, ast.Call):
+                continue
+            if call_name(value) not in ACQUIRE_NAMES:
+                continue
+            handle = statement.targets[0].id
+            finding = self._track(source, function, handle, value, protected)
+            if finding is not None:
+                yield finding
+
+    def _track(
+        self,
+        source: SourceFile,
+        function: ast.FunctionDef,
+        handle: str,
+        acquire: ast.Call,
+        protected: Set[int],
+    ) -> Optional[Finding]:
+        acquired = ".".join(attribute_chain(acquire.func)) or call_name(acquire)
+        releases: List[ast.Call] = []
+        release_ids = set()
+        escapes = False
+        for node in walk_scope(function):
+            if isinstance(node, ast.Call):
+                if node is acquire:
+                    continue
+                if self._is_release(node, handle):
+                    releases.append(node)
+                    release_ids.add(id(node))
+                elif self._passes_handle(node, handle):
+                    escapes = True
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if self._mentions(getattr(node, "value", None), handle):
+                    escapes = True
+            elif isinstance(node, ast.Assign):
+                if (
+                    isinstance(node.value, ast.Name)
+                    and node.value.id == handle
+                    and any(
+                        not isinstance(target, ast.Name)
+                        for target in node.targets
+                    )
+                ):
+                    escapes = True
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and expr.id == handle:
+                        escapes = True
+        if escapes:
+            return None  # ownership handed off; the new owner releases
+        if not releases:
+            return self.finding(
+                source,
+                acquire,
+                f"handle from `{acquired}(...)` is never closed or handed "
+                "off on any path out of this function",
+            )
+        if any(id(release) in protected for release in releases):
+            return None
+        first_release = min(release.lineno for release in releases)
+        for node in walk_scope(function):
+            if not isinstance(node, ast.Call) or id(node) in release_ids:
+                continue
+            if acquire.lineno < node.lineno < first_release:
+                return self.finding(
+                    source,
+                    acquire,
+                    f"an exception raised between `{acquired}(...)` and its "
+                    f"`.close()` (line {first_release}) leaks the handle — "
+                    "nothing on that edge releases it",
+                )
+        return None
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _is_release(node: ast.Call, handle: str) -> bool:
+        if not isinstance(node.func, ast.Attribute):
+            return False
+        chain = attribute_chain(node.func.value)
+        return chain == [handle] and node.func.attr in RELEASE_NAMES
+
+    @staticmethod
+    def _passes_handle(node: ast.Call, handle: str) -> bool:
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for child in ast.walk(arg):
+                if isinstance(child, ast.Name) and child.id == handle:
+                    return True
+        return False
+
+    @staticmethod
+    def _mentions(node: Optional[ast.AST], handle: str) -> bool:
+        if node is None:
+            return False
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and child.id == handle:
+                return True
+        return False
+
+    @staticmethod
+    def _protected_calls(function: ast.FunctionDef) -> Set[int]:
+        """``id()`` of every call inside a finally or except block —
+        those run on the exception edge, so a release there is safe."""
+        protected: Set[int] = set()
+        for node in walk_scope(function):
+            if not isinstance(node, ast.Try):
+                continue
+            regions: List[ast.AST] = list(node.finalbody)
+            regions.extend(node.handlers)
+            for region in regions:
+                for child in ast.walk(region):
+                    if isinstance(child, ast.Call):
+                        protected.add(id(child))
+        return protected

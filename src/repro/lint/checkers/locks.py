@@ -24,12 +24,19 @@ Held-state is tracked lexically: a ``with`` over an acquisition holds
 for its body, and a bare acquisition call (``self._gate.enter(...)``
 assigned for a later ``__exit__``) is treated as held for the rest of
 the enclosing function — the pattern ``_guarded`` uses.
+
+LNT003 is *interprocedural*: via the whole-project call graph
+(:mod:`repro.lint.callgraph`) every call made while a lock is held is
+treated as an acquisition of everything its resolved target
+transitively acquires, so an inversion split across two functions — or
+two files — still lands in the same acquisition graph the cycle check
+runs over.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..framework import (
     Checker,
@@ -38,6 +45,11 @@ from ..framework import (
     attribute_chain,
     in_package,
 )
+
+from ..callgraph import walk_calls, walk_scope
+
+if TYPE_CHECKING:
+    from ..callgraph import Project
 
 #: Canonical acquisition order, outermost first.  ``mutex:*`` levels
 #: (the leaf ``threading.Condition``/``Lock`` objects inside the gate,
@@ -201,6 +213,37 @@ class LockOrderChecker(Checker):
         #: non-reentrant); cycle detection removes them first, so a
         #: cycle finding always names a *new* problem.
         self._reported: Set[Tuple[str, str]] = set()
+        #: The whole-project call graph, once :meth:`prepare` has run.
+        self._project: Optional["Project"] = None
+        #: qualname -> every level the function may acquire, directly
+        #: or through any chain of resolvable calls.
+        self._transitive: Dict[str, Set[str]] = {}
+
+    def prepare(self, project: "Project") -> None:
+        """Precompute which levels every project function may acquire.
+
+        A call site is then an acquisition of everything its resolved
+        target transitively acquires — the edges a per-file pass cannot
+        see (holding lock A in one function while a helper in another
+        file takes lock B).
+        """
+        direct: Dict[str, Set[str]] = {}
+        for info in project.functions.values():
+            levels: Set[str] = set()
+            for node in walk_scope(info.node):
+                if isinstance(node, ast.With):
+                    for item in node.items:
+                        classified = classify_acquisition(item.context_expr)
+                        if classified is not None:
+                            levels.add(classified[0])
+                elif isinstance(node, ast.Call):
+                    classified = classify_acquisition(node)
+                    if classified is not None:
+                        levels.add(classified[0])
+            if levels:
+                direct[info.qualname] = levels
+        self._project = project
+        self._transitive = project.propagate(direct)
 
     def applies_to(self, relpath: str) -> bool:
         """Lock ordering is checked across every ``concurrent/`` and
@@ -220,6 +263,11 @@ class LockOrderChecker(Checker):
         self, source: SourceFile, function: ast.FunctionDef
     ) -> Iterator[Finding]:
         findings: List[Finding] = []
+        caller = (
+            self._project.function_for(function)
+            if self._project is not None
+            else None
+        )
 
         def record(held: str, acquired: str, node: ast.AST) -> None:
             self._edges.setdefault(held, set()).add(acquired)
@@ -257,10 +305,58 @@ class LockOrderChecker(Checker):
                 record(held_level, level, expr)
             return level
 
+        def record_via_call(held: List[str], call: ast.Call) -> None:
+            # A call made while holding a lock acquires everything its
+            # resolved target transitively acquires: the cross-function
+            # edges only the call graph can see.
+            if caller is None or self._project is None:
+                return
+            if classify_acquisition(call) is not None:
+                return  # direct acquisitions are recorded precisely
+            resolved = self._project.resolve_call(caller, call)
+            if resolved is None:
+                return
+            for level in sorted(self._transitive.get(resolved.qualname, ())):
+                for held_level in held:
+                    if held_level == level and level not in NON_REENTRANT:
+                        continue  # legal reentry; finalize drops self-loops
+                    self._edges.setdefault(held_level, set()).add(level)
+                    self._sites.setdefault(
+                        (held_level, level),
+                        (source.path, getattr(call, "lineno", 1)),
+                    )
+                    if held_level == level:
+                        self._reported.add((held_level, level))
+                        findings.append(
+                            self.finding(
+                                source,
+                                call,
+                                f"`{resolved.name}` acquires non-reentrant "
+                                f"`{level}`, which the caller already holds "
+                                "(a thread waiting on itself deadlocks)",
+                            )
+                        )
+                    elif _rank(level) < _rank(held_level):
+                        self._reported.add((held_level, level))
+                        findings.append(
+                            self.finding(
+                                source,
+                                call,
+                                f"lock-order inversion via call: "
+                                f"`{resolved.name}` acquires `{level}` while "
+                                f"`{held_level}` is held (canonical order: "
+                                "admission-gate -> rwlock -> internal "
+                                "mutexes)",
+                            )
+                        )
+
         def visit_block(statements: List[ast.stmt], held: List[str]) -> None:
             local: List[str] = []
             for statement in statements:
                 visit(statement, held + local)
+                if held or local:
+                    for call in walk_calls(statement):
+                        record_via_call(held + local, call)
                 # A bare acquisition call (not in a `with`) holds for the
                 # rest of the enclosing block — the assign-then-__exit__
                 # pattern.

@@ -2,7 +2,7 @@
 
 The linter parses every target module once into an :mod:`ast` tree and
 hands the tree to a set of :class:`Checker` subclasses, each owning one
-rule (``LNT001`` .. ``LNT006``).  A checker reports
+rule (``LNT001`` .. ``LNT008``).  A checker reports
 :class:`Finding` objects — file, line, rule id, message and a fix hint —
 which the runner filters through the pragma allowlist and renders as
 human-readable text or JSON for CI annotation.
@@ -38,9 +38,21 @@ import json
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # circular at runtime: callgraph builds on SourceFile
+    from .callgraph import Project
 
 #: ``# lint: allow[rule]`` / ``# lint: allow[rule1, rule2]`` on the
 #: offending line; ``allow-file`` scopes the allowlist to the module.
@@ -155,6 +167,16 @@ class Checker:
     def applies_to(self, relpath: str) -> bool:
         """Whether this rule covers the module at ``relpath``."""
         return True
+
+    def prepare(self, project: "Project") -> None:
+        """Receive the whole-project call graph before any :meth:`check`.
+
+        The runner loads every source first, builds one
+        :class:`~repro.lint.callgraph.Project`, and hands it to each
+        checker — interprocedural rules (LNT003's transitive
+        acquisitions, LNT006's budget forwarding, LNT007's unguarded
+        mutation paths) precompute their facts here.  Default: ignore.
+        """
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         """Yield findings for one parsed module."""
@@ -307,29 +329,42 @@ def run_checkers(
     roots: Sequence[str],
     checkers: Iterable[Checker],
 ) -> LintReport:
-    """Run ``checkers`` over every Python file under ``roots``."""
+    """Run ``checkers`` over every Python file under ``roots``.
+
+    Two phases: every file is loaded first and indexed into one
+    whole-project call graph (handed to each checker via
+    :meth:`Checker.prepare`), then the per-file checks and the
+    cross-file :meth:`Checker.finalize` pass run as before.  The first
+    phase is what makes the interprocedural rules possible — a checker
+    looking at ``concurrent/file.py`` can follow a call into a helper
+    defined in ``concurrent/admission.py``.
+    """
+    from .callgraph import Project
+
     checkers = list(checkers)
     findings: List[Finding] = []
     suppressed = 0
-    files_checked = 0
     sources: Dict[str, SourceFile] = {}
+    ordered: List[SourceFile] = []
     for root in roots:
         if not os.path.exists(root):
             raise ConfigurationError(f"lint target {root!r} does not exist")
         for path, relpath in iter_python_files(root):
             source = SourceFile.load(path, relpath)
             sources[path] = source
-            files_checked += 1
-            for checker in checkers:
-                if not checker.applies_to(relpath):
-                    continue
-                for finding in checker.check(source):
-                    if source.allows(
-                        checker.rule_id, checker.slug, finding.line
-                    ):
-                        suppressed += 1
-                    else:
-                        findings.append(finding)
+            ordered.append(source)
+    project = Project(ordered)
+    for checker in checkers:
+        checker.prepare(project)
+    for source in ordered:
+        for checker in checkers:
+            if not checker.applies_to(source.relpath):
+                continue
+            for finding in checker.check(source):
+                if source.allows(checker.rule_id, checker.slug, finding.line):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
     for checker in checkers:
         for finding in checker.finalize():
             source = sources.get(finding.path)
@@ -342,7 +377,7 @@ def run_checkers(
     findings.sort()
     return LintReport(
         findings=findings,
-        files_checked=files_checked,
+        files_checked=len(ordered),
         suppressed=suppressed,
         rules=tuple(checker.rule_id for checker in checkers),
     )

@@ -26,12 +26,15 @@ from typing import Deque
 
 from ..core.errors import ReproError
 from ..storage.wal import TransactionJournal, TransactionRecord
+from .transport import Transport
 
 
 class JournalShipper:
     """Streams committed journal records onto a transport, in order."""
 
-    def __init__(self, journal: TransactionJournal, transport) -> None:
+    def __init__(
+        self, journal: TransactionJournal, transport: Transport
+    ) -> None:
         self.journal = journal
         self.transport = transport
         self._lock = threading.Lock()

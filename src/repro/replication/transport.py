@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import List
+from typing import List, Protocol
 
 from ..core.errors import ReplicationError
 from ..storage.ondisk import StorageError
@@ -33,6 +33,24 @@ from ..storage.wal import TransactionRecord
 
 RECORD_SUFFIX = ".txn"
 _SEQ_WIDTH = 20  # zero-padded u64 — lexicographic order == numeric order
+
+
+class Transport(Protocol):
+    """The structural contract every transport satisfies."""
+
+    def publish(self, record: TransactionRecord) -> None:
+        """Append one committed record to the mailbox."""
+
+    def poll(
+        self, after_sequence: int, limit: int = 64
+    ) -> List[TransactionRecord]:
+        """Up to ``limit`` records with sequence > ``after_sequence``."""
+
+    def ack(self, sequence: int) -> None:
+        """Discard records with sequence <= ``sequence`` (applied)."""
+
+    def latest_sequence(self) -> int:
+        """Highest sequence currently held (0 when empty)."""
 
 
 class QueueTransport:

@@ -1,0 +1,158 @@
+"""Negative controls: the sanitizer proves its own teeth, deterministically.
+
+The torture harness's original negative controls rely on *provoking*
+a bad interleaving (a yielding store widens race windows; a barrier
+forces an ABBA meet).  The sanitizer's controls are stronger: lockset
+refinement and the lock-order graph are functions of the *set* of
+events each thread produced, not of their interleaving, so the planted
+bugs below are detected even when the scheduler happens to serialize
+the threads completely.  Each control runs its threads strictly one
+after the other — the worst case for a dynamic race detector — and
+must still produce a finding under any fixed seed.
+
+:func:`sanitize_self_test` packages the controls with a sanitized
+clean run (which must report exactly zero findings) into one verdict
+for ``repro stress --sanitize --self-test`` and the CI
+``sanitize-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..concurrent.file import ThreadSafeDenseFile
+from ..core.dense_file import DenseSequentialFile
+from ..core.params import ceil_log2
+from ..storage.backend import MemoryStore
+from .instrument import SanitizedRWLock, SanitizedStore
+from .runtime import RaceReport, SanitizerRuntime
+
+if TYPE_CHECKING:  # pragma: no cover - the harness imports us lazily
+    from ..concurrent.harness import StressReport
+
+
+def _planted_geometry() -> tuple:
+    num_pages, d = 16, 8
+    return num_pages, d, d + 3 * ceil_log2(num_pages) + 4
+
+
+def planted_unlocked_write(seed: int = 0) -> RaceReport:
+    """Two threads mutate the same pages with no lock at all.
+
+    The threads run *sequentially* (each joined before the next
+    starts), so the structure itself never corrupts and an
+    outcome-checking harness would see nothing wrong — yet the second
+    thread's writes arrive with an empty lockset and no happens-before
+    edge to the first thread's, which is the definition of a data
+    race waiting for an unlucky schedule.  The report must contain an
+    ``unlocked-access`` finding for any seed.
+    """
+    runtime = SanitizerRuntime()
+    num_pages, d, D = _planted_geometry()
+    store = SanitizedStore(MemoryStore(num_pages), runtime)
+    dense = DenseSequentialFile(num_pages, d, D, store=store)
+    unlocked = ThreadSafeDenseFile(dense, bypass_lock=True)
+    keys = random.Random(seed).sample(range(1000), 32)
+
+    def writer() -> None:
+        for key in keys:
+            unlocked.insert(key)
+
+    def eraser() -> None:
+        # Deleting keys the first thread inserted guarantees a write to
+        # a page the first thread wrote — a conflicting pair on the
+        # same resource for *every* seed, not just lucky key layouts.
+        for key in keys[::2]:
+            unlocked.delete(key)
+
+    for client in (writer, eraser):
+        worker = threading.Thread(target=client, daemon=True)
+        worker.start()
+        worker.join(timeout=30.0)
+    return runtime.report()
+
+
+def planted_abba(seed: int = 0) -> RaceReport:
+    """Two locks acquired in opposite orders by two threads.
+
+    No barrier, no timing: the first client takes A then B and exits,
+    then the second takes B then A.  Nothing blocks, nothing times
+    out — but the acquisition-order graph now contains A→B and B→A,
+    and :meth:`~repro.sanitizer.runtime.SanitizerRuntime.report` must
+    surface the ``lock-order-cycle``.  (``seed`` only varies the lock
+    hold pattern; detection is schedule-independent.)
+    """
+    runtime = SanitizerRuntime()
+    lock_a = SanitizedRWLock(runtime, label="lock-a")
+    lock_b = SanitizedRWLock(runtime, label="lock-b")
+    repeats = 1 + random.Random(seed).randrange(3)
+
+    def client(first: SanitizedRWLock, second: SanitizedRWLock) -> None:
+        for _ in range(repeats):
+            with first.write_locked():
+                # lint: allow[lock-order] -- deliberate ABBA for the negative control
+                with second.write_locked():
+                    pass
+
+    for pair in ((lock_a, lock_b), (lock_b, lock_a)):
+        worker = threading.Thread(target=client, args=pair, daemon=True)
+        worker.start()
+        worker.join(timeout=30.0)
+    return runtime.report()
+
+
+@dataclass
+class SanitizeSelfTestReport:
+    """Outcome of the sanitized clean run plus both planted controls."""
+
+    clean: "StressReport"
+    unlocked_write_detected: bool
+    abba_detected: bool
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.clean.ok
+            and self.unlocked_write_detected
+            and self.abba_detected
+        )
+
+    def summary(self) -> str:
+        """One line per control, each with its own ok/FAILED mark."""
+
+        def mark(value: bool) -> str:
+            return "ok" if value else "FAILED"
+
+        return "\n".join([
+            self.clean.summary(),
+            f"negative control (planted unlocked write): "
+            f"{mark(self.unlocked_write_detected)} — "
+            f"empty-lockset access reported",
+            f"negative control (planted ABBA acquisition): "
+            f"{mark(self.abba_detected)} — lock-order cycle reported",
+        ])
+
+
+def sanitize_self_test(
+    seed: int = 0, total_ops: int = 120
+) -> SanitizeSelfTestReport:
+    """A sanitized clean run (zero findings) plus both planted bugs."""
+    from ..concurrent.harness import StressConfig, run_stress
+
+    clean = run_stress(
+        StressConfig(seed=seed, total_ops=total_ops, sanitize=True)
+    )
+    unlocked = planted_unlocked_write(seed)
+    abba = planted_abba(seed)
+    return SanitizeSelfTestReport(
+        clean=clean,
+        unlocked_write_detected=any(
+            finding.kind == "unlocked-access" for finding in unlocked.findings
+        ),
+        abba_detected=any(
+            finding.kind == "lock-order-cycle" for finding in abba.findings
+        ),
+    )

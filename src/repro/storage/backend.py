@@ -198,6 +198,70 @@ class PageStore:
         self.close()
 
 
+class DelegatingStore(PageStore):
+    """A transparent pass-through decorator base over any backend.
+
+    Forwards the whole :class:`PageStore` protocol — including the
+    fused :meth:`get_page2` and the batch :meth:`move_records`, so a
+    decorator never changes the inner store's touch sequence or its
+    counters — plus unknown attributes (``page_class``, ``raw``,
+    ``pool``, ...), so stacking a decorator is invisible to callers
+    that introspect the stack.  Subclasses override exactly the
+    methods they want to observe and delegate the rest; the sanitizer's
+    :class:`~repro.sanitizer.instrument.SanitizedStore` is the first
+    client.  Decorators whose read path adds no shared mutable state
+    should set :attr:`passthrough_reads` so
+    :func:`~repro.concurrent.file.reads_are_shareable` descends
+    through them.
+    """
+
+    name = "delegating"
+    #: Whether the decorator's read path is free of shared mutable
+    #: state, making concurrent readers exactly as safe as they are on
+    #: the wrapped store.
+    passthrough_reads = False
+
+    def __init__(self, inner: PageStore):
+        self.inner = inner
+        self.num_pages = inner.num_pages
+        self.readahead = inner.readahead
+
+    def __getattr__(self, name: str) -> object:
+        # Only consulted for attributes not defined on the decorator.
+        return getattr(self.inner, name)
+
+    def peek(self, page_number: int) -> Page:
+        return self.inner.peek(page_number)
+
+    def get_page(self, page_number: int) -> Page:
+        return self.inner.get_page(page_number)
+
+    def get_page2(self, page_number: int) -> Page:
+        return self.inner.get_page2(page_number)
+
+    def put_page(self, page_number: int) -> None:
+        self.inner.put_page(page_number)
+
+    def move_records(self, source: int, dest: int, count: int) -> int:
+        return self.inner.move_records(source, dest, count)
+
+    def prefetch(self, page_numbers: Iterable[int]) -> int:
+        return self.inner.prefetch(page_numbers)
+
+    def flush(self) -> int:
+        return self.inner.flush()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+    def stats(self) -> Dict[str, object]:
+        return self.inner.stats()
+
+
 class MemoryStore(PageStore):
     """Zero-copy in-memory backend: the behaviour the simulator always had."""
 

@@ -1,0 +1,15 @@
+"""LNT007 fixture: the public method never takes the lock; the mutation
+hides one call away, in a private helper LNT002 deliberately skips.
+
+Per-method analysis sees nothing: ``insert`` touches no engine state,
+and ``_apply`` is private (helpers run under a caller's guard — except
+this caller never took one).  Only the call graph sees the composition.
+"""
+
+
+class ThreadSafeShim:
+    def insert(self, key, value):
+        return self._apply(key, value)
+
+    def _apply(self, key, value):
+        return self._inner.insert(key, value)

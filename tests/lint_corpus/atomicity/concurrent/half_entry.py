@@ -1,0 +1,9 @@
+"""LNT007 fixture, half 1: the entry.  Locally clean — the helper it
+calls lives in another file, and nothing here touches engine state."""
+
+from half_helper import apply_unguarded
+
+
+class ThreadSafeSplit:
+    def insert(self, key, value):
+        return apply_unguarded(self._engine, key, value)

@@ -1,0 +1,8 @@
+"""LNT007 fixture, half 2: the helper.  Locally clean — a module
+function mutating the engine it is handed, trusting (wrongly) that its
+caller holds the lock.  Only the cross-file call graph composes the
+two halves into a race."""
+
+
+def apply_unguarded(engine, key, value):
+    return engine.insert(key, value)

@@ -1,0 +1,12 @@
+"""LNT007 negative control: the same helper shape, but the entry takes
+the lock before the call — everything beneath the acquisition runs
+guarded, wherever it is defined."""
+
+
+class ThreadSafeGated:
+    def insert(self, key, value, *, timeout=None, deadline=None):
+        with self._guarded("write", timeout, deadline):
+            return self._apply(key, value)
+
+    def _apply(self, key, value):
+        return self._inner.insert(key, value)

@@ -1,0 +1,13 @@
+"""LNT006 interprocedural fixture: the caller holds a budget, the
+callee blocks and would take one, the call forwards none.  Per-file
+analysis sees an innocent helper call — the blocking primitive (and
+its dropped parameter) live in another function."""
+
+
+class Replica:
+    def catch_up(self, timeout):
+        return self._drain()
+
+    def _drain(self, timeout=None):
+        with self._lock.read_locked(timeout):
+            return True

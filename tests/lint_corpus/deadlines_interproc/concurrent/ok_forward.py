@@ -1,0 +1,12 @@
+"""LNT006 interprocedural negative control: same shape, budget
+forwarded — the blocking helper waits no longer than the caller's
+operation allows."""
+
+
+class Follower:
+    def catch_up(self, timeout):
+        return self._drain(timeout)
+
+    def _drain(self, timeout=None):
+        with self._lock.read_locked(timeout):
+            return True

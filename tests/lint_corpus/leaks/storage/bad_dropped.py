@@ -1,0 +1,8 @@
+"""LNT008 fixture: the handle is acquired, used as a receiver, and then
+simply dropped — no close, no hand-off, on any path out."""
+
+
+def file_size(path):
+    handle = open(path, "rb")
+    size = handle.seek(0, 2)
+    return size

@@ -1,0 +1,9 @@
+"""LNT008 fixture: the close is there, but nothing protects it — the
+read between acquisition and release raises right past the close."""
+
+
+def copy_header(path):
+    handle = open(path, "rb")
+    header = handle.read(16)
+    handle.close()
+    return header

@@ -1,0 +1,15 @@
+"""LNT008 negative controls: a ``finally`` covers the exception edge,
+and handing the handle to another owner transfers the release duty."""
+
+
+def checksum(path):
+    handle = open(path, "rb")
+    try:
+        return sum(handle.read())
+    finally:
+        handle.close()
+
+
+def open_store(path, wrapper):
+    raw = open(path, "r+b")
+    return wrapper(raw)

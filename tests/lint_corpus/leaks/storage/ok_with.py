@@ -1,0 +1,7 @@
+"""LNT008 negative control: ``with`` owns the handle; every exit path,
+exceptional or not, runs the close."""
+
+
+def read_all(path):
+    with open(path, "rb") as handle:
+        return handle.read()

@@ -1,0 +1,13 @@
+"""LNT003 call-graph fixture, half 2: the helpers.  Each takes a single
+lock with nothing held — locally beyond reproach.  Only the accumulated
+graph, with the cross-file call edges added, closes the ABBA cycle."""
+
+
+def poke(widget):
+    with widget._cond:
+        return True
+
+
+def prod(widget):
+    with widget._mutex:
+        return True

@@ -1,0 +1,16 @@
+"""LNT003 call-graph fixture, half 1: two opposite nestings, each
+completed only through a call into the other file.  Locally each
+function holds one lock and calls one helper — per-file analysis sees
+no second acquisition at all."""
+
+from half_inner import poke, prod
+
+
+def forward(widget):
+    with widget._mutex:
+        return poke(widget)
+
+
+def backward(widget):
+    with widget._cond:
+        return prod(widget)

@@ -54,6 +54,12 @@ CASES = [
     ("errors", "errors", "LNT004", 4, "bare `except:`"),
     ("determinism", "determinism", "LNT005", 6, "wall-clock"),
     ("deadlines", "deadlines", "LNT006", 10, "unbounded"),
+    # The interprocedural rules: findings that need the project-wide
+    # call graph (cross-function and cross-file paths).
+    ("deadlines_interproc", "deadlines", "LNT006", 1, "drops the caller's"),
+    ("lock_order_callgraph", "lock-order", "LNT003", 1, "cycle"),
+    ("atomicity", "atomicity", "LNT007", 2, "no lock"),
+    ("leaks", "leaks", "LNT008", 2, "leak"),
 ]
 
 
@@ -109,6 +115,80 @@ def test_cycle_finding_names_a_corpus_file():
 
 
 # ---------------------------------------------------------------------------
+# interprocedural rules: what per-file analysis provably cannot see
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "corpus, rule",
+    [
+        ("atomicity", "atomicity"),
+        ("lock_order_callgraph", "lock-order"),
+    ],
+)
+def test_cross_file_fixtures_are_locally_clean_per_half(corpus, rule, tmp_path):
+    # Each half of the cross-file fixtures is clean when linted alone —
+    # the defect exists only in the composition, which only the
+    # whole-project call graph can see.  Together, they must be caught.
+    # Each half is copied into a fresh scan root preserving the
+    # `concurrent/` layout, so the rule genuinely runs on it.
+    root = os.path.join(corpus_root(corpus), "concurrent")
+    halves = sorted(
+        name for name in os.listdir(root) if name.startswith("half_")
+    )
+    assert len(halves) >= 2
+    for half in halves:
+        alone = tmp_path / half[: -len(".py")] / "concurrent"
+        alone.mkdir(parents=True)
+        shutil.copy(os.path.join(root, half), alone / half)
+        report = run_lint([str(alone.parent)], rules=[rule])
+        assert report.clean, f"{half} alone:\n" + report.render()
+    combined = lint_corpus(corpus, rule)
+    flagged = {os.path.basename(f.path) for f in combined.findings}
+    assert any(name.startswith("half_") for name in flagged)
+
+
+def test_atomicity_names_the_full_unguarded_path():
+    report = lint_corpus("atomicity", "atomicity")
+    split = [f for f in report.findings if "half_entry" in f.path]
+    assert len(split) == 1
+    # The witness chain crosses the file boundary: entry -> helper ->
+    # terminal mutation.
+    assert "apply_unguarded" in split[0].message
+    assert "engine.insert" in split[0].message
+
+
+def test_atomicity_guarded_call_cuts_the_path():
+    report = lint_corpus("atomicity", "atomicity")
+    assert not any("ok_guarded" in f.path for f in report.findings)
+
+
+def test_callgraph_resolution_is_conservative():
+    # Names shared by several project functions (or common stdlib
+    # method names) never resolve, so facts cannot flow through an
+    # ambiguous edge and poison an innocent caller.
+    from repro.lint.callgraph import COMMON_METHOD_NAMES, Project
+
+    source = SourceFile.load(
+        os.path.join(
+            corpus_root("atomicity"), "concurrent", "bad_one_file.py"
+        ),
+        "concurrent/bad_one_file.py",
+    )
+    project = Project([source])
+    assert "insert" in COMMON_METHOD_NAMES
+    entry = project.functions["concurrent/bad_one_file.py::ThreadSafeShim.insert"]
+    resolved = {
+        callee.name
+        for _, callee in project.callsites(entry)
+        if callee is not None
+    }
+    # self._apply resolves (same class); self._inner.insert must not
+    # (an attribute call with a too-common name).
+    assert resolved == {"_apply"}
+
+
+# ---------------------------------------------------------------------------
 # pragmas
 # ---------------------------------------------------------------------------
 
@@ -152,10 +232,11 @@ def test_default_roots_cover_package_and_tools():
 # ---------------------------------------------------------------------------
 
 
-def test_rule_table_lists_all_six_rules():
+def test_rule_table_lists_all_eight_rules():
     table = rule_table()
     assert [rule["id"] for rule in table] == [
         "LNT001", "LNT002", "LNT003", "LNT004", "LNT005", "LNT006",
+        "LNT007", "LNT008",
     ]
     assert len({rule["slug"] for rule in table}) == len(CHECKER_TYPES)
 

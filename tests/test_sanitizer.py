@@ -1,0 +1,148 @@
+"""The dynamic race sanitizer: planted controls, clean runs, determinism.
+
+Three things make the sanitizer trustworthy, and each is pinned here:
+
+* **Teeth** — the planted negative controls (an unlocked write, an ABBA
+  acquisition) are detected under fixed seeds, even though their
+  threads run strictly sequentially: every detector depends only on
+  per-thread event sets, never on the interleaving the OS chose.
+* **Silence** — a sanitized run of the real, correctly locked stack
+  reports zero findings while observing real volume (accesses, lock
+  events), so the zero is earned, not vacuous.
+* **Transparency** — sanitize mode changes *observation*, not
+  *behavior*: the schedule digest and logical operation counters of a
+  sanitized run are bit-identical to the plain run of the same seed.
+"""
+
+import pytest
+
+from repro.concurrent.harness import StressConfig, run_stress
+from repro.sanitizer import (
+    RaceFinding,
+    VectorClock,
+    planted_abba,
+    planted_unlocked_write,
+    sanitize_self_test,
+)
+
+SEEDS = (0, 1, 7)
+
+
+# ---------------------------------------------------------------------------
+# planted controls: the sanitizer must have teeth
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_planted_unlocked_write_is_detected(seed):
+    report = planted_unlocked_write(seed)
+    kinds = {finding.kind for finding in report.findings}
+    assert "unlocked-access" in kinds
+    finding = next(
+        f for f in report.findings if f.kind == "unlocked-access"
+    )
+    assert "page[" in finding.resource  # names the store page
+    assert finding.threads  # names the racing thread
+    assert report.accesses > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_planted_abba_is_detected(seed):
+    report = planted_abba(seed)
+    kinds = {finding.kind for finding in report.findings}
+    assert "lock-order-cycle" in kinds
+    finding = next(
+        f for f in report.findings if f.kind == "lock-order-cycle"
+    )
+    assert "lock-a" in finding.detail and "lock-b" in finding.detail
+
+
+@pytest.mark.parametrize("control", [planted_unlocked_write, planted_abba])
+def test_planted_controls_are_deterministic(control):
+    # Same seed, same findings — byte for byte.  The controls run their
+    # threads strictly sequentially, so the verdict cannot depend on a
+    # lucky interleaving.
+    first = control(3)
+    second = control(3)
+    assert [f.render() for f in first.findings] == [
+        f.render() for f in second.findings
+    ]
+    assert first.counters() == second.counters()
+    assert not first.ok
+
+
+# ---------------------------------------------------------------------------
+# the live stack: a clean tree must earn a silent verdict
+# ---------------------------------------------------------------------------
+
+
+def test_sanitized_stress_run_is_clean_with_real_volume():
+    report = run_stress(
+        StressConfig(seed=3, total_ops=80, sanitize=True)
+    )
+    assert report.ok, report.summary()
+    assert report.races == []
+    counters = report.sanitizer_counters
+    assert counters is not None
+    assert counters["findings"] == 0
+    # The zero verdict is earned: the run actually observed traffic.
+    assert counters["accesses"] > 0
+    assert counters["lock_events"] > 0
+    assert counters["threads"] >= 2
+
+
+def test_unsanitized_run_has_no_sanitizer_counters():
+    report = run_stress(StressConfig(seed=3, total_ops=40))
+    assert report.ok, report.summary()
+    assert report.sanitizer_counters is None
+
+
+def test_sanitize_mode_does_not_change_the_logical_run():
+    # Observation only: same seed, same schedule digest, same logical
+    # operation counters — the instrumented stack executes the exact
+    # run the plain stack does.
+    plain = run_stress(StressConfig(seed=11, total_ops=60))
+    sanitized = run_stress(
+        StressConfig(seed=11, total_ops=60, sanitize=True)
+    )
+    assert sanitized.schedule_digest == plain.schedule_digest
+    assert sanitized.ops_executed == plain.ops_executed
+    assert sanitized.batches == plain.batches
+    assert sanitized.ok and plain.ok
+
+
+def test_self_test_passes_end_to_end():
+    report = sanitize_self_test(seed=0, total_ops=80)
+    assert report.unlocked_write_detected
+    assert report.abba_detected
+    assert report.clean.ok
+    assert report.ok
+    assert "ok" in report.summary()
+
+
+# ---------------------------------------------------------------------------
+# vector clocks: the happens-before backbone
+# ---------------------------------------------------------------------------
+
+
+def test_vector_clock_join_and_observed():
+    a = VectorClock()
+    b = VectorClock()
+    a.tick(0)
+    epoch = a.epoch(0)
+    assert a.observed(epoch, 0)  # own writes are always observed
+    assert not b.observed(epoch, 1)  # unsynchronized thread has not
+    b.join(a)
+    assert b.observed(epoch, 1)  # the join published it
+    assert b.dominates(a)
+
+
+def test_race_finding_renders_its_threads():
+    finding = RaceFinding(
+        kind="unlocked-access",
+        resource="store:page[3]",
+        detail="write with empty lockset",
+        threads=("T1",),
+    )
+    assert "store:page[3]" in finding.render()
+    assert "[T1]" in finding.render()

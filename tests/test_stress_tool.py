@@ -128,10 +128,12 @@ class TestCommandLineFronts:
             dict(
                 threads=3, ops=50, batch=4, stack="disk", fault_rate=0.0,
                 shed_load=False, max_in_flight=None, op_timeout=30.0,
+                sanitize=False,
             ),
         )()
         config = stress_tool.build_config(parser_args, seed=9)
         assert config.stack == "disk"
+        assert not config.sanitize
         assert config.path and config.path.endswith(".dsf")
         report = run_stress(config)
         assert report.ok, report.summary()

@@ -16,6 +16,14 @@ the report prints a schedule digest so a failure replays exactly.
 with the lock deliberately bypassed must be *detected*, and a lock-
 order deadlock must surface as ``OperationTimeout`` instead of a hang.
 
+``--sanitize`` rebuilds the stack with the dynamic race sanitizer
+(Eraser-style lockset + vector-clock happens-before + lock-order
+graph; see ``repro.sanitizer``) and fails on any finding.  Combined
+with ``--self-test`` it runs the sanitizer's own controls instead: a
+sanitized clean run must report zero findings, while a planted
+unlocked write and a planted ABBA acquisition must each be detected —
+deterministically, even under a fully serialized schedule.
+
 ``--replica-reads`` swaps in the replication schedule: writer threads
 on a journaled primary, reader threads snapshotting a WAL-shipped
 replica, every snapshot checked prefix-consistent against the
@@ -61,6 +69,7 @@ def build_config(args, seed: int) -> StressConfig:
         max_in_flight=args.max_in_flight,
         op_timeout=args.op_timeout,
         path=path,
+        sanitize=args.sanitize,
     )
 
 
@@ -88,6 +97,10 @@ def main() -> int:
                         help="per-operation deadline in seconds")
     parser.add_argument("--self-test", action="store_true",
                         help="run the positive + negative controls and exit")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run with the dynamic race sanitizer on "
+                        "(with --self-test: run the sanitizer's planted "
+                        "controls instead of the harness's)")
     parser.add_argument("--replica-reads", action="store_true",
                         dest="replica_reads",
                         help="replication schedule: writers on the primary, "
@@ -96,6 +109,13 @@ def main() -> int:
                         help="replica reader threads for --replica-reads")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args()
+
+    if args.self_test and args.sanitize:
+        from repro.sanitizer import sanitize_self_test  # noqa: E402
+
+        sanitize_report = sanitize_self_test(seed=args.seed or 0)
+        print(sanitize_report.summary())
+        return 0 if sanitize_report.ok else 2
 
     if args.self_test:
         report = self_test(seed=args.seed or 0)
@@ -139,12 +159,15 @@ def main() -> int:
         if args.verbose:
             print(report.summary())
         if not report.ok:
+            sanitize = " --sanitize" if args.sanitize else ""
             print(report.summary())
             print(f"replay: python tools/stress.py --stack {args.stack} "
-                  f"--threads {args.threads} --ops {args.ops} --seed {seed}")
+                  f"--threads {args.threads} --ops {args.ops} "
+                  f"--seed {seed}{sanitize}")
             return 1
         iteration += 1
-    print(f"stress[{args.stack}]: {iteration} seeded runs clean")
+    mode = " sanitized" if args.sanitize else ""
+    print(f"stress[{args.stack}]: {iteration}{mode} seeded runs clean")
     return 0
 
 

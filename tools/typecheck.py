@@ -1,8 +1,8 @@
 """The typing gate: mypy when available, an AST fallback always.
 
 CI installs mypy and runs it against ``pyproject.toml``'s ``[tool.mypy]``
-config (strict on ``storage/`` and ``concurrent/``, base strictness
-everywhere else — the ratchet).  Development containers without mypy
+config (strict on ``storage/``, ``concurrent/``, ``cluster/`` and
+``replication/``, base strictness everywhere else — the ratchet).  Development containers without mypy
 still get a meaningful gate: the AST pass below enforces the part of
 strict mode that needs no type inference — ``disallow_untyped_defs`` /
 ``disallow_incomplete_defs`` — by walking every function signature in
@@ -30,7 +30,12 @@ from typing import Iterator, List, Tuple
 REPO = os.path.normpath(os.path.join(os.path.dirname(__file__), ".."))
 
 #: Packages held to strict typing (mirrors [tool.mypy] overrides).
-STRICT_PACKAGES = ("src/repro/storage", "src/repro/concurrent")
+STRICT_PACKAGES = (
+    "src/repro/storage",
+    "src/repro/concurrent",
+    "src/repro/cluster",
+    "src/repro/replication",
+)
 
 
 def iter_functions(tree: ast.Module) -> Iterator[ast.AST]:
